@@ -1,0 +1,138 @@
+// Extension bench (§7 future work #2): content diffusion vs privacy.
+//
+// Runs reshare cascades over the calibrated network to answer the paper's
+// open question — how do privacy settings and openness shape content
+// sharing? Measures cascade reach by post visibility, author audience,
+// and author-country openness culture, plus the cascade-size CCDF (the
+// classic heavy-tailed diffusion signature).
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "algo/topk.h"
+#include "core/table.h"
+#include "stats/distribution.h"
+#include "stream/circles.h"
+#include "stream/diffusion.h"
+
+int main() {
+  using namespace gplus;
+  bench::banner("Diffusion dynamics (§7 future work)",
+                "cascades, visibility, and openness");
+
+  const auto& ds = bench::dataset();
+  const stream::DiffusionSimulator sim(&ds, {});
+  stats::Rng rng(bench::seed());
+
+  std::cout << "--- Public vs circles-only reach (top-20 authors) ---\n";
+  core::TextTable vis({"Visibility", "Mean views", "Mean reshares", "Mean depth"});
+  for (bool is_public : {true, false}) {
+    std::vector<stream::Cascade> cascades;
+    for (const auto& author : algo::top_by_in_degree(ds.graph(), 20)) {
+      for (int i = 0; i < 3; ++i) {
+        cascades.push_back(sim.simulate_post(author.node, is_public, rng));
+      }
+    }
+    const auto s = stream::summarize_cascades(cascades);
+    vis.add_row({is_public ? "Public" : "Circles only",
+                 core::fmt_double(s.mean_views, 0),
+                 core::fmt_double(s.mean_reshares, 1),
+                 core::fmt_double(s.mean_depth, 2)});
+  }
+  std::cout << vis.str() << "\n";
+
+  std::cout << "--- Cascade-size CCDF (random authors) ---\n";
+  const auto cascades = sim.simulate_posts(4'000, rng);
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(cascades.size());
+  for (const auto& c : cascades) sizes.push_back(c.views);
+  const auto ccdf = stats::integer_ccdf(sizes);
+  double next_x = 1.0;
+  for (const auto& p : ccdf) {
+    if (p.x + 1e-12 < next_x) continue;
+    std::cout << "  views >= " << core::fmt_double(p.x, 0) << " -> "
+              << core::fmt_double(p.y, 5) << "\n";
+    next_x = std::max(p.x * 4.0, 1.0);
+  }
+  const auto all = stream::summarize_cascades(cascades);
+  std::cout << "mean views " << core::fmt_double(all.mean_views, 1)
+            << ", max " << core::fmt_double(all.max_views, 0)
+            << ", reshared share " << core::fmt_percent(all.reshared_share, 1)
+            << "\n\n";
+
+  std::cout << "--- Author-country openness vs sharing behavior ---\n";
+  core::TextTable by_country({"Author country", "Posts", "Public-post share",
+                              "Median views"});
+  for (const char* code : {"ID", "MX", "US", "IN", "DE"}) {
+    const auto country = *geo::find_country(code);
+    std::vector<double> views;
+    std::size_t public_posts = 0, posts = 0;
+    for (graph::NodeId u = 0; u < ds.user_count() && posts < 600; ++u) {
+      if (ds.profiles[u].country != country || ds.profiles[u].celebrity ||
+          ds.graph().in_degree(u) == 0) {
+        continue;
+      }
+      const auto cascade = sim.simulate_post(u, rng);
+      public_posts += cascade.public_post;
+      views.push_back(static_cast<double>(cascade.views));
+      ++posts;
+    }
+    std::sort(views.begin(), views.end());
+    by_country.add_row(
+        {std::string(geo::country(country).name), core::fmt_count(posts),
+         core::fmt_percent(posts ? static_cast<double>(public_posts) /
+                                       static_cast<double>(posts)
+                                 : 0.0, 1),
+         views.empty() ? "-" : core::fmt_double(views[views.size() / 2], 0)});
+  }
+  std::cout << by_country.str();
+  std::cout << "(Fig 8's openness cultures carry over to the stream: open\n"
+               " countries default more posts to 'public' than conservative\n"
+               " ones — the mechanism behind the paper's conjecture that\n"
+               " privacy culture shapes content sharing)\n\n";
+
+  std::cout << "--- Circles (§2.1): reconstructed assignment and reach ---\n";
+  const stream::CircleAssignment circles(ds, bench::seed());
+  const auto cstats = stream::circle_stats(circles);
+  core::TextTable circle_table({"Circle", "Share of contacts", "Mean size"});
+  for (std::size_t k = 0; k < stream::kCircleKindCount; ++k) {
+    circle_table.add_row(
+        {std::string(stream::circle_name(static_cast<stream::CircleKind>(k))),
+         core::fmt_percent(cstats.share[k], 1),
+         core::fmt_double(cstats.mean_size[k], 1)});
+  }
+  std::cout << circle_table.str();
+
+  const stream::DiffusionSimulator circle_sim(&ds, &circles, {});
+  std::vector<stream::Cascade> pub, circ;
+  for (const auto& author : algo::top_by_in_degree(ds.graph(), 30)) {
+    pub.push_back(circle_sim.simulate_post(author.node, true, rng));
+    circ.push_back(circle_sim.simulate_post(author.node, false, rng));
+  }
+  const auto pub_s = stream::summarize_cascades(pub);
+  const auto circ_s = stream::summarize_cascades(circ);
+  std::cout << "top-author reach with concrete circles: public "
+            << core::fmt_double(pub_s.mean_views, 0) << " views vs circle post "
+            << core::fmt_double(circ_s.mean_views, 0)
+            << " (one circle of real contacts, not a follower fraction)\n\n";
+
+  std::cout << "--- Epidemic threshold: reach vs reshare probability ---\n";
+  core::TextTable epidemic({"reshare_base", "Mean reach (share of graph)",
+                            "Max reach"});
+  for (double reshare : {0.002, 0.01, 0.02, 0.05, 0.1}) {
+    stream::DiffusionConfig config;
+    config.reshare_base = reshare;
+    const stream::DiffusionSimulator epidemic_sim(&ds, config);
+    const auto batch = epidemic_sim.simulate_posts(600, rng);
+    const auto s = stream::summarize_cascades(batch);
+    const auto n = static_cast<double>(ds.user_count());
+    epidemic.add_row({core::fmt_double(reshare, 3),
+                      core::fmt_percent(s.mean_views / n, 2),
+                      core::fmt_percent(s.max_views / n, 1)});
+  }
+  std::cout << epidemic.str();
+  std::cout << "(the supercritical jump is §3.3.5's 'information can spread\n"
+               " quickly and widely' made quantitative: past the threshold a\n"
+               " single post sweeps a constant fraction of the network)\n";
+  return 0;
+}

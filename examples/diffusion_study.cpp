@@ -1,0 +1,87 @@
+// Example: how far does a post travel?
+//
+// Uses the diffusion simulator to explore the paper's §7 question about
+// privacy settings and content sharing: the same author posting publicly
+// vs to a circle, ordinary users vs celebrities, and what the hop
+// distribution of Fig 5 implies for reach.
+//
+//   ./diffusion_study [node_count] [seed]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "algo/topk.h"
+#include "core/analysis.h"
+#include "core/dataset.h"
+#include "core/table.h"
+#include "stream/diffusion.h"
+
+int main(int argc, char** argv) {
+  using namespace gplus;
+  const std::size_t nodes = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50'000;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 17;
+
+  std::cout << "Building dataset (" << nodes << " users)...\n\n";
+  const auto ds = core::make_standard_dataset(nodes, seed);
+  const stream::DiffusionSimulator sim(&ds, {});
+  stats::Rng rng(seed);
+
+  // One celebrity, one well-connected user, one ordinary user.
+  const auto celebrity = core::top_users(ds, 1)[0];
+  graph::NodeId connected = 0, ordinary = 0;
+  for (graph::NodeId u = 0; u < ds.user_count(); ++u) {
+    const auto in = ds.graph().in_degree(u);
+    if (!ds.profiles[u].celebrity && in >= 50 && connected == 0) connected = u;
+    if (!ds.profiles[u].celebrity && in >= 3 && in <= 8 && ordinary == 0) {
+      ordinary = u;
+    }
+  }
+
+  std::cout << "Reach of one post (average of 10 runs):\n";
+  core::TextTable table({"Author", "Followers", "Public: views / reshares",
+                         "Circles: views / reshares"});
+  struct Row {
+    std::string name;
+    graph::NodeId node;
+  };
+  const Row rows[] = {{celebrity.name, celebrity.node},
+                      {"Well-connected user", connected},
+                      {"Typical user", ordinary}};
+  for (const auto& row : rows) {
+    double pub_views = 0, pub_shares = 0, circ_views = 0, circ_shares = 0;
+    constexpr int kRuns = 10;
+    for (int i = 0; i < kRuns; ++i) {
+      const auto pub = sim.simulate_post(row.node, true, rng);
+      const auto circ = sim.simulate_post(row.node, false, rng);
+      pub_views += static_cast<double>(pub.views);
+      pub_shares += static_cast<double>(pub.reshares);
+      circ_views += static_cast<double>(circ.views);
+      circ_shares += static_cast<double>(circ.reshares);
+    }
+    table.add_row(
+        {row.name, core::fmt_count(ds.graph().in_degree(row.node)),
+         core::fmt_double(pub_views / kRuns, 0) + " / " +
+             core::fmt_double(pub_shares / kRuns, 1),
+         core::fmt_double(circ_views / kRuns, 0) + " / " +
+             core::fmt_double(circ_shares / kRuns, 1)});
+  }
+  std::cout << table.str() << "\n";
+
+  // Population-level picture.
+  const auto cascades = sim.simulate_posts(2'000, rng);
+  const auto summary = stream::summarize_cascades(cascades);
+  std::vector<double> views;
+  views.reserve(cascades.size());
+  for (const auto& c : cascades) views.push_back(static_cast<double>(c.views));
+  std::sort(views.begin(), views.end());
+  std::cout << "Random-author posts: median views "
+            << core::fmt_double(views[views.size() / 2], 0) << ", mean "
+            << core::fmt_double(summary.mean_views, 1) << ", max "
+            << core::fmt_double(summary.max_views, 0) << " — the familiar\n"
+            << "heavy tail: most posts stay within the friend circle, a few\n"
+            << "celebrity-amplified cascades sweep a large share of the graph.\n";
+  std::cout << "\nPrivacy lever: restricting a post to circles cuts the\n"
+               "audience by the circle fraction and every downstream reshare\n"
+               "hop with it — openness compounds through the cascade.\n";
+  return 0;
+}

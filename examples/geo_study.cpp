@@ -1,0 +1,87 @@
+// Example: geography of a social graph (§4-style analysis).
+//
+// Uses the public API to ask the paper's geo questions of a synthetic
+// network: where do users live, how far apart are friends, how do
+// countries interlink, and what would a content-distribution or friend-
+// recommendation system conclude?
+//
+//   ./geo_study [node_count] [seed]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dataset.h"
+#include "core/geo_analysis.h"
+#include "core/table.h"
+#include "stats/descriptive.h"
+
+int main(int argc, char** argv) {
+  using namespace gplus;
+  const std::size_t nodes = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 80'000;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 21;
+
+  std::cout << "Building dataset (" << nodes << " users)...\n\n";
+  const auto ds = core::make_standard_dataset(nodes, seed);
+
+  std::cout << "Where do users live?\n";
+  const auto shares = core::located_country_shares(ds);
+  core::TextTable where({"Country", "Share of located users"});
+  for (std::size_t i = 0; i < 8 && i < shares.size(); ++i) {
+    where.add_row({std::string(geo::country(shares[i].country).name),
+                   core::fmt_percent(shares[i].fraction, 1)});
+  }
+  std::cout << where.str() << "\n";
+
+  std::cout << "How far apart are linked users?\n";
+  stats::Rng rng(seed);
+  auto miles = core::sample_path_miles(ds, 30'000, rng);
+  const auto summarize = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return stats::summarize(v);
+  };
+  const auto f = summarize(miles.friends);
+  const auto r = summarize(miles.reciprocal);
+  const auto x = summarize(miles.random);
+  core::TextTable dist({"Pair type", "Mean miles", "Median miles", "N"});
+  auto med = [](const std::vector<double>& sorted) {
+    return sorted.empty() ? 0.0 : sorted[sorted.size() / 2];
+  };
+  dist.add_row({"Reciprocal friends", core::fmt_double(r.mean, 0),
+                core::fmt_double(med(miles.reciprocal), 0),
+                core::fmt_count(r.count)});
+  dist.add_row({"Any friends", core::fmt_double(f.mean, 0),
+                core::fmt_double(med(miles.friends), 0), core::fmt_count(f.count)});
+  dist.add_row({"Random pairs", core::fmt_double(x.mean, 0),
+                core::fmt_double(med(miles.random), 0), core::fmt_count(x.count)});
+  std::cout << dist.str() << "\n";
+
+  std::cout << "How do countries interlink? (self-loop = domestic edge share)\n";
+  const auto links = core::country_link_graph(ds);
+  core::TextTable mix({"Country", "Domestic", "-> US", "Reading"});
+  for (std::size_t i = 0; i < links.countries.size(); ++i) {
+    const auto code = geo::country(links.countries[i]).code;
+    std::size_t us = 0;
+    for (std::size_t j = 0; j < links.countries.size(); ++j) {
+      if (geo::country(links.countries[j]).code == "US") us = j;
+    }
+    const double self = links.self_loop(i);
+    mix.add_row({std::string(geo::country(links.countries[i]).name),
+                 core::fmt_percent(self, 0),
+                 code == "US" ? "-" : core::fmt_percent(links.weight[i][us], 0),
+                 self > 0.6   ? "inward-looking"
+                 : self > 0.4 ? "balanced"
+                              : "outward-looking"});
+  }
+  std::cout << mix.str() << "\n";
+
+  std::cout << "Product implications (the paper's §6 reading):\n";
+  std::cout << "  * recommend domestic users/content in inward-looking markets\n"
+               "    (Brazil, India, Indonesia), foreign content in outward ones\n"
+               "    (United Kingdom, Canada, Germany);\n";
+  std::cout << "  * friends cluster within ~"
+            << core::fmt_double(med(miles.friends), 0)
+            << " miles — content caches close to users capture most social\n"
+               "    traffic, but outward-looking countries still need long-haul\n"
+               "    delivery into the US.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Example: watching a social network being born.
+//
+// Runs the §2.1 adoption timeline (invite-only viral phase, open sign-up,
+// saturation) and follows the §7 program: take repeated topology
+// snapshots, watch the structure mature, and try to call the phase
+// transitions from the curve alone.
+//
+//   ./growth_study [final_users] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "algo/reciprocity.h"
+#include "algo/scc.h"
+#include "core/table.h"
+#include "evolve/growth.h"
+
+int main(int argc, char** argv) {
+  using namespace gplus;
+  const std::size_t users = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40'000;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+  evolve::GrowthConfig config;
+  config.final_node_count = users;
+  config.seed = seed;
+  std::cout << "Simulating " << config.days << " days of growth to " << users
+            << " users (invite-only until day " << config.invite_only_days
+            << ")...\n\n";
+  const evolve::GrowthSimulation sim(config);
+
+  // A compact ASCII adoption chart.
+  const auto curve = evolve::adoption_curve(sim);
+  std::uint64_t peak = 1;
+  for (auto v : curve.daily_new) peak = std::max(peak, v);
+  std::cout << "Daily sign-ups (each # ~ " << peak / 40 + 1 << " users/day):\n";
+  for (int day = 10; day <= config.days; day += 10) {
+    const auto value = curve.daily_new[static_cast<std::size_t>(day)];
+    const auto bars = static_cast<std::size_t>(40.0 * static_cast<double>(value) /
+                                               static_cast<double>(peak));
+    std::cout << "  day " << (day < 100 ? " " : "") << day << " |"
+              << std::string(bars, '#') << "\n";
+  }
+  std::cout << "\nphase transition detected at day " << curve.transition_day
+            << "; growth peak day " << curve.peak_day << "\n\n";
+
+  // Structure maturing over time.
+  std::cout << "Structural maturation:\n";
+  core::TextTable table({"Day", "Users", "Mean degree", "Reciprocity",
+                         "Giant SCC"});
+  for (int day : {60, 95, 120, 150, 180}) {
+    const auto g = sim.snapshot(day);
+    const auto sccs = algo::strongly_connected_components(g);
+    table.add_row({std::to_string(day), core::fmt_count(g.node_count()),
+                   core::fmt_double(g.mean_degree(), 2),
+                   core::fmt_percent(algo::global_reciprocity(g), 1),
+                   core::fmt_percent(sccs.giant_fraction(), 1)});
+  }
+  std::cout << table.str() << "\n";
+
+  stats::Rng rng(seed);
+  const auto series =
+      evolve::measure_growth(sim, {60, 95, 120, 150, 180}, 100, rng);
+  const auto fit = evolve::densification_fit(series);
+  std::cout << "densification exponent a = " << core::fmt_double(fit.slope, 2)
+            << " (edges grow superlinearly in nodes — the network is\n"
+               "densifying, which is the paper's §6 explanation for why its\n"
+               "5.9-hop mean path should approach Facebook's 4.7 over time)\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Example: can the network carry a letter? (the Milgram experiment, §3.3.5
+// and [29], run in silico)
+//
+// Milgram's small-world study asked people to forward a letter toward a
+// distant stranger via acquaintances; Liben-Nowell showed online social
+// networks support the same greedy geographic forwarding. This example
+// routes messages across the synthetic Google+ and inspects what makes
+// routes succeed or stall.
+//
+//   ./navigability_study [node_count] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dataset.h"
+#include "core/geo_analysis.h"
+#include "core/geo_routing.h"
+#include "core/table.h"
+
+int main(int argc, char** argv) {
+  using namespace gplus;
+  const std::size_t nodes = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 60'000;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 31;
+
+  std::cout << "Building dataset (" << nodes << " users)...\n\n";
+  const auto ds = core::make_standard_dataset(nodes, seed);
+  stats::Rng rng(seed);
+
+  std::cout << "Why routing can work at all — P(link) vs distance:\n";
+  const auto curve = core::link_probability_by_distance(ds, 2'000'000, rng);
+  core::TextTable lp({"Distance band (mi)", "P(linked)"});
+  for (const auto& bin : curve) {
+    if (bin.pairs < 200) continue;
+    lp.add_row({core::fmt_double(bin.min_miles, 0) + " - " +
+                    core::fmt_double(bin.max_miles, 0),
+                core::fmt_double(bin.probability, 6)});
+  }
+  std::cout << lp.str() << "\n";
+
+  std::cout << "The Milgram run — greedy forwarding toward a stranger:\n";
+  core::TextTable routes({"Policy", "Delivered", "Mean hops",
+                          "Median stall (mi)"});
+  for (auto policy : {core::RoutePolicy::kGreedy, core::RoutePolicy::kRandom}) {
+    stats::Rng route_rng(seed + 1);
+    const auto stats = core::measure_geo_routing(ds, 1'500, route_rng, {},
+                                                 policy);
+    routes.add_row(
+        {policy == core::RoutePolicy::kGreedy ? "greedy by geography"
+                                              : "random forwarding",
+         core::fmt_percent(stats.success_rate, 1),
+         core::fmt_double(stats.mean_hops_delivered, 1),
+         core::fmt_double(stats.median_stall_miles, 0)});
+  }
+  std::cout << routes.str() << "\n";
+
+  // Hop budget sensitivity: Milgram chains died of apathy, ours die of
+  // greedy minima — show where the budget stops mattering.
+  std::cout << "Hop-budget sensitivity (greedy):\n";
+  core::TextTable budget({"Max hops", "Delivered"});
+  for (std::uint32_t hops : {2u, 4u, 8u, 32u, 200u}) {
+    stats::Rng route_rng(seed + 2);
+    core::GeoRouteOptions options;
+    options.max_hops = hops;
+    const auto stats =
+        core::measure_geo_routing(ds, 1'000, route_rng, options);
+    budget.add_row({std::to_string(hops),
+                    core::fmt_percent(stats.success_rate, 1)});
+  }
+  std::cout << budget.str();
+  std::cout << "\nReading: success saturates within a handful of hops — the\n"
+               "small-world radius of Fig 5 — so failures are greedy dead\n"
+               "ends (nobody closer to the target), not exhausted budgets.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Degree correlations and mixing.
+//
+// Assortativity (Newman's degree-correlation coefficient) distinguishes
+// social networks (assortative: hubs befriend hubs) from broadcast
+// networks (disassortative: millions of low-degree users follow a few
+// hubs). The paper's comparison of Google+ against Facebook/Twitter
+// invites exactly this measurement; it backs the "is G+ a social network
+// or a news medium" question of [26].
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+
+namespace gplus::algo {
+
+/// Which degree of each endpoint to correlate across directed edges.
+enum class DegreeMode : std::uint8_t {
+  kOutIn,  // source out-degree vs target in-degree (classic directed choice)
+  kInIn,   // source in-degree vs target in-degree
+  kOutOut,
+  kInOut,
+};
+
+/// Pearson correlation of endpoint degrees over all directed edges;
+/// in [-1, 1], 0 for a neutral (uncorrelated) graph, NaN-free: returns 0
+/// when either marginal is constant or the graph has no edges.
+double degree_assortativity(const graph::DiGraph& g,
+                            DegreeMode mode = DegreeMode::kOutIn);
+
+/// Mean in-degree of the out-neighbors of nodes with out-degree k, for
+/// k = 1..max_k (index 0 unused). The k_nn(k) curve: decreasing =>
+/// disassortative. Entries with no qualifying nodes are 0.
+std::vector<double> neighbor_degree_profile(const graph::DiGraph& g,
+                                            std::size_t max_k);
+
+}  // namespace gplus::algo

@@ -1,0 +1,28 @@
+// Betweenness centrality (Brandes), exact and source-sampled.
+//
+// §3.3.1 notes "hubs play a central role in information propagation";
+// betweenness is the standard way to make "central role" precise — it
+// measures how much shortest-path traffic transits a node, which is not
+// the same thing as having a large audience. The structural-appendix
+// bench compares the in-degree celebrities against the true brokers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "stats/rng.h"
+
+namespace gplus::algo {
+
+/// Exact Brandes betweenness over the directed graph (unnormalized pair
+/// counts). O(V·E) — fine up to mid-sized graphs.
+std::vector<double> betweenness_centrality(const graph::DiGraph& g);
+
+/// Source-sampled approximation: runs the Brandes accumulation from
+/// `sources` random roots and scales by n/sources, giving an unbiased
+/// estimate of the exact scores. `sources` >= 1.
+std::vector<double> sampled_betweenness(const graph::DiGraph& g,
+                                        std::size_t sources, stats::Rng& rng);
+
+}  // namespace gplus::algo

@@ -1,0 +1,230 @@
+#include "algo/bfs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <thread>
+
+#include "stats/expect.h"
+#include "stats/sampling.h"
+
+namespace gplus::algo {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+namespace {
+
+// Generic BFS; `Neighbors` yields the frontier-expansion lists for a node.
+template <typename Neighbors>
+std::vector<std::uint32_t> bfs_impl(const DiGraph& g, NodeId source,
+                                    Neighbors neighbors) {
+  g.check_node(source);
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  dist[source] = 0;
+  // Flat vector as queue: BFS visits each node once, so a growing vector
+  // with a read cursor beats std::queue's deque allocations.
+  std::vector<NodeId> frontier;
+  frontier.reserve(256);
+  frontier.push_back(source);
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const NodeId u = frontier[head++];
+    const std::uint32_t du = dist[u];
+    neighbors(u, [&](NodeId v) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = du + 1;
+        frontier.push_back(v);
+      }
+    });
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const DiGraph& g, NodeId source) {
+  return bfs_impl(g, source, [&](NodeId u, auto&& visit) {
+    for (NodeId v : g.out_neighbors(u)) visit(v);
+  });
+}
+
+std::vector<std::uint32_t> bfs_distances_undirected(const DiGraph& g,
+                                                    NodeId source) {
+  return bfs_impl(g, source, [&](NodeId u, auto&& visit) {
+    for (NodeId v : g.out_neighbors(u)) visit(v);
+    for (NodeId v : g.in_neighbors(u)) visit(v);
+  });
+}
+
+namespace {
+
+struct HopAccumulator {
+  std::vector<std::uint64_t> counts;  // counts[h] = pairs at distance h >= 1
+  std::uint64_t unreachable = 0;
+
+  void absorb(const std::vector<std::uint32_t>& dist) {
+    for (std::uint32_t d : dist) {
+      if (d == kUnreachable) {
+        ++unreachable;
+      } else if (d > 0) {
+        if (d >= counts.size()) counts.resize(d + 1, 0);
+        ++counts[d];
+      }
+    }
+  }
+
+  void merge(const HopAccumulator& other) {
+    if (other.counts.size() > counts.size()) {
+      counts.resize(other.counts.size(), 0);
+    }
+    for (std::size_t h = 0; h < other.counts.size(); ++h) {
+      counts[h] += other.counts[h];
+    }
+    unreachable += other.unreachable;
+  }
+
+  std::vector<double> pmf() const {
+    std::uint64_t total = 0;
+    for (auto c : counts) total += c;
+    std::vector<double> out(counts.size(), 0.0);
+    if (total == 0) return out;
+    for (std::size_t h = 0; h < counts.size(); ++h) {
+      out[h] = static_cast<double>(counts[h]) / static_cast<double>(total);
+    }
+    return out;
+  }
+};
+
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double out = 0.0;
+  const std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double av = i < a.size() ? a[i] : 0.0;
+    const double bv = i < b.size() ? b[i] : 0.0;
+    out = std::max(out, std::abs(av - bv));
+  }
+  return out;
+}
+
+}  // namespace
+
+PathLengthEstimate estimate_path_lengths(const DiGraph& g,
+                                         const PathLengthOptions& options,
+                                         stats::Rng& rng) {
+  GPLUS_EXPECT(g.node_count() > 0, "graph must be non-empty");
+  GPLUS_EXPECT(options.initial_sources > 0, "need at least one source");
+  GPLUS_EXPECT(options.growth > 1.0, "growth factor must exceed 1");
+
+  const std::size_t n = g.node_count();
+  const std::size_t cap = std::min(options.max_sources, n);
+
+  // Draw the maximal source set once; rounds use growing prefixes so earlier
+  // work is never discarded.
+  const auto sources = stats::sample_without_replacement(n, cap, rng);
+
+  HopAccumulator acc;
+  std::vector<double> prev_pmf;
+  std::size_t used = 0;
+  std::size_t round_target = std::min(options.initial_sources, cap);
+
+  const std::size_t threads =
+      options.threads != 0
+          ? options.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  // Runs the BFS fan-out for sources[begin, end): single-threaded inline,
+  // or sharded across workers with per-worker accumulators merged in a
+  // fixed order (the totals are sums, so the estimate is identical).
+  auto fan_out = [&](std::size_t begin, std::size_t end) {
+    auto work = [&](std::size_t from, std::size_t to, HopAccumulator& local) {
+      for (std::size_t i = from; i < to; ++i) {
+        const auto source = static_cast<NodeId>(sources[i]);
+        const auto dist = options.undirected
+                              ? bfs_distances_undirected(g, source)
+                              : bfs_distances(g, source);
+        local.absorb(dist);
+      }
+    };
+    const std::size_t span = end - begin;
+    if (threads <= 1 || span < 2 * threads) {
+      work(begin, end, acc);
+      return;
+    }
+    std::vector<HopAccumulator> locals(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    const std::size_t chunk = (span + threads - 1) / threads;
+    for (std::size_t t = 0; t < threads; ++t) {
+      const std::size_t from = begin + t * chunk;
+      const std::size_t to = std::min(end, from + chunk);
+      if (from >= to) break;
+      pool.emplace_back(work, from, to, std::ref(locals[t]));
+    }
+    for (auto& worker : pool) worker.join();
+    for (const auto& local : locals) acc.merge(local);
+  };
+
+  while (true) {
+    fan_out(used, round_target);
+    used = round_target;
+    auto pmf = acc.pmf();
+    const bool converged =
+        !prev_pmf.empty() && max_abs_diff(pmf, prev_pmf) <= options.tolerance;
+    prev_pmf = std::move(pmf);
+    if (converged || used >= cap) break;
+    round_target = std::min(
+        cap, static_cast<std::size_t>(
+                 std::ceil(static_cast<double>(round_target) * options.growth)));
+  }
+
+  PathLengthEstimate est;
+  est.pmf = prev_pmf;
+  est.sources_used = used;
+
+  std::uint64_t reachable_pairs = 0;
+  for (auto c : acc.counts) reachable_pairs += c;
+  const std::uint64_t sampled_pairs =
+      reachable_pairs + acc.unreachable;
+  est.reachable_fraction =
+      sampled_pairs == 0
+          ? 0.0
+          : static_cast<double>(reachable_pairs) / static_cast<double>(sampled_pairs);
+
+  double weighted = 0.0;
+  double best_mass = -1.0;
+  for (std::size_t h = 1; h < est.pmf.size(); ++h) {
+    weighted += est.pmf[h] * static_cast<double>(h);
+    if (est.pmf[h] > best_mass) {
+      best_mass = est.pmf[h];
+      est.mode = static_cast<std::uint32_t>(h);
+    }
+  }
+  est.mean = weighted;
+  est.diameter_lower_bound =
+      acc.counts.empty() ? 0 : static_cast<std::uint32_t>(acc.counts.size() - 1);
+  return est;
+}
+
+std::uint32_t double_sweep_diameter(const DiGraph& g, NodeId start,
+                                    bool undirected) {
+  const auto first =
+      undirected ? bfs_distances_undirected(g, start) : bfs_distances(g, start);
+  NodeId far = start;
+  std::uint32_t best = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (first[u] != kUnreachable && first[u] >= best) {
+      best = first[u];
+      far = u;
+    }
+  }
+  const auto second =
+      undirected ? bfs_distances_undirected(g, far) : bfs_distances(g, far);
+  std::uint32_t out = best;
+  for (std::uint32_t d : second) {
+    if (d != kUnreachable) out = std::max(out, d);
+  }
+  return out;
+}
+
+}  // namespace gplus::algo

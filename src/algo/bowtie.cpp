@@ -1,0 +1,71 @@
+#include "algo/bowtie.h"
+
+#include <algorithm>
+
+#include "algo/scc.h"
+
+namespace gplus::algo {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+BowTie bow_tie_decomposition(const DiGraph& g) {
+  const std::size_t n = g.node_count();
+  BowTie result;
+  result.region.assign(n, BowTieRegion::kOther);
+  if (n == 0) return result;
+
+  const auto sccs = strongly_connected_components(g);
+  // Largest component id.
+  std::uint32_t giant = 0;
+  for (std::uint32_t c = 0; c < sccs.component_count(); ++c) {
+    if (sccs.sizes[c] > sccs.sizes[giant]) giant = c;
+  }
+
+  // Forward reachability from the core (OUT ∪ core) and backward
+  // reachability (IN ∪ core), seeded with every core node.
+  std::vector<bool> forward(n, false), backward(n, false);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+
+  auto sweep = [&](std::vector<bool>& mark, bool use_out) {
+    queue.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      if (sccs.component[u] == giant) {
+        mark[u] = true;
+        queue.push_back(u);
+      }
+    }
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const NodeId u = queue[head++];
+      const auto nbrs = use_out ? g.out_neighbors(u) : g.in_neighbors(u);
+      for (NodeId v : nbrs) {
+        if (!mark[v]) {
+          mark[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  };
+  sweep(forward, /*use_out=*/true);
+  sweep(backward, /*use_out=*/false);
+
+  for (NodeId u = 0; u < n; ++u) {
+    if (sccs.component[u] == giant) {
+      result.region[u] = BowTieRegion::kCore;
+      ++result.core;
+    } else if (backward[u]) {
+      result.region[u] = BowTieRegion::kIn;  // reaches the core
+      ++result.in;
+    } else if (forward[u]) {
+      result.region[u] = BowTieRegion::kOut;  // fed by the core
+      ++result.out;
+    } else {
+      ++result.other;
+    }
+  }
+  return result;
+}
+
+}  // namespace gplus::algo

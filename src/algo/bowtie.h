@@ -1,0 +1,42 @@
+// Bow-tie decomposition of a directed graph (Broder et al.).
+//
+// §3.3.4 finds the giant SCC and notes graphs with large SCCs are
+// "amenable to quick information dissemination". The bow-tie view
+// completes that picture: IN (users whose posts can reach the core but
+// who see nothing back — classic broadcasters-into-the-void), OUT (users
+// fed by the core who add nobody — the dormant audience), and the
+// tendrils/disconnected remainder.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+
+namespace gplus::algo {
+
+/// Which bow-tie region a node belongs to.
+enum class BowTieRegion : std::uint8_t {
+  kCore = 0,     // the giant SCC
+  kIn,           // reaches the core, not reachable from it
+  kOut,          // reachable from the core, cannot reach it
+  kOther,        // tendrils, tubes and disconnected pieces
+};
+
+/// Decomposition result.
+struct BowTie {
+  std::vector<BowTieRegion> region;  // per node
+  std::uint64_t core = 0;
+  std::uint64_t in = 0;
+  std::uint64_t out = 0;
+  std::uint64_t other = 0;
+
+  double core_fraction(std::size_t n) const noexcept {
+    return n == 0 ? 0.0 : static_cast<double>(core) / static_cast<double>(n);
+  }
+};
+
+/// Computes the bow-tie around the *largest* SCC via one forward and one
+/// backward BFS from the core.
+BowTie bow_tie_decomposition(const graph::DiGraph& g);
+
+}  // namespace gplus::algo

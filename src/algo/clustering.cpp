@@ -1,0 +1,81 @@
+#include "algo/clustering.h"
+
+#include "stats/sampling.h"
+
+namespace gplus::algo {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+std::optional<double> clustering_coefficient(const DiGraph& g, NodeId u) {
+  const auto outs = g.out_neighbors(u);
+  if (outs.size() <= 1) return std::nullopt;
+  std::uint64_t links = 0;
+  for (NodeId a : outs) {
+    if (a == u) continue;
+    // Count directed edges from a to any other out-neighbor of u via merge
+    // of sorted lists (outs is sorted; a's out list is sorted).
+    const auto a_outs = g.out_neighbors(a);
+    std::size_t i = 0, j = 0;
+    while (i < outs.size() && j < a_outs.size()) {
+      if (outs[i] < a_outs[j]) {
+        ++i;
+      } else if (outs[i] > a_outs[j]) {
+        ++j;
+      } else {
+        if (outs[i] != a && outs[i] != u) ++links;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  const auto k = static_cast<double>(outs.size());
+  return static_cast<double>(links) / (k * (k - 1.0));
+}
+
+std::vector<double> clustering_coefficients(const DiGraph& g) {
+  std::vector<double> out;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (auto c = clustering_coefficient(g, u)) out.push_back(*c);
+  }
+  return out;
+}
+
+std::vector<double> sampled_clustering_coefficients(const DiGraph& g,
+                                                    std::size_t sample_size,
+                                                    stats::Rng& rng) {
+  std::vector<NodeId> qualifying;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (g.out_degree(u) > 1) qualifying.push_back(u);
+  }
+  if (qualifying.size() <= sample_size) {
+    std::vector<double> out;
+    out.reserve(qualifying.size());
+    for (NodeId u : qualifying) out.push_back(*clustering_coefficient(g, u));
+    return out;
+  }
+  const auto picks =
+      stats::sample_without_replacement(qualifying.size(), sample_size, rng);
+  std::vector<double> out;
+  out.reserve(picks.size());
+  for (std::size_t idx : picks) {
+    out.push_back(*clustering_coefficient(g, qualifying[idx]));
+  }
+  return out;
+}
+
+double average_clustering_coefficient(const DiGraph& g) {
+  const auto values = clustering_coefficients(g);
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+std::vector<stats::CurvePoint> clustering_cdf(const DiGraph& g,
+                                              std::size_t sample_size,
+                                              stats::Rng& rng) {
+  return stats::empirical_cdf(sampled_clustering_coefficients(g, sample_size, rng));
+}
+
+}  // namespace gplus::algo

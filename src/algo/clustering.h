@@ -1,0 +1,41 @@
+// Directed clustering coefficient (§3.3.3, Figure 4b).
+//
+// The paper defines C(u) as the probability that two of u's *outgoing*
+// neighbors are themselves connected, normalizing by the maximum
+// |OS(u)|·(|OS(u)|−1) ordered pairs; only nodes with |OS(u)| > 1 qualify.
+// The numerator therefore counts directed edges among out-neighbors.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "stats/distribution.h"
+#include "stats/rng.h"
+
+namespace gplus::algo {
+
+/// C(u) for one node, or nullopt when out_degree(u) <= 1.
+std::optional<double> clustering_coefficient(const graph::DiGraph& g,
+                                             graph::NodeId u);
+
+/// Exact C(u) over every qualifying node.
+std::vector<double> clustering_coefficients(const graph::DiGraph& g);
+
+/// C(u) over a uniform sample of qualifying nodes — the paper computes the
+/// Figure 4(b) CDF from a 1M-node sample. Returns at most `sample_size`
+/// values; fewer when the graph has fewer qualifying nodes.
+std::vector<double> sampled_clustering_coefficients(const graph::DiGraph& g,
+                                                    std::size_t sample_size,
+                                                    stats::Rng& rng);
+
+/// Mean C(u) over qualifying nodes (0 when none qualify).
+double average_clustering_coefficient(const graph::DiGraph& g);
+
+/// Figure 4(b): empirical CDF of sampled C(u).
+std::vector<stats::CurvePoint> clustering_cdf(const graph::DiGraph& g,
+                                              std::size_t sample_size,
+                                              stats::Rng& rng);
+
+}  // namespace gplus::algo

@@ -1,0 +1,58 @@
+#include "algo/degrees.h"
+
+#include <algorithm>
+
+namespace gplus::algo {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+std::vector<std::uint64_t> in_degrees(const DiGraph& g) {
+  std::vector<std::uint64_t> d(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) d[u] = g.in_degree(u);
+  return d;
+}
+
+std::vector<std::uint64_t> out_degrees(const DiGraph& g) {
+  std::vector<std::uint64_t> d(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) d[u] = g.out_degree(u);
+  return d;
+}
+
+namespace {
+
+DegreeDistribution make_distribution(const std::vector<std::uint64_t>& degrees,
+                                     std::uint64_t fit_x_min) {
+  DegreeDistribution out;
+  out.ccdf = stats::integer_ccdf(degrees);
+  if (!degrees.empty()) {
+    std::uint64_t total = 0;
+    for (auto d : degrees) {
+      total += d;
+      out.max = std::max(out.max, d);
+    }
+    out.mean = static_cast<double>(total) / static_cast<double>(degrees.size());
+  }
+  // The log-log regression needs at least two distinct degree values in the
+  // fit range; tiny or regular graphs simply get a zeroed fit.
+  std::size_t fit_points = 0;
+  for (const auto& p : out.ccdf) {
+    if (p.x >= static_cast<double>(fit_x_min) && p.y > 0.0) ++fit_points;
+  }
+  if (fit_points >= 2) {
+    out.power_law = stats::fit_power_law_ccdf(degrees, fit_x_min);
+  }
+  return out;
+}
+
+}  // namespace
+
+DegreeDistribution in_degree_distribution(const DiGraph& g, std::uint64_t fit_x_min) {
+  return make_distribution(in_degrees(g), fit_x_min);
+}
+
+DegreeDistribution out_degree_distribution(const DiGraph& g, std::uint64_t fit_x_min) {
+  return make_distribution(out_degrees(g), fit_x_min);
+}
+
+}  // namespace gplus::algo

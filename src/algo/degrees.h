@@ -1,0 +1,37 @@
+// Degree statistics (§3.3.1, Figure 3, Table 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "stats/distribution.h"
+#include "stats/regression.h"
+
+namespace gplus::algo {
+
+/// In-degrees of every node, indexed by node id.
+std::vector<std::uint64_t> in_degrees(const graph::DiGraph& g);
+
+/// Out-degrees of every node, indexed by node id.
+std::vector<std::uint64_t> out_degrees(const graph::DiGraph& g);
+
+/// Summary of one direction's degree distribution, as reported in Fig. 3
+/// and Table 4: the per-value CCDF, the mean, the maximum, and the paper's
+/// log-log power-law fit.
+struct DegreeDistribution {
+  std::vector<stats::CurvePoint> ccdf;
+  double mean = 0.0;
+  std::uint64_t max = 0;
+  stats::PowerLawFit power_law;
+};
+
+/// Distribution of in-degrees. `fit_x_min` bounds the power-law fit range.
+DegreeDistribution in_degree_distribution(const graph::DiGraph& g,
+                                          std::uint64_t fit_x_min = 1);
+
+/// Distribution of out-degrees.
+DegreeDistribution out_degree_distribution(const graph::DiGraph& g,
+                                           std::uint64_t fit_x_min = 1);
+
+}  // namespace gplus::algo

@@ -1,0 +1,47 @@
+#include "algo/jaccard.h"
+
+#include <algorithm>
+
+namespace gplus::algo {
+
+namespace {
+
+template <typename T>
+double jaccard_impl(std::span<const T> a, std::span<const T> b) {
+  std::vector<T> sa(a.begin(), a.end());
+  std::vector<T> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+
+  std::size_t inter = 0;
+  std::size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] < sb[j]) {
+      ++i;
+    } else if (sb[j] < sa[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  const std::size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+double jaccard_index(std::span<const int> a, std::span<const int> b) {
+  return jaccard_impl(a, b);
+}
+
+double jaccard_index(std::span<const std::string> a,
+                     std::span<const std::string> b) {
+  return jaccard_impl(a, b);
+}
+
+}  // namespace gplus::algo

@@ -1,0 +1,33 @@
+// k-core decomposition.
+//
+// The k-core is the maximal subgraph where every node has (undirected)
+// degree >= k; coreness profiles separate a network's dense social nucleus
+// from its casual periphery. For the Google+ snapshot this quantifies the
+// "active core vs sign-up-and-leave shell" structure that also drives the
+// giant-SCC fraction of §3.3.4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace gplus::algo {
+
+/// Result of the k-core peeling.
+struct CoreDecomposition {
+  /// coreness[u]: the largest k such that u belongs to the k-core
+  /// (undirected degree = in-degree + out-degree, reciprocal edges counted
+  /// once).
+  std::vector<std::uint32_t> coreness;
+  /// Largest coreness in the graph (the degeneracy).
+  std::uint32_t degeneracy = 0;
+
+  /// Number of nodes with coreness >= k.
+  std::uint64_t core_size(std::uint32_t k) const noexcept;
+};
+
+/// Batagelj-Zaveršnik linear-time peeling over the undirected view.
+CoreDecomposition k_core_decomposition(const graph::DiGraph& g);
+
+}  // namespace gplus::algo

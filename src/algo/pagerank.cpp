@@ -1,0 +1,74 @@
+#include "algo/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/expect.h"
+
+namespace gplus::algo {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+PageRankResult pagerank(const DiGraph& g, const PageRankOptions& options) {
+  GPLUS_EXPECT(options.damping >= 0.0 && options.damping < 1.0,
+               "damping must be in [0, 1)");
+  GPLUS_EXPECT(options.max_iterations > 0, "need at least one iteration");
+
+  const std::size_t n = g.node_count();
+  PageRankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (g.out_degree(u) == 0) dangling += rank[u];
+    }
+    const double base =
+        (1.0 - options.damping) * uniform + options.damping * dangling * uniform;
+    std::fill(next.begin(), next.end(), base);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto outs = g.out_neighbors(u);
+      if (outs.empty()) continue;
+      const double share =
+          options.damping * rank[u] / static_cast<double>(outs.size());
+      for (NodeId v : outs) next[v] += share;
+    }
+
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) delta += std::abs(next[i] - rank[i]);
+    rank.swap(next);
+    result.iterations = iter;
+    if (delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.score = std::move(rank);
+  return result;
+}
+
+std::vector<NodeId> top_by_pagerank(const PageRankResult& result, std::size_t k) {
+  std::vector<NodeId> order(result.score.size());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  const std::size_t keep = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+                    order.end(), [&](NodeId a, NodeId b) {
+                      if (result.score[a] != result.score[b]) {
+                        return result.score[a] > result.score[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(keep);
+  return order;
+}
+
+}  // namespace gplus::algo

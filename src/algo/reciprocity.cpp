@@ -1,0 +1,62 @@
+#include "algo/reciprocity.h"
+
+#include <algorithm>
+
+namespace gplus::algo {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+namespace {
+
+// |OS(u) ∩ IS(u)| via linear merge of the two sorted adjacency lists.
+std::size_t mutual_count(const DiGraph& g, NodeId u) {
+  const auto outs = g.out_neighbors(u);
+  const auto ins = g.in_neighbors(u);
+  std::size_t i = 0, j = 0, shared = 0;
+  while (i < outs.size() && j < ins.size()) {
+    if (outs[i] < ins[j]) {
+      ++i;
+    } else if (outs[i] > ins[j]) {
+      ++j;
+    } else {
+      ++shared;
+      ++i;
+      ++j;
+    }
+  }
+  return shared;
+}
+
+}  // namespace
+
+std::optional<double> relation_reciprocity(const DiGraph& g, NodeId u) {
+  const std::size_t out_deg = g.out_degree(u);
+  if (out_deg == 0) return std::nullopt;
+  return static_cast<double>(mutual_count(g, u)) / static_cast<double>(out_deg);
+}
+
+std::vector<double> relation_reciprocities(const DiGraph& g) {
+  std::vector<double> out;
+  out.reserve(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (auto rr = relation_reciprocity(g, u)) out.push_back(*rr);
+  }
+  return out;
+}
+
+double global_reciprocity(const DiGraph& g) {
+  if (g.edge_count() == 0) return 0.0;
+  std::uint64_t mutual_edges = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    mutual_edges += mutual_count(g, u);  // counts each reciprocal pair twice,
+                                         // once per endpoint — i.e. per edge
+  }
+  return static_cast<double>(mutual_edges) / static_cast<double>(g.edge_count());
+}
+
+std::vector<stats::CurvePoint> reciprocity_cdf(const DiGraph& g) {
+  return stats::empirical_cdf(relation_reciprocities(g));
+}
+
+}  // namespace gplus::algo

@@ -1,0 +1,75 @@
+#include "algo/robustness.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/scc.h"
+#include "graph/subgraph.h"
+#include "stats/expect.h"
+
+namespace gplus::algo {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+std::vector<RobustnessPoint> removal_sweep(const DiGraph& g,
+                                           RemovalStrategy strategy,
+                                           std::span<const double> fractions,
+                                           stats::Rng& rng) {
+  const std::size_t n = g.node_count();
+  GPLUS_EXPECT(n > 0, "graph must be non-empty");
+  for (double f : fractions) {
+    GPLUS_EXPECT(f >= 0.0 && f < 1.0, "fractions must be in [0, 1)");
+  }
+
+  // Removal order by strategy.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  switch (strategy) {
+    case RemovalStrategy::kRandom:
+      rng.shuffle(order);
+      break;
+    case RemovalStrategy::kTopInDegree:
+      std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        if (g.in_degree(a) != g.in_degree(b)) {
+          return g.in_degree(a) > g.in_degree(b);
+        }
+        return a < b;
+      });
+      break;
+    case RemovalStrategy::kTopOutDegree:
+      std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        if (g.out_degree(a) != g.out_degree(b)) {
+          return g.out_degree(a) > g.out_degree(b);
+        }
+        return a < b;
+      });
+      break;
+  }
+
+  std::vector<RobustnessPoint> out;
+  out.reserve(fractions.size());
+  const auto original_edges = static_cast<double>(g.edge_count());
+  for (double fraction : fractions) {
+    const auto removed = static_cast<std::size_t>(
+        fraction * static_cast<double>(n));
+    std::vector<bool> keep(n, true);
+    for (std::size_t i = 0; i < removed; ++i) keep[order[i]] = false;
+    const auto sub = graph::induced_subgraph(g, keep);
+
+    RobustnessPoint point;
+    point.removed_fraction = fraction;
+    if (sub.graph.node_count() > 0) {
+      const auto wcc = weakly_connected_components(sub.graph);
+      point.giant_wcc_fraction = wcc.giant_fraction();
+    }
+    point.edge_survival =
+        original_edges == 0.0
+            ? 0.0
+            : static_cast<double>(sub.graph.edge_count()) / original_edges;
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace gplus::algo

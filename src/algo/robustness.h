@@ -1,0 +1,44 @@
+// Robustness under node removal.
+//
+// The scale-free signature (§3.3.1's power laws) implies the classic
+// Albert-Jeong-Barabási asymmetry: the network shrugs off random account
+// deletions but shatters when the top hubs go. Since "hubs play a
+// central role in information propagation", this sweep quantifies how
+// much of the giant component each removal budget costs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "stats/rng.h"
+
+namespace gplus::algo {
+
+/// How to pick removal victims.
+enum class RemovalStrategy : std::uint8_t {
+  kRandom,        // uniform accounts (failures / churn)
+  kTopInDegree,   // most-followed first (celebrity takedown)
+  kTopOutDegree,  // heaviest adders first
+};
+
+/// One point of the robustness curve.
+struct RobustnessPoint {
+  double removed_fraction = 0.0;
+  /// Giant weakly-connected-component share of the *remaining* nodes.
+  double giant_wcc_fraction = 0.0;
+  /// Surviving edges / original edges.
+  double edge_survival = 0.0;
+};
+
+/// Removes the given fractions of nodes (each point independent, not
+/// cumulative re-measurement of the same order — the removal order is
+/// fixed by the strategy, each fraction takes a prefix) and measures the
+/// damage. Fractions must be in [0, 1).
+std::vector<RobustnessPoint> removal_sweep(const graph::DiGraph& g,
+                                           RemovalStrategy strategy,
+                                           std::span<const double> fractions,
+                                           stats::Rng& rng);
+
+}  // namespace gplus::algo

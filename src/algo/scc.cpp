@@ -1,0 +1,161 @@
+#include "algo/scc.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace gplus::algo {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+namespace {
+
+std::uint64_t largest(const std::vector<std::uint64_t>& sizes) {
+  if (sizes.empty()) return 0;
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+double fraction_of(const std::vector<std::uint64_t>& sizes) {
+  const std::uint64_t total = std::accumulate(sizes.begin(), sizes.end(),
+                                              std::uint64_t{0});
+  if (total == 0) return 0.0;
+  return static_cast<double>(largest(sizes)) / static_cast<double>(total);
+}
+
+}  // namespace
+
+std::uint64_t SccResult::giant_size() const noexcept { return largest(sizes); }
+double SccResult::giant_fraction() const noexcept { return fraction_of(sizes); }
+std::uint64_t WccResult::giant_size() const noexcept { return largest(sizes); }
+double WccResult::giant_fraction() const noexcept { return fraction_of(sizes); }
+
+SccResult strongly_connected_components(const DiGraph& g) {
+  const std::size_t n = g.node_count();
+  constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> scc_stack;
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frame: node + position within its out-neighbor list.
+  struct Frame {
+    NodeId node;
+    std::uint32_t edge_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const NodeId u = frame.node;
+      const auto nbrs = g.out_neighbors(u);
+      if (frame.edge_pos < nbrs.size()) {
+        const NodeId v = nbrs[frame.edge_pos++];
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          scc_stack.push_back(v);
+          on_stack[v] = true;
+          dfs.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+        continue;
+      }
+
+      // u fully explored: pop, propagate lowlink, maybe emit a component.
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const NodeId parent = dfs.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+      }
+      if (lowlink[u] == index[u]) {
+        const auto comp_id = static_cast<std::uint32_t>(result.sizes.size());
+        std::uint64_t size = 0;
+        NodeId w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = comp_id;
+          ++size;
+        } while (w != u);
+        result.sizes.push_back(size);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<stats::CurvePoint> scc_size_ccdf(const SccResult& sccs) {
+  return stats::integer_ccdf(sccs.sizes);
+}
+
+namespace {
+
+/// Minimal union-find with path halving + union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  NodeId find(NodeId x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(NodeId a, NodeId b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::uint64_t> size_;
+};
+
+}  // namespace
+
+WccResult weakly_connected_components(const DiGraph& g) {
+  const std::size_t n = g.node_count();
+  UnionFind uf(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.out_neighbors(u)) uf.unite(u, v);
+  }
+
+  WccResult result;
+  result.component.assign(n, 0);
+  constexpr std::uint32_t kUnassigned = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> root_to_comp(n, kUnassigned);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId root = uf.find(u);
+    if (root_to_comp[root] == kUnassigned) {
+      root_to_comp[root] = static_cast<std::uint32_t>(result.sizes.size());
+      result.sizes.push_back(0);
+    }
+    result.component[u] = root_to_comp[root];
+    ++result.sizes[root_to_comp[root]];
+  }
+  return result;
+}
+
+}  // namespace gplus::algo

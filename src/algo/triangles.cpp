@@ -1,0 +1,80 @@
+#include "algo/triangles.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gplus::algo {
+
+using graph::DiGraph;
+using graph::NodeId;
+
+TriangleCensus count_triangles(const DiGraph& g) {
+  const std::size_t n = g.node_count();
+  TriangleCensus census;
+  if (n == 0) return census;
+
+  // Undirected adjacency: union of out- and in-lists, self-loops dropped.
+  std::vector<std::vector<NodeId>> adj(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto outs = g.out_neighbors(u);
+    const auto ins = g.in_neighbors(u);
+    auto& row = adj[u];
+    row.reserve(outs.size() + ins.size());
+    std::size_t i = 0, j = 0;
+    while (i < outs.size() || j < ins.size()) {
+      NodeId next;
+      if (j >= ins.size() || (i < outs.size() && outs[i] < ins[j])) {
+        next = outs[i++];
+      } else if (i >= outs.size() || ins[j] < outs[i]) {
+        next = ins[j++];
+      } else {
+        next = outs[i++];
+        ++j;
+      }
+      if (next != u) row.push_back(next);
+    }
+  }
+
+  // Connected triples: sum over nodes of C(deg, 2).
+  for (NodeId u = 0; u < n; ++u) {
+    const auto d = static_cast<std::uint64_t>(adj[u].size());
+    census.triples += d * (d - 1) / 2;
+  }
+
+  // Triangle count via forward adjacency: keep only neighbors that are
+  // "later" in the (degree, id) total order; each triangle is then counted
+  // exactly once at its lowest-ranked corner.
+  auto rank_less = [&](NodeId a, NodeId b) {
+    if (adj[a].size() != adj[b].size()) return adj[a].size() < adj[b].size();
+    return a < b;
+  };
+  std::vector<std::vector<NodeId>> forward(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : adj[u]) {
+      if (rank_less(u, v)) forward[u].push_back(v);
+    }
+    std::sort(forward[u].begin(), forward[u].end());
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& fu = forward[u];
+    for (NodeId v : fu) {
+      const auto& fv = forward[v];
+      // Merge-intersect fu and fv.
+      std::size_t i = 0, j = 0;
+      while (i < fu.size() && j < fv.size()) {
+        if (fu[i] < fv[j]) {
+          ++i;
+        } else if (fu[i] > fv[j]) {
+          ++j;
+        } else {
+          ++census.triangles;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return census;
+}
+
+}  // namespace gplus::algo

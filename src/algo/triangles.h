@@ -1,0 +1,35 @@
+// Global triangle census and transitivity.
+//
+// §3.3.3 measures the per-node (local) clustering coefficient; the global
+// transitivity ratio — 3 · triangles / connected triples — is its
+// edge-weighted sibling and the number null-model comparisons are usually
+// quoted in. Counted on the undirected view (any edge direction links two
+// users), using the standard degree-ordered enumeration so every triangle
+// is visited exactly once.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+
+namespace gplus::algo {
+
+/// Census result.
+struct TriangleCensus {
+  /// Distinct undirected triangles.
+  std::uint64_t triangles = 0;
+  /// Connected triples (paths of length 2, centered anywhere).
+  std::uint64_t triples = 0;
+
+  /// Transitivity = 3 * triangles / triples (0 when no triples).
+  double transitivity() const noexcept {
+    return triples == 0 ? 0.0
+                        : 3.0 * static_cast<double>(triangles) /
+                              static_cast<double>(triples);
+  }
+};
+
+/// Counts undirected triangles and connected triples.
+TriangleCensus count_triangles(const graph::DiGraph& g);
+
+}  // namespace gplus::algo

@@ -1,0 +1,61 @@
+// Minimal command-line argument parser for the gplus tool.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` options
+// with defaults and generated usage text. Deliberately tiny: the CLI has
+// a handful of options per subcommand and no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gplus::cli {
+
+/// Declarative option set + parser. Not thread-safe.
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description);
+
+  /// Declares a string option with a default value.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Declares a boolean flag (default false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses `args` (excluding argv[0]); returns an error message on
+  /// unknown options, missing values, or malformed input, nullopt on
+  /// success. Parsing may be repeated; values reset to defaults first.
+  std::optional<std::string> parse(const std::vector<std::string>& args);
+
+  /// Accessors; names must have been declared (throws otherwise).
+  const std::string& get(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+  std::uint64_t get_u64(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  /// Positional arguments left over after option parsing.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Generated usage text.
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> declaration_order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gplus::cli

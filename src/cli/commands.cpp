@@ -1,0 +1,254 @@
+#include "cli/commands.h"
+
+#include <exception>
+#include <fstream>
+
+#include "algo/degrees.h"
+#include "cli/args.h"
+#include "core/analysis.h"
+#include "core/dataset_io.h"
+#include "core/table.h"
+#include "crawler/bias.h"
+#include "core/export.h"
+#include "core/report.h"
+#include "crawler/crawler.h"
+#include "graph/edgelist_io.h"
+#include "service/service.h"
+
+namespace gplus::cli {
+
+namespace {
+
+synth::GraphGenConfig preset_by_name(const std::string& name, std::size_t nodes,
+                                     std::uint64_t seed) {
+  if (name == "google-plus") return synth::google_plus_preset(nodes, seed);
+  if (name == "twitter") return synth::twitter_like_preset(nodes, seed);
+  if (name == "facebook") return synth::facebook_like_preset(nodes, seed);
+  throw std::invalid_argument("unknown preset: " + name +
+                              " (expected google-plus, twitter or facebook)");
+}
+
+// Parses with the given parser, printing usage on error. Returns false
+// when the command should abort with exit code 2.
+bool parse_or_usage(ArgParser& parser, const std::vector<std::string>& args,
+                    std::ostream& out) {
+  if (const auto error = parser.parse(args)) {
+    out << "error: " << *error << "\n\n" << parser.usage();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out) {
+  ArgParser parser("gplus generate", "generate a calibrated synthetic dataset");
+  parser.add_option("nodes", "100000", "number of users");
+  parser.add_option("seed", "42", "generator seed");
+  parser.add_option("preset", "google-plus",
+                    "network preset: google-plus, twitter, facebook");
+  parser.add_option("out", "gplus.dataset", "output dataset file");
+  if (!parse_or_usage(parser, args, out)) return 2;
+
+  core::DatasetConfig config;
+  config.graph = preset_by_name(parser.get("preset"), parser.get_u64("nodes"),
+                                parser.get_u64("seed"));
+  config.profile.seed = parser.get_u64("seed") ^ 0xC0FFEE;
+  const auto dataset = core::make_dataset(config);
+  core::save_dataset(dataset, parser.get("out"));
+  out << "wrote " << parser.get("out") << ": "
+      << core::fmt_count(dataset.user_count()) << " users, "
+      << core::fmt_count(dataset.graph().edge_count()) << " edges\n";
+  return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& args, std::ostream& out) {
+  ArgParser parser("gplus analyze", "structural and profile summary");
+  parser.add_option("in", "gplus.dataset", "dataset file");
+  parser.add_option("path-sources", "300", "BFS sources for path sampling");
+  parser.add_flag("attributes", "also print the Table 2 attribute summary");
+  if (!parse_or_usage(parser, args, out)) return 2;
+
+  const auto dataset = core::load_dataset(parser.get("in"));
+  stats::Rng rng(1);
+  const auto s = core::structural_summary(dataset.graph(),
+                                          parser.get_u64("path-sources"), rng);
+  core::TextTable table({"Metric", "Value", "Paper (Google+)"});
+  table.add_row({"Nodes", core::fmt_count(s.nodes), "35.1M"});
+  table.add_row({"Edges", core::fmt_count(s.edges), "575M"});
+  table.add_row({"Mean degree", core::fmt_double(s.mean_degree, 2), "16.4"});
+  table.add_row({"Reciprocity", core::fmt_percent(s.reciprocity), "32%"});
+  table.add_row({"Mean path length", core::fmt_double(s.path_length, 2), "5.9"});
+  table.add_row({"Diameter (lb)", std::to_string(s.diameter_lower_bound), "19"});
+  table.add_row({"Giant SCC", core::fmt_percent(s.giant_scc_fraction), "72%"});
+  table.add_row({"In-degree alpha", core::fmt_double(s.in_alpha, 2), "1.3"});
+  table.add_row({"Out-degree alpha", core::fmt_double(s.out_alpha, 2), "1.2"});
+  out << table.str();
+
+  if (parser.get_flag("attributes")) {
+    out << "\n";
+    core::TextTable attrs({"Attribute", "Available", "%"});
+    for (const auto& row : core::attribute_availability(dataset)) {
+      attrs.add_row({std::string(synth::attribute_name(row.attribute)),
+                     core::fmt_count(row.available),
+                     core::fmt_percent(row.fraction)});
+    }
+    out << attrs.str();
+  }
+  return 0;
+}
+
+int cmd_top(const std::vector<std::string>& args, std::ostream& out) {
+  ArgParser parser("gplus top", "top users by in-degree (Table 1 style)");
+  parser.add_option("in", "gplus.dataset", "dataset file");
+  parser.add_option("k", "20", "list length");
+  if (!parse_or_usage(parser, args, out)) return 2;
+
+  const auto dataset = core::load_dataset(parser.get("in"));
+  const auto top = core::top_users(dataset, parser.get_u64("k"));
+  core::TextTable table({"Rank", "Name", "Occupation", "Country", "In-degree"});
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    table.add_row({std::to_string(i + 1), top[i].name,
+                   std::string(synth::occupation_name(top[i].occupation)),
+                   top[i].country == geo::kNoCountry
+                       ? "?"
+                       : std::string(geo::country(top[i].country).code),
+                   core::fmt_count(top[i].in_degree)});
+  }
+  out << table.str();
+  return 0;
+}
+
+int cmd_crawl(const std::vector<std::string>& args, std::ostream& out) {
+  ArgParser parser("gplus crawl", "simulate the paper's BFS crawl (§2.2)");
+  parser.add_option("in", "gplus.dataset", "dataset file");
+  parser.add_option("coverage", "1.0", "fraction of profiles to expand");
+  parser.add_option("cap", "10000", "public circle-list cap");
+  parser.add_option("machines", "11", "simulated crawl machines");
+  if (!parse_or_usage(parser, args, out)) return 2;
+
+  const auto dataset = core::load_dataset(parser.get("in"));
+  service::ServiceConfig sconfig;
+  sconfig.circle_list_cap =
+      static_cast<std::uint32_t>(parser.get_u64("cap"));
+  service::SocialService svc(&dataset.graph(), dataset.profiles, sconfig);
+
+  crawler::CrawlConfig config;
+  config.seed_node = core::top_users(dataset, 1)[0].node;
+  config.machines = parser.get_u64("machines");
+  const double coverage = parser.get_double("coverage");
+  if (coverage < 1.0) {
+    config.max_profiles = static_cast<std::size_t>(
+        coverage * static_cast<double>(dataset.user_count()));
+  }
+  const auto crawl = crawler::run_bfs_crawl(svc, config);
+  const auto bias = crawler::measure_bias(dataset.graph(), crawl);
+  const auto lost = crawler::estimate_lost_edges(svc, crawl);
+
+  core::TextTable table({"Metric", "Value"});
+  table.add_row({"Profiles crawled", core::fmt_count(crawl.stats.profiles_crawled)});
+  table.add_row({"Boundary nodes", core::fmt_count(crawl.stats.boundary_nodes)});
+  table.add_row({"Edges collected", core::fmt_count(crawl.graph.edge_count())});
+  table.add_row({"Requests", core::fmt_count(crawl.stats.requests)});
+  table.add_row({"Simulated hours",
+                 core::fmt_double(crawl.stats.simulated_hours, 1)});
+  table.add_row({"Degree-bias ratio", core::fmt_double(bias.degree_bias_ratio, 2)});
+  table.add_row({"Edge recall", core::fmt_percent(bias.edge_recall, 1)});
+  table.add_row({"Users over cap", core::fmt_count(lost.users_over_cap)});
+  table.add_row({"Lost-edge fraction", core::fmt_percent(lost.lost_fraction, 2)});
+  out << table.str();
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& args, std::ostream& out) {
+  ArgParser parser("gplus export", "export the dataset for other tools");
+  parser.add_option("in", "gplus.dataset", "dataset file");
+  parser.add_option("out", "edges.txt",
+                    "output file (for csv: the node file; edges go to "
+                    "<out>.edges.csv)");
+  parser.add_option("format", "text", "text, binary, graphml or csv");
+  parser.add_flag("latent", "export latent ground truth instead of the "
+                            "publicly visible view");
+  if (!parse_or_usage(parser, args, out)) return 2;
+
+  const auto dataset = core::load_dataset(parser.get("in"));
+  const std::string& format = parser.get("format");
+  core::ExportOptions options;
+  options.public_view = !parser.get_flag("latent");
+  if (format == "text") {
+    graph::save_text(dataset.graph(), parser.get("out"));
+  } else if (format == "binary") {
+    graph::save_binary(dataset.graph(), parser.get("out"));
+  } else if (format == "graphml") {
+    core::save_graphml(dataset, parser.get("out"), options);
+  } else if (format == "csv") {
+    core::save_csv(dataset, parser.get("out"),
+                   parser.get("out") + ".edges.csv", options);
+  } else {
+    out << "error: unknown format: " << format << "\n";
+    return 2;
+  }
+  out << "wrote " << parser.get("out") << " ("
+      << core::fmt_count(dataset.graph().edge_count()) << " edges, " << format
+      << ")\n";
+  return 0;
+}
+
+int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
+  ArgParser parser("gplus report",
+                   "full markdown reproduction report for a dataset");
+  parser.add_option("in", "gplus.dataset", "dataset file");
+  parser.add_option("out", "", "write to this file instead of stdout");
+  parser.add_option("path-sources", "200", "BFS sources for path sampling");
+  if (!parse_or_usage(parser, args, out)) return 2;
+
+  const auto dataset = core::load_dataset(parser.get("in"));
+  core::ReportOptions options;
+  options.path_sources = parser.get_u64("path-sources");
+  if (parser.get("out").empty()) {
+    core::write_report(dataset, out, options);
+  } else {
+    std::ofstream file(parser.get("out"));
+    if (!file) {
+      out << "error: cannot open " << parser.get("out") << "\n";
+      return 1;
+    }
+    core::write_report(dataset, file, options);
+    out << "wrote " << parser.get("out") << "\n";
+  }
+  return 0;
+}
+
+int run_command(const std::vector<std::string>& args, std::ostream& out) {
+  const std::string usage =
+      "usage: gplus <command> [options]\n\n"
+      "commands:\n"
+      "  generate  build a calibrated synthetic Google+ dataset\n"
+      "  analyze   structural + attribute summary of a dataset\n"
+      "  top       top users by in-degree (Table 1 style)\n"
+      "  crawl     simulate the paper's BFS crawl against the dataset\n"
+      "  export    dump the edge list for other graph tools\n"
+      "  report    full markdown reproduction report\n"
+      "\nrun `gplus <command> --help` semantics: any parse error prints the\n"
+      "command's options.\n";
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << usage;
+    return args.empty() ? 2 : 0;
+  }
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (args[0] == "generate") return cmd_generate(rest, out);
+    if (args[0] == "analyze") return cmd_analyze(rest, out);
+    if (args[0] == "top") return cmd_top(rest, out);
+    if (args[0] == "crawl") return cmd_crawl(rest, out);
+    if (args[0] == "export") return cmd_export(rest, out);
+    if (args[0] == "report") return cmd_report(rest, out);
+  } catch (const std::exception& error) {
+    out << "error: " << error.what() << "\n";
+    return 1;
+  }
+  out << "error: unknown command: " << args[0] << "\n\n" << usage;
+  return 2;
+}
+
+}  // namespace gplus::cli

@@ -1,0 +1,36 @@
+// gplus CLI subcommand implementations.
+//
+// Each command takes raw argument strings and an output stream so the
+// test suite can drive it in-process; the `gplus` binary is a thin
+// dispatcher around run_command().
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gplus::cli {
+
+/// Generates a dataset and writes it to --out.
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out);
+
+/// Loads a dataset and prints the structural + attribute summary.
+int cmd_analyze(const std::vector<std::string>& args, std::ostream& out);
+
+/// Loads a dataset and prints its top users (Table 1 style).
+int cmd_top(const std::vector<std::string>& args, std::ostream& out);
+
+/// Simulates a BFS crawl against the dataset and reports §2.2 statistics.
+int cmd_crawl(const std::vector<std::string>& args, std::ostream& out);
+
+/// Writes the full markdown reproduction report.
+int cmd_report(const std::vector<std::string>& args, std::ostream& out);
+
+/// Exports the dataset's edge list (text or binary).
+int cmd_export(const std::vector<std::string>& args, std::ostream& out);
+
+/// Dispatches `gplus <command> ...`; prints usage on unknown commands.
+/// Returns the process exit code.
+int run_command(const std::vector<std::string>& args, std::ostream& out);
+
+}  // namespace gplus::cli

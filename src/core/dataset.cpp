@@ -1,0 +1,29 @@
+#include "core/dataset.h"
+
+#include "synth/profile_gen.h"
+
+namespace gplus::core {
+
+Dataset make_dataset(const DatasetConfig& config) {
+  Dataset ds;
+  ds.net = synth::generate_network(config.graph, ds.population, ds.world);
+
+  const synth::ProfileGenerator generator(config.profile, ds.population);
+  stats::Rng rng(config.profile.seed);
+  ds.profiles.reserve(ds.net.node_count());
+  for (std::size_t u = 0; u < ds.net.node_count(); ++u) {
+    ds.profiles.push_back(generator.generate(ds.net.country[u],
+                                             ds.net.celebrity[u] != 0,
+                                             ds.net.location[u], rng));
+  }
+  return ds;
+}
+
+Dataset make_standard_dataset(std::size_t nodes, std::uint64_t seed) {
+  DatasetConfig config;
+  config.graph = synth::google_plus_preset(nodes, seed);
+  config.profile.seed = seed ^ 0xC0FFEE;
+  return make_dataset(config);
+}
+
+}  // namespace gplus::core

@@ -1,0 +1,44 @@
+// The assembled synthetic Google+ dataset: graph + profiles + world.
+//
+// This is the object every analysis and bench operates on — the synthetic
+// counterpart of the paper's 27.5M-profile crawl archive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/world.h"
+#include "synth/config.h"
+#include "synth/graph_gen.h"
+#include "synth/population.h"
+#include "synth/profile.h"
+
+namespace gplus::core {
+
+/// Dataset configuration: the network and profile generator knobs.
+struct DatasetConfig {
+  synth::GraphGenConfig graph;
+  synth::ProfileGenConfig profile;
+};
+
+/// A fully generated dataset.
+struct Dataset {
+  synth::GeneratedNetwork net;
+  std::vector<synth::Profile> profiles;  // one per node
+  synth::PopulationModel population;
+  geo::World world;
+
+  const graph::DiGraph& graph() const noexcept { return net.graph; }
+  std::size_t user_count() const noexcept { return profiles.size(); }
+
+  /// True when the user shares "places lived" (the only users §4 can see).
+  bool located(graph::NodeId u) const { return profiles[u].is_located(); }
+};
+
+/// Generates a dataset; deterministic in the config seeds.
+Dataset make_dataset(const DatasetConfig& config);
+
+/// The default paper-calibrated dataset at the given scale.
+Dataset make_standard_dataset(std::size_t nodes, std::uint64_t seed = 42);
+
+}  // namespace gplus::core

@@ -1,0 +1,30 @@
+// Dataset serialization.
+//
+// The paper's authors released their crawl archive "to the wider research
+// community" (§1); the synthetic counterpart deserves the same. A dataset
+// is stored as one binary file: magic/version header, the CSR edge list,
+// then fixed-width per-user profile records. Loading re-attaches the
+// in-memory world/population models (those are code, not data).
+#pragma once
+
+#include <filesystem>
+#include <istream>
+#include <ostream>
+
+#include "core/dataset.h"
+
+namespace gplus::core {
+
+/// Serializes graph + profiles (world/population are rebuilt on load).
+void write_dataset(const Dataset& dataset, std::ostream& out);
+
+/// Reads a dataset written by write_dataset; throws std::runtime_error on
+/// malformed input (bad magic, truncation, out-of-range enums).
+Dataset read_dataset(std::istream& in);
+
+/// File conveniences; throw std::runtime_error when the file cannot be
+/// opened.
+void save_dataset(const Dataset& dataset, const std::filesystem::path& path);
+Dataset load_dataset(const std::filesystem::path& path);
+
+}  // namespace gplus::core

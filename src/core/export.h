@@ -1,0 +1,44 @@
+// Interop exports: GraphML and CSV.
+//
+// The paper's released dataset fed "new projects in social computing and
+// computer network research" (§1) — which in practice means Gephi,
+// NetworkX, igraph and spreadsheets. These writers emit the synthetic
+// dataset in the formats those tools ingest, with profile facts attached
+// as node attributes.
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+
+#include "core/dataset.h"
+
+namespace gplus::core {
+
+/// What to attach to each GraphML/CSV node row.
+struct ExportOptions {
+  bool include_country = true;
+  bool include_occupation = true;
+  bool include_celebrity = true;
+  bool include_coordinates = true;
+  /// Only export attributes the user shared publicly (the crawler's view);
+  /// false exports latent ground truth.
+  bool public_view = true;
+};
+
+/// GraphML with <key> declarations and per-node <data> attributes.
+void write_graphml(const Dataset& dataset, std::ostream& out,
+                   const ExportOptions& options = {});
+
+/// Two CSVs: nodes (id + attributes, header row) and edges (source,target).
+void write_nodes_csv(const Dataset& dataset, std::ostream& out,
+                     const ExportOptions& options = {});
+void write_edges_csv(const Dataset& dataset, std::ostream& out);
+
+/// File conveniences; throw std::runtime_error on unopenable paths.
+void save_graphml(const Dataset& dataset, const std::filesystem::path& path,
+                  const ExportOptions& options = {});
+void save_csv(const Dataset& dataset, const std::filesystem::path& nodes_path,
+              const std::filesystem::path& edges_path,
+              const ExportOptions& options = {});
+
+}  // namespace gplus::core

@@ -1,0 +1,56 @@
+#include "core/hop_analysis.h"
+
+#include "algo/bfs.h"
+#include "stats/expect.h"
+#include "stats/sampling.h"
+
+namespace gplus::core {
+
+using graph::NodeId;
+
+HopGeographySplit measure_hop_geography(const Dataset& ds, std::size_t sources,
+                                        stats::Rng& rng) {
+  GPLUS_EXPECT(sources > 0, "need at least one source");
+
+  std::vector<NodeId> located;
+  for (NodeId u = 0; u < ds.user_count(); ++u) {
+    if (ds.located(u)) located.push_back(u);
+  }
+  HopGeographySplit split;
+  if (located.size() < 2) return split;
+
+  const std::size_t k = std::min(sources, located.size());
+  const auto picks = stats::sample_without_replacement(located.size(), k, rng);
+
+  double domestic_sum = 0.0, international_sum = 0.0;
+  for (std::size_t pick : picks) {
+    const NodeId source = located[pick];
+    const auto country = ds.profiles[source].country;
+    const auto dist = algo::bfs_distances(ds.graph(), source);
+    for (NodeId target : located) {
+      if (target == source) continue;
+      if (dist[target] == algo::kUnreachable) {
+        ++split.unreachable_pairs;
+        continue;
+      }
+      if (ds.profiles[target].country == country) {
+        domestic_sum += dist[target];
+        ++split.domestic_pairs;
+      } else {
+        international_sum += dist[target];
+        ++split.international_pairs;
+      }
+    }
+  }
+  if (split.domestic_pairs > 0) {
+    split.domestic_mean_hops =
+        domestic_sum / static_cast<double>(split.domestic_pairs);
+  }
+  if (split.international_pairs > 0) {
+    split.international_mean_hops =
+        international_sum / static_cast<double>(split.international_pairs);
+  }
+  return split;
+}
+
+}  // namespace gplus::core

@@ -1,0 +1,33 @@
+// Hop distances crossed with geography.
+//
+// Fig 5 measures hops; Fig 9/10 measure miles and country mixing. This
+// analysis joins them: are two users of the same country fewer *hops*
+// apart than users of different countries? It quantifies the paper's
+// claim that the network "largely captures offline social relationships"
+// at the topological level, and supplies the domestic/international
+// latency split a CDN planner (§4.4's motivation) actually needs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "stats/rng.h"
+
+namespace gplus::core {
+
+/// Hop statistics split by whether the endpoints share a country.
+struct HopGeographySplit {
+  double domestic_mean_hops = 0.0;
+  double international_mean_hops = 0.0;
+  std::uint64_t domestic_pairs = 0;
+  std::uint64_t international_pairs = 0;
+  /// Unreachable sampled pairs (excluded from the means).
+  std::uint64_t unreachable_pairs = 0;
+};
+
+/// BFS from `sources` random located users; every reachable located
+/// target contributes one pair, bucketed by country match.
+HopGeographySplit measure_hop_geography(const Dataset& ds, std::size_t sources,
+                                        stats::Rng& rng);
+
+}  // namespace gplus::core

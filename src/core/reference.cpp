@@ -1,0 +1,28 @@
+#include "core/reference.h"
+
+#include <array>
+
+namespace gplus::core {
+
+namespace {
+
+// Table 4 verbatim (the Twitter edge count is as printed in the paper).
+constexpr std::array<ReferenceNetwork, 4> kNetworks = {{
+    {"Google+", 35.1e6, 575.1e6, 0.56, 5.9, 0.32, 19, 16.4, 16.4},
+    {"Facebook", 721e6, 62e9, 1.00, 4.7, 1.00, 41, 190.2, 190.2},
+    {"Twitter", 41.7e6, 106e6, 1.00, 4.1, 0.221, 18, 28.19, 29.34},
+    {"Orkut", 3e6, 223e6, 0.11, 4.3, 1.00, 9, std::nullopt, std::nullopt},
+}};
+
+}  // namespace
+
+std::span<const ReferenceNetwork> reference_networks() { return kNetworks; }
+
+const ReferenceNetwork& google_plus_reference() { return kNetworks[0]; }
+
+const PaperConstants& paper_constants() {
+  static const PaperConstants instance{};
+  return instance;
+}
+
+}  // namespace gplus::core

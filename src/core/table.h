@@ -1,0 +1,35 @@
+// Plain-text table rendering for the bench binaries, which print the same
+// rows the paper's tables report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gplus::core {
+
+/// Column-aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; missing cells render empty, extra cells are rejected.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space gutters.
+  std::string str() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.34" with the given decimals.
+std::string fmt_double(double v, int decimals = 2);
+/// "12.34%" with the given decimals.
+std::string fmt_percent(double fraction, int decimals = 2);
+/// Thousands-separated integer ("27,556,390").
+std::string fmt_count(std::uint64_t v);
+
+}  // namespace gplus::core

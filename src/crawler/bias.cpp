@@ -1,0 +1,56 @@
+#include "crawler/bias.h"
+
+#include "stats/expect.h"
+
+namespace gplus::crawler {
+
+using graph::NodeId;
+
+BiasReport measure_bias(const graph::DiGraph& truth, const CrawlResult& crawl) {
+  GPLUS_EXPECT(truth.node_count() > 0, "ground truth must be non-empty");
+
+  BiasReport report;
+  std::uint64_t truth_degree_sum = 0;
+  for (NodeId u = 0; u < truth.node_count(); ++u) {
+    truth_degree_sum += truth.in_degree(u);
+  }
+  report.truth_mean_in_degree = static_cast<double>(truth_degree_sum) /
+                                static_cast<double>(truth.node_count());
+
+  std::uint64_t sample_degree_sum = 0;
+  std::size_t crawled_count = 0;
+  for (std::size_t dense = 0; dense < crawl.node_count(); ++dense) {
+    if (!crawl.crawled[dense]) continue;
+    const NodeId original = crawl.original_id[dense];
+    truth.check_node(original);
+    sample_degree_sum += truth.in_degree(original);
+    ++crawled_count;
+  }
+  report.coverage = static_cast<double>(crawled_count) /
+                    static_cast<double>(truth.node_count());
+  if (crawled_count > 0) {
+    report.sample_mean_in_degree = static_cast<double>(sample_degree_sum) /
+                                   static_cast<double>(crawled_count);
+  }
+  if (report.truth_mean_in_degree > 0.0) {
+    report.degree_bias_ratio =
+        report.sample_mean_in_degree / report.truth_mean_in_degree;
+  }
+
+  // Edge recall: walk the crawled graph's edges and look them up in truth by
+  // original ids; recall denominates against all ground-truth edges.
+  std::uint64_t found = 0;
+  for (NodeId u = 0; u < crawl.graph.node_count(); ++u) {
+    const NodeId orig_u = crawl.original_id[u];
+    for (NodeId v : crawl.graph.out_neighbors(u)) {
+      if (truth.has_edge(orig_u, crawl.original_id[v])) ++found;
+    }
+  }
+  if (truth.edge_count() > 0) {
+    report.edge_recall =
+        static_cast<double>(found) / static_cast<double>(truth.edge_count());
+  }
+  return report;
+}
+
+}  // namespace gplus::crawler

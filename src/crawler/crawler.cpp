@@ -1,0 +1,123 @@
+#include "crawler/crawler.h"
+
+#include <limits>
+
+#include "stats/expect.h"
+
+namespace gplus::crawler {
+
+using graph::NodeId;
+
+CrawlResult run_bfs_crawl(service::SocialService& service,
+                          const CrawlConfig& config) {
+  const std::size_t universe = service.user_count();
+  GPLUS_EXPECT(universe > 0, "service has no users");
+  GPLUS_EXPECT(config.seed_node < universe, "seed node out of range");
+  GPLUS_EXPECT(config.machines > 0, "need at least one crawl machine");
+
+  constexpr NodeId kUnseen = std::numeric_limits<NodeId>::max();
+  std::vector<NodeId> new_id(universe, kUnseen);  // dense id by first sight
+
+  CrawlResult result;
+  auto see = [&](NodeId original) -> NodeId {
+    if (new_id[original] == kUnseen) {
+      new_id[original] = static_cast<NodeId>(result.original_id.size());
+      result.original_id.push_back(original);
+      result.crawled.push_back(0);
+    }
+    return new_id[original];
+  };
+
+  // FIFO frontier over dense ids; every seen node enters exactly once, so a
+  // cursor into original_id doubles as the BFS queue.
+  std::size_t queue_head = 0;
+  see(config.seed_node);
+
+  graph::GraphBuilder edges;
+  CrawlStats& stats = result.stats;
+  stats.requests = 0;
+
+  stats::Rng latency_rng(config.seed);
+  double simulated_ms_serial = 0.0;
+  const std::uint64_t requests_before = service.request_count();
+
+  while (queue_head < result.original_id.size()) {
+    if (config.max_profiles != 0 && stats.profiles_crawled >= config.max_profiles) {
+      break;
+    }
+    const NodeId dense_u = static_cast<NodeId>(queue_head);
+    const NodeId u = result.original_id[queue_head++];
+    result.crawled[dense_u] = 1;
+    ++stats.profiles_crawled;
+
+    const service::ProfilePage page = service.fetch_profile(u);
+    if (!page.lists_public) {
+      ++stats.hidden_list_users;
+      continue;
+    }
+
+    bool capped = false;
+    // Followees: edge u -> v.
+    {
+      const auto list =
+          service.fetch_full_list(u, service::ListKind::kInTheirCircles);
+      capped |= list.size() < page.in_their_circles_total;
+      for (NodeId v : list) {
+        edges.add_edge(dense_u, see(v));
+        ++stats.edges_collected;
+      }
+    }
+    // Followers: edge v -> u (the bidirectional half that recovers edges
+    // lost to other users' caps or privacy).
+    if (config.bidirectional) {
+      const auto list =
+          service.fetch_full_list(u, service::ListKind::kHaveInCircles);
+      capped |= list.size() < page.have_in_circles_total;
+      for (NodeId v : list) {
+        edges.add_edge(see(v), dense_u);
+        ++stats.edges_collected;
+      }
+    }
+    if (capped) ++stats.capped_users;
+  }
+
+  stats.requests = service.request_count() - requests_before;
+  for (std::uint64_t i = 0; i < stats.requests; ++i) {
+    simulated_ms_serial +=
+        latency_rng.next_exponential(1.0 / config.mean_request_latency_ms);
+  }
+  stats.simulated_hours =
+      simulated_ms_serial / static_cast<double>(config.machines) / 3.6e6;
+  stats.boundary_nodes = result.original_id.size() - stats.profiles_crawled;
+
+  // Ensure isolated seen nodes (e.g. a hidden-list seed) are representable.
+  if (!result.original_id.empty()) {
+    edges.ensure_node(static_cast<NodeId>(result.original_id.size() - 1));
+  }
+  result.graph = edges.build();
+  return result;
+}
+
+LostEdgeEstimate estimate_lost_edges(service::SocialService& service,
+                                     const CrawlResult& crawl) {
+  LostEdgeEstimate est;
+  const auto cap = service.config().circle_list_cap;
+  for (std::size_t dense = 0; dense < crawl.node_count(); ++dense) {
+    if (!crawl.crawled[dense]) continue;
+    const auto page = service.fetch_profile(crawl.original_id[dense]);
+    if (page.have_in_circles_total <= cap) continue;
+    ++est.users_over_cap;
+    est.displayed_total += page.have_in_circles_total;
+    est.collected_total += crawl.graph.in_degree(static_cast<NodeId>(dense));
+  }
+  const std::uint64_t missing = est.displayed_total > est.collected_total
+                                    ? est.displayed_total - est.collected_total
+                                    : 0;
+  const std::uint64_t total_edges = crawl.graph.edge_count();
+  est.lost_fraction =
+      total_edges == 0 ? 0.0
+                       : static_cast<double>(missing) / static_cast<double>(total_edges);
+  return est;
+}
+
+}  // namespace gplus::crawler

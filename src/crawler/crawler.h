@@ -1,0 +1,89 @@
+// Bidirectional BFS crawler over the simulated service (§2.2).
+//
+// Reproduces the paper's collection methodology: start from a single seed
+// profile, fetch its public in- and out-circle lists (bidirectional BFS),
+// enqueue every newly seen user, and repeat until the budget or the
+// reachable set is exhausted. A simulated worker pool (the paper used 11
+// machines) with a latency model converts request counts into crawl
+// wall-clock. The crawler never touches the ground-truth graph directly —
+// only through the service's fetch API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/digraph.h"
+#include "service/service.h"
+#include "stats/rng.h"
+
+namespace gplus::crawler {
+
+/// Crawl parameters.
+struct CrawlConfig {
+  /// Profile to start from (the paper seeded with Mark Zuckerberg).
+  graph::NodeId seed_node = 0;
+  /// Stop after expanding this many profiles (0 = crawl everything
+  /// reachable).
+  std::size_t max_profiles = 0;
+  /// Follow the followers list (in-circles) as well as followees.
+  bool bidirectional = true;
+  /// Simulated crawl machines working the frontier concurrently.
+  std::size_t machines = 11;
+  /// Mean simulated latency per fetch request, milliseconds.
+  double mean_request_latency_ms = 150.0;
+  /// Seed for the latency model.
+  std::uint64_t seed = 11;
+};
+
+/// Crawl outcome statistics.
+struct CrawlStats {
+  /// Profiles whose page + lists were fetched ("crawled").
+  std::size_t profiles_crawled = 0;
+  /// Users seen in someone's list but never expanded (frontier + cap-hidden
+  /// discoveries). The paper's graph has 35.1M nodes of which 27.5M were
+  /// crawled; the rest are exactly this boundary.
+  std::size_t boundary_nodes = 0;
+  /// Directed edges collected (before dedup).
+  std::uint64_t edges_collected = 0;
+  /// Fetch requests issued.
+  std::uint64_t requests = 0;
+  /// Simulated wall-clock, hours, given the worker pool and latency model.
+  double simulated_hours = 0.0;
+  /// Users whose lists were private.
+  std::size_t hidden_list_users = 0;
+  /// Users with at least one list truncated by the service cap.
+  std::size_t capped_users = 0;
+};
+
+/// Result of a crawl: the collected graph over the *seen* universe with
+/// dense relabeled ids, plus bookkeeping to map back.
+struct CrawlResult {
+  graph::DiGraph graph;
+  /// original service id of each crawled-graph node.
+  std::vector<graph::NodeId> original_id;
+  /// crawled[new_id]: the node was expanded (true) vs only seen (false).
+  std::vector<std::uint8_t> crawled;
+  CrawlStats stats;
+
+  std::size_t node_count() const noexcept { return original_id.size(); }
+};
+
+/// Runs the BFS crawl against `service`.
+CrawlResult run_bfs_crawl(service::SocialService& service, const CrawlConfig& config);
+
+/// §2.2's lost-edge estimate: for every crawled user whose displayed
+/// follower total exceeds the collected edges, accumulate the difference;
+/// the estimate is (sum of differences) / (collected edges + differences).
+/// The paper reports 1.6%.
+struct LostEdgeEstimate {
+  std::uint64_t displayed_total = 0;  // followers shown on capped profiles
+  std::uint64_t collected_total = 0;  // edges actually gathered for them
+  std::uint64_t users_over_cap = 0;   // profiles with > cap followers
+  double lost_fraction = 0.0;         // missing / all collected edges
+};
+
+LostEdgeEstimate estimate_lost_edges(service::SocialService& service,
+                                     const CrawlResult& crawl);
+
+}  // namespace gplus::crawler

@@ -1,0 +1,69 @@
+// Alternative user-sampling strategies over the service API.
+//
+// §2.2 admits that BFS "exhibits several well-known limitations such as
+// the bias towards sampling high degree nodes", citing Gjoka et al. [18]
+// and Ribeiro-Towsley [35] — the random-walk literature. This module
+// implements those alternatives against the same simulated service so the
+// bias claims can be verified head-to-head:
+//
+//  * kBfs            — frontier expansion, the paper's method;
+//  * kRandomWalk     — simple random walk on the undirected view
+//                      (stationary distribution proportional to degree:
+//                      biased, but differently from BFS);
+//  * kMetropolisHastings — MHRW with acceptance min(1, deg(u)/deg(v)),
+//                      whose stationary distribution is uniform: the
+//                      unbiased estimator of [18];
+//  * kUniformOracle  — direct uniform node sampling. Impossible against
+//                      the real service (numeric user ids were not
+//                      enumerable at crawl time, as §2.2 notes) but
+//                      available in simulation as the gold baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/service.h"
+#include "stats/rng.h"
+
+namespace gplus::crawler {
+
+enum class SamplerKind : std::uint8_t {
+  kBfs,
+  kRandomWalk,
+  kMetropolisHastings,
+  kUniformOracle,
+};
+
+/// Human-readable sampler name.
+std::string_view sampler_name(SamplerKind kind) noexcept;
+
+/// Outcome of a sampling run.
+struct SampleResult {
+  /// Distinct users visited, in first-visit order.
+  std::vector<graph::NodeId> users;
+  /// Total walk steps / expansions performed.
+  std::uint64_t steps = 0;
+  /// Service requests consumed.
+  std::uint64_t requests = 0;
+  /// Mean *displayed* in-degree over the distinct sampled users — the
+  /// statistic whose bias the samplers differ on.
+  double mean_in_degree = 0.0;
+};
+
+/// Sampling options.
+struct SamplerOptions {
+  graph::NodeId seed_node = 0;
+  /// Distinct users to collect.
+  std::size_t target_users = 1000;
+  /// Abort safety valve: stop after this many steps even if short.
+  std::uint64_t max_steps = 0;  // 0 = 200 * target_users
+  /// Random-walk teleport probability (escapes sink pockets).
+  double teleport = 0.02;
+  std::uint64_t rng_seed = 99;
+};
+
+/// Runs the chosen sampler against the service.
+SampleResult sample_users(service::SocialService& service, SamplerKind kind,
+                          const SamplerOptions& options);
+
+}  // namespace gplus::crawler

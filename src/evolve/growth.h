@@ -1,0 +1,142 @@
+// Temporal growth simulation — the paper's first future-work item.
+//
+// §7: "we are interested in measuring the speed at which a new social
+// network service grows and whether we can predict the phase transitions
+// in the growth sparks … by collecting multiple snapshots of the Google+
+// topology." §2.1 describes the two adoption phases the real service went
+// through: a 90-day invite-only field trial growing virally through
+// social contacts, then the open sign-up of September 20, 2011.
+//
+// This module simulates that timeline — invite-tree viral growth, the
+// open-signup discontinuity, logistic saturation, dormant churn — and
+// produces time-stamped edges so any day's topology can be snapshotted
+// and run through the standard analysis pipeline. The snapshot series
+// reproduces the two classic temporal laws the paper cites via [28]
+// (Leskovec et al.): densification (e(t) ∝ n(t)^a with a > 1) and the
+// non-increasing effective diameter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "stats/regression.h"
+#include "stats/rng.h"
+
+namespace gplus::evolve {
+
+/// Growth-simulation parameters.
+struct GrowthConfig {
+  /// Users registered by the final day.
+  std::size_t final_node_count = 50'000;
+  /// Simulated days (the paper's crawl landed around day ~180).
+  int days = 180;
+  /// Invite-only field-trial length (§2.1: 90 days).
+  int invite_only_days = 90;
+  /// Fraction of final users already present when open sign-up starts
+  /// (the viral phase reached ~10% of the year-end base).
+  double invite_phase_share = 0.10;
+  /// Daily exponential growth rate during the invite phase.
+  double viral_growth_rate = 0.05;
+  /// Logistic steepness of post-open adoption.
+  double open_adoption_steepness = 0.045;
+
+  // -- Edge dynamics ---------------------------------------------------------
+  /// Planned adds per user: Pareto(xmin, alpha) as in the static model.
+  double out_alpha = 1.05;
+  double out_xmin = 4.2;
+  std::uint32_t out_degree_cap = 5'000;
+  /// Audience-fitness tail (in-degree distribution).
+  double fitness_alpha = 0.95;
+  /// Fraction of planned adds executed on the join day; the rest spread
+  /// over the activity window.
+  double join_day_burst = 0.5;
+  /// Days over which the remaining adds trickle out.
+  int activity_window_days = 60;
+  /// Probability a trickled add closes a friend-of-friend triangle.
+  double triadic_closure = 0.45;
+  /// Probability an add is reciprocated.
+  double reciprocation = 0.25;
+  /// Share of accounts that never add anyone.
+  double dormant_fraction = 0.25;
+
+  std::uint64_t seed = 42;
+};
+
+/// A time-stamped growth run: users with join days and chronologically
+/// ordered edges, snapshot-able at any day.
+class GrowthSimulation {
+ public:
+  /// Runs the whole simulation (deterministic in config.seed).
+  explicit GrowthSimulation(const GrowthConfig& config);
+
+  int days() const noexcept { return config_.days; }
+  const GrowthConfig& config() const noexcept { return config_; }
+
+  /// Users registered on or before `day` (days are 1-based; day 0 = 0).
+  std::size_t node_count_at(int day) const;
+
+  /// Edges created on or before `day`.
+  std::uint64_t edge_count_at(int day) const;
+
+  /// Topology on `day`: graph over the full final id space with the edges
+  /// existing by then (users not yet joined are isolated ids above the
+  /// joined prefix — node ids are assigned in join order).
+  graph::DiGraph snapshot(int day) const;
+
+  /// Join day of each user (1-based), indexed by node id (ids are in join
+  /// order, so this vector is non-decreasing).
+  const std::vector<int>& join_days() const noexcept { return join_day_; }
+
+ private:
+  GrowthConfig config_;
+  std::vector<int> join_day_;               // per node, non-decreasing
+  std::vector<graph::Edge> edges_;          // chronological
+  std::vector<int> edge_day_;               // day of each edge (sorted)
+  std::vector<std::uint64_t> nodes_by_day_; // cumulative users per day
+  std::vector<std::uint64_t> edges_by_day_; // cumulative edges per day
+};
+
+/// Metrics of one snapshot.
+struct GrowthMetrics {
+  int day = 0;
+  std::size_t nodes = 0;       // joined users
+  std::uint64_t edges = 0;
+  double mean_degree = 0.0;    // edges / joined users
+  /// 90th-percentile sampled undirected pairwise distance ([28]'s
+  /// "effective diameter").
+  double effective_diameter = 0.0;
+  /// Giant weakly-connected component share of joined users.
+  double giant_wcc_fraction = 0.0;
+};
+
+/// Measures the snapshot series at the given days (each day > 0,
+/// ascending). `distance_sources` bounds the BFS sample per snapshot.
+std::vector<GrowthMetrics> measure_growth(const GrowthSimulation& sim,
+                                          const std::vector<int>& snapshot_days,
+                                          std::size_t distance_sources,
+                                          stats::Rng& rng);
+
+/// Densification-law fit over a metrics series: log10 e(t) vs log10 n(t);
+/// slope a in (1, 2) reproduces [28]. Requires >= 2 points with nodes > 0.
+stats::LinearFit densification_fit(const std::vector<GrowthMetrics>& series);
+
+/// Adoption-curve features — the "phase transition" signals §7 wants to
+/// detect from snapshots.
+struct AdoptionCurve {
+  /// New registrations per day (index = day, [0] unused).
+  std::vector<std::uint64_t> daily_new;
+  /// Day with the most new registrations.
+  int peak_day = 0;
+  /// Day with the largest day-over-day growth jump — in this model, the
+  /// open-sign-up discontinuity.
+  int transition_day = 0;
+  /// Day after which daily growth first falls below 10% of the peak (the
+  /// "dormant phase" onset); 0 if never within the simulated window.
+  int saturation_day = 0;
+};
+
+/// Extracts the adoption curve and its detected phase transitions.
+AdoptionCurve adoption_curve(const GrowthSimulation& sim);
+
+}  // namespace gplus::evolve

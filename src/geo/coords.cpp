@@ -1,0 +1,34 @@
+#include "geo/coords.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace gplus::geo {
+
+namespace {
+
+constexpr double radians(double deg) noexcept {
+  return deg * std::numbers::pi / 180.0;
+}
+
+}  // namespace
+
+double haversine_miles(const LatLon& a, const LatLon& b) noexcept {
+  const double lat1 = radians(a.lat);
+  const double lat2 = radians(b.lat);
+  const double dlat = radians(b.lat - a.lat);
+  const double dlon = radians(b.lon - a.lon);
+  const double s = std::sin(dlat / 2.0);
+  const double t = std::sin(dlon / 2.0);
+  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  // Clamp for numerical safety near antipodal points.
+  const double root = std::sqrt(std::min(1.0, h));
+  return 2.0 * kEarthRadiusMiles * std::asin(root);
+}
+
+bool is_valid(const LatLon& p) noexcept {
+  return p.lat >= -90.0 && p.lat <= 90.0 && p.lon >= -180.0 && p.lon <= 180.0;
+}
+
+}  // namespace gplus::geo

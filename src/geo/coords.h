@@ -1,0 +1,27 @@
+// Geographic coordinates and great-circle distance.
+//
+// §4.4 computes "path miles" — the physical distance between pairs of users
+// geocoded from the "places lived" field. We use the haversine formula on a
+// spherical Earth, in statute miles to match the paper's axes.
+#pragma once
+
+namespace gplus::geo {
+
+/// Mean Earth radius in statute miles.
+inline constexpr double kEarthRadiusMiles = 3958.7613;
+
+/// A latitude/longitude pair in degrees.
+struct LatLon {
+  double lat = 0.0;  // [-90, 90]
+  double lon = 0.0;  // [-180, 180]
+
+  friend bool operator==(const LatLon&, const LatLon&) = default;
+};
+
+/// Great-circle distance between two points in statute miles (haversine).
+double haversine_miles(const LatLon& a, const LatLon& b) noexcept;
+
+/// True when the point is a plausible Earth coordinate.
+bool is_valid(const LatLon& p) noexcept;
+
+}  // namespace gplus::geo

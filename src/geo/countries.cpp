@@ -1,0 +1,225 @@
+#include "geo/countries.h"
+
+#include <array>
+
+#include "stats/expect.h"
+
+namespace gplus::geo {
+
+std::string_view region_name(Region region) noexcept {
+  switch (region) {
+    case Region::kNorthAmerica: return "North America";
+    case Region::kLatinAmerica: return "Latin America";
+    case Region::kEurope: return "Europe";
+    case Region::kAsia: return "Asia";
+    case Region::kOceania: return "Oceania";
+    case Region::kMiddleEast: return "Middle East";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// 2011-era statistics: population (UN/Census estimates), Internet
+// penetration (internetworldstats.com, the paper's §4.1 source), GDP per
+// capita PPP (IMF/World Bank). City weights are rough metro-population
+// ratios; they only shape within-country distance sampling.
+std::vector<Country> build_table() {
+  std::vector<Country> t;
+  t.push_back({"US", "United States", Region::kNorthAmerica, 312000000, 0.783,
+               48100.0, "en",
+               {{"New York", {40.71, -74.01}, 19.0},
+                {"Los Angeles", {34.05, -118.24}, 12.9},
+                {"Chicago", {41.88, -87.63}, 9.5},
+                {"Houston", {29.76, -95.37}, 6.1},
+                {"San Francisco", {37.77, -122.42}, 4.4},
+                {"Miami", {25.76, -80.19}, 5.6},
+                {"Seattle", {47.61, -122.33}, 3.5},
+                {"Atlanta", {33.75, -84.39}, 5.3}}});
+  t.push_back({"IN", "India", Region::kAsia, 1210000000, 0.085, 3700.0, "hi",
+               {{"Mumbai", {19.08, 72.88}, 20.7},
+                {"Delhi", {28.61, 77.21}, 21.8},
+                {"Bangalore", {12.97, 77.59}, 8.5},
+                {"Hyderabad", {17.39, 78.49}, 7.7},
+                {"Chennai", {13.08, 80.27}, 8.7},
+                {"Kolkata", {22.57, 88.36}, 14.1}}});
+  t.push_back({"BR", "Brazil", Region::kLatinAmerica, 196600000, 0.451, 11900.0,
+               "pt",
+               {{"Sao Paulo", {-23.55, -46.63}, 19.9},
+                {"Rio de Janeiro", {-22.91, -43.17}, 11.9},
+                {"Belo Horizonte", {-19.92, -43.94}, 5.4},
+                {"Brasilia", {-15.78, -47.93}, 3.7},
+                {"Porto Alegre", {-30.03, -51.23}, 4.0},
+                {"Recife", {-8.05, -34.88}, 3.7}}});
+  t.push_back({"GB", "United Kingdom", Region::kEurope, 62700000, 0.840,
+               36300.0, "en",
+               {{"London", {51.51, -0.13}, 13.6},
+                {"Manchester", {53.48, -2.24}, 2.6},
+                {"Birmingham", {52.49, -1.89}, 2.4},
+                {"Glasgow", {55.86, -4.25}, 1.2},
+                {"Leeds", {53.80, -1.55}, 1.8}}});
+  t.push_back({"CA", "Canada", Region::kNorthAmerica, 34500000, 0.814, 41000.0,
+               "en",
+               {{"Toronto", {43.65, -79.38}, 5.6},
+                {"Montreal", {45.50, -73.57}, 3.8},
+                {"Vancouver", {49.28, -123.12}, 2.3},
+                {"Calgary", {51.05, -114.07}, 1.2},
+                {"Ottawa", {45.42, -75.70}, 1.2}}});
+  t.push_back({"DE", "Germany", Region::kEurope, 81800000, 0.829, 38500.0, "de",
+               {{"Berlin", {52.52, 13.40}, 4.3},
+                {"Hamburg", {53.55, 9.99}, 3.0},
+                {"Munich", {48.14, 11.58}, 2.6},
+                {"Cologne", {50.94, 6.96}, 2.0},
+                {"Frankfurt", {50.11, 8.68}, 2.2}}});
+  t.push_back({"ID", "Indonesia", Region::kAsia, 242000000, 0.181, 4700.0, "id",
+               {{"Jakarta", {-6.21, 106.85}, 28.0},
+                {"Surabaya", {-7.25, 112.75}, 5.6},
+                {"Bandung", {-6.91, 107.61}, 6.9},
+                {"Medan", {3.59, 98.67}, 4.1}}});
+  t.push_back({"MX", "Mexico", Region::kLatinAmerica, 114800000, 0.365,
+               15100.0, "es",
+               {{"Mexico City", {19.43, -99.13}, 20.1},
+                {"Guadalajara", {20.67, -103.35}, 4.4},
+                {"Monterrey", {25.69, -100.32}, 4.1},
+                {"Puebla", {19.04, -98.20}, 2.7}}});
+  t.push_back({"IT", "Italy", Region::kEurope, 60800000, 0.583, 30500.0, "it",
+               {{"Rome", {41.90, 12.50}, 4.3},
+                {"Milan", {45.46, 9.19}, 5.2},
+                {"Naples", {40.85, 14.27}, 3.1},
+                {"Turin", {45.07, 7.69}, 1.8}}});
+  t.push_back({"ES", "Spain", Region::kEurope, 46200000, 0.671, 30800.0, "es",
+               {{"Madrid", {40.42, -3.70}, 6.5},
+                {"Barcelona", {41.39, 2.17}, 5.4},
+                {"Valencia", {39.47, -0.38}, 1.6},
+                {"Seville", {37.39, -5.99}, 1.5}}});
+  t.push_back({"RU", "Russia", Region::kEurope, 142900000, 0.490, 17000.0, "ru",
+               {{"Moscow", {55.76, 37.62}, 15.5},
+                {"Saint Petersburg", {59.93, 30.34}, 5.0},
+                {"Novosibirsk", {55.03, 82.92}, 1.5},
+                {"Yekaterinburg", {56.84, 60.65}, 1.4}}});
+  t.push_back({"FR", "France", Region::kEurope, 65300000, 0.799, 35500.0, "fr",
+               {{"Paris", {48.86, 2.35}, 12.2},
+                {"Lyon", {45.76, 4.84}, 2.2},
+                {"Marseille", {43.30, 5.37}, 1.7},
+                {"Toulouse", {43.60, 1.44}, 1.2}}});
+  t.push_back({"VN", "Vietnam", Region::kAsia, 87800000, 0.334, 3400.0, "vi",
+               {{"Ho Chi Minh City", {10.82, 106.63}, 7.4},
+                {"Hanoi", {21.03, 105.85}, 6.6},
+                {"Da Nang", {16.05, 108.21}, 1.0}}});
+  t.push_back({"CN", "China", Region::kAsia, 1344000000, 0.384, 8500.0, "zh",
+               {{"Shanghai", {31.23, 121.47}, 23.0},
+                {"Beijing", {39.90, 116.41}, 20.7},
+                {"Guangzhou", {23.13, 113.26}, 12.7},
+                {"Shenzhen", {22.54, 114.06}, 10.4},
+                {"Chengdu", {30.57, 104.07}, 7.7}}});
+  t.push_back({"TH", "Thailand", Region::kAsia, 66800000, 0.300, 9700.0, "th",
+               {{"Bangkok", {13.76, 100.50}, 8.3},
+                {"Chiang Mai", {18.79, 98.99}, 1.0},
+                {"Khon Kaen", {16.43, 102.84}, 0.4}}});
+  t.push_back({"JP", "Japan", Region::kAsia, 127800000, 0.800, 34300.0, "ja",
+               {{"Tokyo", {35.68, 139.69}, 35.7},
+                {"Osaka", {34.69, 135.50}, 19.3},
+                {"Nagoya", {35.18, 136.91}, 9.1},
+                {"Fukuoka", {33.59, 130.40}, 5.6}}});
+  t.push_back({"TW", "Taiwan", Region::kAsia, 23200000, 0.752, 38500.0, "zh",
+               {{"Taipei", {25.03, 121.57}, 6.9},
+                {"Kaohsiung", {22.63, 120.30}, 2.8},
+                {"Taichung", {24.15, 120.67}, 2.7}}});
+  t.push_back({"AR", "Argentina", Region::kLatinAmerica, 40700000, 0.670,
+               17700.0, "es",
+               {{"Buenos Aires", {-34.60, -58.38}, 13.1},
+                {"Cordoba", {-31.42, -64.18}, 1.5},
+                {"Rosario", {-32.94, -60.64}, 1.3}}});
+  t.push_back({"AU", "Australia", Region::kOceania, 22300000, 0.792, 40800.0,
+               "en",
+               {{"Sydney", {-33.87, 151.21}, 4.6},
+                {"Melbourne", {-37.81, 144.96}, 4.1},
+                {"Brisbane", {-27.47, 153.03}, 2.1},
+                {"Perth", {-31.95, 115.86}, 1.7}}});
+  t.push_back({"IR", "Iran", Region::kMiddleEast, 75000000, 0.210, 13100.0,
+               "fa",
+               {{"Tehran", {35.69, 51.39}, 8.2},
+                {"Mashhad", {36.30, 59.61}, 2.8},
+                {"Isfahan", {32.65, 51.67}, 1.9}}});
+  t.push_back({"KR", "South Korea", Region::kAsia, 49800000, 0.828, 31700.0,
+               "ko",
+               {{"Seoul", {37.57, 126.98}, 23.6},
+                {"Busan", {35.18, 129.08}, 3.4},
+                {"Incheon", {37.46, 126.71}, 2.8}}});
+  t.push_back({"NL", "Netherlands", Region::kEurope, 16700000, 0.892, 42300.0,
+               "nl",
+               {{"Amsterdam", {52.37, 4.90}, 2.3},
+                {"Rotterdam", {51.92, 4.48}, 1.2},
+                {"The Hague", {52.08, 4.31}, 1.0}}});
+  t.push_back({"TR", "Turkey", Region::kMiddleEast, 73600000, 0.425, 14600.0,
+               "tr",
+               {{"Istanbul", {41.01, 28.98}, 13.3},
+                {"Ankara", {39.93, 32.86}, 4.6},
+                {"Izmir", {38.42, 27.13}, 3.4}}});
+  t.push_back({"PH", "Philippines", Region::kAsia, 94000000, 0.290, 4100.0,
+               "tl",
+               {{"Manila", {14.60, 120.98}, 11.9},
+                {"Cebu", {10.32, 123.89}, 2.6},
+                {"Davao", {7.07, 125.61}, 1.5}}});
+  // Aggregate of the ~150 long-tail countries that Table 3 folds into
+  // "Other": major metros spread across continents so the distance and
+  // mixing analyses see realistic geography. Population / penetration /
+  // GDP are tail-weighted world aggregates.
+  t.push_back({"ZZ", "Rest of world", Region::kAsia, 2500000000, 0.20, 8000.0,
+               "xx",
+               {{"Lagos", {6.52, 3.38}, 12.0},
+                {"Cairo", {30.04, 31.24}, 16.0},
+                {"Karachi", {24.86, 67.01}, 14.0},
+                {"Dhaka", {23.81, 90.41}, 14.0},
+                {"Bogota", {4.71, -74.07}, 8.0},
+                {"Lima", {-12.05, -77.04}, 8.5},
+                {"Kyiv", {50.45, 30.52}, 2.9},
+                {"Warsaw", {52.23, 21.01}, 1.7},
+                {"Kuala Lumpur", {3.14, 101.69}, 6.9},
+                {"Johannesburg", {-26.20, 28.05}, 7.9},
+                {"Nairobi", {-1.29, 36.82}, 3.1},
+                {"Stockholm", {59.33, 18.07}, 1.4}},
+               /*aggregate=*/true});
+  return t;
+}
+
+const std::vector<Country>& table() {
+  static const std::vector<Country> instance = build_table();
+  return instance;
+}
+
+}  // namespace
+
+std::span<const Country> countries() { return table(); }
+
+CountryId country_count() noexcept {
+  return static_cast<CountryId>(table().size());
+}
+
+std::optional<CountryId> find_country(std::string_view code) noexcept {
+  const auto& t = table();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].code == code) return static_cast<CountryId>(i);
+  }
+  return std::nullopt;
+}
+
+const Country& country(CountryId id) {
+  GPLUS_EXPECT(id < country_count(), "country id out of range");
+  return table()[id];
+}
+
+std::span<const CountryId> paper_top10() {
+  static const std::array<CountryId, 10> ids = [] {
+    std::array<CountryId, 10> out{};
+    constexpr std::array<std::string_view, 10> codes = {
+        "US", "IN", "BR", "GB", "CA", "DE", "ID", "MX", "IT", "ES"};
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      out[i] = *find_country(codes[i]);
+    }
+    return out;
+  }();
+  return ids;
+}
+
+}  // namespace gplus::geo

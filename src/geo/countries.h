@@ -1,0 +1,87 @@
+// Embedded world table: the country-level statistics the paper joins its
+// crawl against (§4.1 uses internetworldstats.com population / Internet-user
+// counts and GDP per capita at purchasing-power parity, all 2011-era).
+//
+// Figures 6, 7a and 7b depend on exactly these denominators; the values here
+// are the publicly documented 2011 estimates rounded to the precision the
+// paper's plots can resolve.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "geo/coords.h"
+
+namespace gplus::geo {
+
+/// World region, for Figure 7's legend groups.
+enum class Region : std::uint8_t {
+  kNorthAmerica,
+  kLatinAmerica,
+  kEurope,
+  kAsia,
+  kOceania,
+  kMiddleEast,
+};
+
+/// Human-readable region label ("North America", ...).
+std::string_view region_name(Region region) noexcept;
+
+/// A city with sampling weight; synthetic users of a country live in (a
+/// jittered neighborhood of) one of its cities.
+struct City {
+  std::string_view name;
+  LatLon location;
+  /// Relative probability a user of the country lives here.
+  double weight = 1.0;
+};
+
+/// Country master record.
+struct Country {
+  std::string_view code;  // ISO 3166-1 alpha-2 ("ZZ" for the aggregate)
+  std::string_view name;
+  Region region = Region::kEurope;
+  std::uint64_t population = 0;        // 2011 estimate
+  double internet_penetration = 0.0;   // fraction of population online, 2011
+  double gdp_per_capita_ppp = 0.0;     // USD, 2011
+  std::string_view primary_language;   // ISO 639-1
+  std::vector<City> cities;            // non-empty
+  /// True for the "Rest of world" pseudo-entry that aggregates the long
+  /// tail of countries the paper folds into "Other". Excluded from
+  /// per-country rankings (Fig 6 / Fig 7) but contributes users, edges and
+  /// the Table 3 "Other" mass.
+  bool aggregate = false;
+
+  /// Estimated Internet users = population * internet_penetration.
+  double internet_population() const noexcept {
+    return static_cast<double>(population) * internet_penetration;
+  }
+};
+
+/// The embedded table (24 countries covering every country named in the
+/// paper's figures, plus a few high-population extras for the tail).
+/// Stable order; index into it is the project's CountryId.
+std::span<const Country> countries();
+
+/// Dense country identifier = index into countries(). kNoCountry marks users
+/// who did not share a usable "places lived" field.
+using CountryId = std::uint16_t;
+inline constexpr CountryId kNoCountry = 0xFFFF;
+
+/// Number of embedded countries.
+CountryId country_count() noexcept;
+
+/// Lookup by ISO code ("US"); nullopt when absent.
+std::optional<CountryId> find_country(std::string_view code) noexcept;
+
+/// Access a country record by id (must be < country_count()).
+const Country& country(CountryId id);
+
+/// Ids of the paper's Figure 6 top-10 dataset countries, in the paper's
+/// order: US IN BR GB CA DE ID MX IT ES.
+std::span<const CountryId> paper_top10();
+
+}  // namespace gplus::geo

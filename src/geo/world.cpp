@@ -1,0 +1,81 @@
+#include "geo/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "stats/expect.h"
+
+namespace gplus::geo {
+
+World::World(double jitter_miles) : jitter_miles_(jitter_miles) {
+  GPLUS_EXPECT(jitter_miles >= 0.0, "jitter must be nonnegative");
+  const auto all = countries();
+  city_samplers_.reserve(all.size());
+  centroids_.reserve(all.size());
+  for (const Country& c : all) {
+    GPLUS_EXPECT(!c.cities.empty(), "country must have at least one city");
+    std::vector<double> weights;
+    weights.reserve(c.cities.size());
+    double wsum = 0.0, lat = 0.0, lon = 0.0;
+    for (const City& city : c.cities) {
+      weights.push_back(city.weight);
+      wsum += city.weight;
+      lat += city.location.lat * city.weight;
+      lon += city.location.lon * city.weight;
+    }
+    city_samplers_.emplace_back(std::span<const double>(weights));
+    centroids_.push_back({lat / wsum, lon / wsum});
+  }
+
+  const std::size_t n = all.size();
+  pair_distance_.resize(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      pair_distance_[i * n + j] = haversine_miles(centroids_[i], centroids_[j]);
+    }
+  }
+}
+
+std::size_t World::sample_city(CountryId country_id, stats::Rng& rng) const {
+  GPLUS_EXPECT(country_id < country_count(), "country id out of range");
+  return city_samplers_[country_id].sample(rng);
+}
+
+LatLon World::sample_location(CountryId country_id, stats::Rng& rng) const {
+  return sample_location_in_city(country_id, sample_city(country_id, rng), rng);
+}
+
+LatLon World::sample_location_in_city(CountryId country_id,
+                                      std::size_t city_index,
+                                      stats::Rng& rng) const {
+  GPLUS_EXPECT(city_index < country(country_id).cities.size(),
+               "city index out of range");
+  const City& city = country(country_id).cities[city_index];
+  // Convert the jitter from miles to degrees; longitude scales with the
+  // cosine of latitude.
+  const double deg_per_mile_lat = 1.0 / 69.0;
+  const double cos_lat =
+      std::max(0.2, std::cos(city.location.lat * std::numbers::pi / 180.0));
+  const double deg_per_mile_lon = deg_per_mile_lat / cos_lat;
+  LatLon p = city.location;
+  p.lat += rng.next_normal(0.0, jitter_miles_ * deg_per_mile_lat);
+  p.lon += rng.next_normal(0.0, jitter_miles_ * deg_per_mile_lon);
+  p.lat = std::clamp(p.lat, -90.0, 90.0);
+  while (p.lon > 180.0) p.lon -= 360.0;
+  while (p.lon < -180.0) p.lon += 360.0;
+  return p;
+}
+
+double World::country_distance_miles(CountryId a, CountryId b) const {
+  GPLUS_EXPECT(a < country_count() && b < country_count(),
+               "country id out of range");
+  return pair_distance_[static_cast<std::size_t>(a) * country_count() + b];
+}
+
+LatLon World::centroid(CountryId country_id) const {
+  GPLUS_EXPECT(country_id < country_count(), "country id out of range");
+  return centroids_[country_id];
+}
+
+}  // namespace gplus::geo

@@ -1,0 +1,51 @@
+// World model: country lookup plus location sampling for synthetic users.
+//
+// A user assigned to a country gets a home coordinate drawn from one of the
+// country's cities (weighted) with a small Gaussian jitter, emulating the
+// geocoded "places lived" coordinates of §4.
+#pragma once
+
+#include <vector>
+
+#include "geo/coords.h"
+#include "geo/countries.h"
+#include "stats/discrete.h"
+#include "stats/rng.h"
+
+namespace gplus::geo {
+
+/// Samples home locations for users of each embedded country.
+class World {
+ public:
+  /// `jitter_miles`: standard deviation of the within-city scatter. The
+  /// default keeps same-city pairs mostly within ~10 miles, matching the
+  /// paper's Fig 9(a) observation that 15% of friend pairs are separated
+  /// by 10 miles or less.
+  explicit World(double jitter_miles = 6.0);
+
+  /// Draws a home coordinate for a user living in `country_id`.
+  LatLon sample_location(CountryId country_id, stats::Rng& rng) const;
+
+  /// Index of the weighted-sampled city (no jitter applied).
+  std::size_t sample_city(CountryId country_id, stats::Rng& rng) const;
+
+  /// Home coordinate for a user pinned to a specific city of a country
+  /// (used when the caller tracks the city assignment itself).
+  LatLon sample_location_in_city(CountryId country_id, std::size_t city_index,
+                                 stats::Rng& rng) const;
+
+  /// Distance between country centroids-of-cities; a fast proxy used by the
+  /// generator's homophily kernel before exact per-user distances exist.
+  double country_distance_miles(CountryId a, CountryId b) const;
+
+  /// Weighted centroid of a country's cities.
+  LatLon centroid(CountryId country_id) const;
+
+ private:
+  double jitter_miles_;
+  std::vector<stats::DiscreteDistribution> city_samplers_;  // per country
+  std::vector<LatLon> centroids_;                           // per country
+  std::vector<double> pair_distance_;  // row-major country x country
+};
+
+}  // namespace gplus::geo

@@ -1,0 +1,34 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace gplus::graph {
+
+void GraphBuilder::add_edge(NodeId from, NodeId to) {
+  ensure_node(std::max(from, to));
+  edges_.push_back({from, to});
+}
+
+void GraphBuilder::add_reciprocal_edge(NodeId u, NodeId v) {
+  add_edge(u, v);
+  add_edge(v, u);
+}
+
+void GraphBuilder::add_edges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) add_edge(e.from, e.to);
+}
+
+void GraphBuilder::ensure_node(NodeId id) {
+  node_count_ = std::max(node_count_, id + 1);
+}
+
+DiGraph GraphBuilder::build(bool keep_self_loops) const {
+  return DiGraph::from_edges(node_count_, edges_, keep_self_loops);
+}
+
+void GraphBuilder::clear() noexcept {
+  node_count_ = 0;
+  edges_.clear();
+}
+
+}  // namespace gplus::graph

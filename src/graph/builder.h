@@ -1,0 +1,54 @@
+// Incremental edge-list accumulator for constructing DiGraphs.
+//
+// The crawler and the synthetic generator both discover edges one at a time;
+// GraphBuilder buffers them (optionally growing the node space on demand)
+// and produces the immutable CSR `DiGraph` in one pass at the end.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace gplus::graph {
+
+/// Mutable edge accumulator. Not thread-safe; one builder per producer.
+class GraphBuilder {
+ public:
+  /// Starts with `node_count` pre-allocated node ids (may be 0).
+  explicit GraphBuilder(NodeId node_count = 0) : node_count_(node_count) {}
+
+  /// Adds a directed edge; expands the node space to cover both endpoints.
+  void add_edge(NodeId from, NodeId to);
+
+  /// Adds both directions.
+  void add_reciprocal_edge(NodeId u, NodeId v);
+
+  /// Adds a batch of edges.
+  void add_edges(std::span<const Edge> edges);
+
+  /// Ensures ids [0, node_count) exist even if isolated.
+  void ensure_node(NodeId id);
+
+  NodeId node_count() const noexcept { return node_count_; }
+  /// Buffered (pre-dedup) edge count.
+  std::size_t buffered_edge_count() const noexcept { return edges_.size(); }
+  /// Read-only view of the buffered edges.
+  std::span<const Edge> buffered_edges() const noexcept { return edges_; }
+
+  /// Builds the immutable graph. The builder remains usable (more edges can
+  /// be added and build() called again), which the incremental crawler
+  /// snapshots rely on.
+  DiGraph build(bool keep_self_loops = false) const;
+
+  /// Clears all buffered edges and resets the node space.
+  void clear() noexcept;
+
+ private:
+  NodeId node_count_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace gplus::graph

@@ -1,0 +1,37 @@
+// Edge-list serialization.
+//
+// Two formats:
+//  * text: one "from to" pair per line, '#' comments allowed — the format
+//    the original UFMG data release used and every graph toolkit reads;
+//  * binary: little-endian u64 node count, u64 edge count, then packed
+//    (u32, u32) pairs — for fast round-tripping of large synthetic graphs.
+#pragma once
+
+#include <filesystem>
+#include <istream>
+#include <ostream>
+
+#include "graph/digraph.h"
+
+namespace gplus::graph {
+
+/// Writes "from to" lines (plus a '#'-comment header with counts).
+void write_edgelist_text(const DiGraph& g, std::ostream& out);
+
+/// Parses a text edge list; throws std::runtime_error on malformed lines.
+/// Node count is 1 + max endpoint seen (isolated trailing nodes are not
+/// representable in this format, matching common edge-list semantics).
+DiGraph read_edgelist_text(std::istream& in);
+
+/// Binary round-trip; preserves exact node count including isolated nodes.
+void write_edgelist_binary(const DiGraph& g, std::ostream& out);
+DiGraph read_edgelist_binary(std::istream& in);
+
+/// File-path conveniences; throw std::runtime_error when the file cannot be
+/// opened.
+void save_text(const DiGraph& g, const std::filesystem::path& path);
+DiGraph load_text(const std::filesystem::path& path);
+void save_binary(const DiGraph& g, const std::filesystem::path& path);
+DiGraph load_binary(const std::filesystem::path& path);
+
+}  // namespace gplus::graph

@@ -1,0 +1,60 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/expect.h"
+
+namespace gplus::graph {
+
+namespace {
+
+constexpr NodeId kAbsent = std::numeric_limits<NodeId>::max();
+
+Subgraph build_from_map(const DiGraph& g, std::vector<NodeId>& new_id,
+                        std::vector<NodeId> original) {
+  std::vector<Edge> edges;
+  for (NodeId old_u : original) {
+    const NodeId u = new_id[old_u];
+    for (NodeId old_v : g.out_neighbors(old_u)) {
+      const NodeId v = new_id[old_v];
+      if (v != kAbsent) edges.push_back({u, v});
+    }
+  }
+  Subgraph out;
+  out.graph = DiGraph::from_edges(static_cast<NodeId>(original.size()), edges,
+                                  /*keep_self_loops=*/true);
+  out.original_id = std::move(original);
+  return out;
+}
+
+}  // namespace
+
+Subgraph induced_subgraph(const DiGraph& g, std::span<const NodeId> nodes) {
+  std::vector<NodeId> original(nodes.begin(), nodes.end());
+  std::sort(original.begin(), original.end());
+  original.erase(std::unique(original.begin(), original.end()), original.end());
+  for (NodeId u : original) g.check_node(u);
+
+  std::vector<NodeId> new_id(g.node_count(), kAbsent);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    new_id[original[i]] = static_cast<NodeId>(i);
+  }
+  return build_from_map(g, new_id, std::move(original));
+}
+
+Subgraph induced_subgraph(const DiGraph& g, const std::vector<bool>& keep) {
+  GPLUS_EXPECT(keep.size() == g.node_count(),
+               "keep mask size must equal node count");
+  std::vector<NodeId> original;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (keep[u]) original.push_back(u);
+  }
+  std::vector<NodeId> new_id(g.node_count(), kAbsent);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    new_id[original[i]] = static_cast<NodeId>(i);
+  }
+  return build_from_map(g, new_id, std::move(original));
+}
+
+}  // namespace gplus::graph

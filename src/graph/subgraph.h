@@ -1,0 +1,31 @@
+// Induced subgraphs with dense relabeling.
+//
+// Used to slice the social graph by predicate (e.g. "users located in
+// Brazil" for the per-country analyses of §4) while keeping the CSR
+// representation compact.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace gplus::graph {
+
+/// Result of extracting an induced subgraph: the graph over the kept nodes
+/// (relabeled to [0, kept)) plus the mapping back to original ids.
+struct Subgraph {
+  DiGraph graph;
+  /// original_id[new_id] = id in the parent graph.
+  std::vector<NodeId> original_id;
+};
+
+/// Induced subgraph over `nodes` (must be valid ids; duplicates collapsed).
+/// Keeps every edge of `g` whose endpoints are both kept.
+Subgraph induced_subgraph(const DiGraph& g, std::span<const NodeId> nodes);
+
+/// Induced subgraph over all nodes where keep[u] is true.
+/// `keep.size()` must equal `g.node_count()`.
+Subgraph induced_subgraph(const DiGraph& g, const std::vector<bool>& keep);
+
+}  // namespace gplus::graph

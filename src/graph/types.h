@@ -1,0 +1,22 @@
+// Fundamental graph value types.
+#pragma once
+
+#include <cstdint>
+
+namespace gplus::graph {
+
+/// Node identifier: dense indices [0, node_count). 32 bits supports the
+/// multi-hundred-million-node scale of the paper's crawl while halving
+/// adjacency memory versus 64-bit ids.
+using NodeId = std::uint32_t;
+
+/// A directed edge u -> v ("u has v in one of u's circles").
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace gplus::graph

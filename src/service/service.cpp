@@ -1,0 +1,94 @@
+#include "service/service.h"
+
+#include <algorithm>
+
+#include "stats/expect.h"
+#include "stats/rng.h"
+
+namespace gplus::service {
+
+using graph::NodeId;
+
+namespace {
+
+// Deterministic per-node coin flip for the hidden-list assignment: hash the
+// (seed, node) pair through splitmix64 and compare against the threshold.
+bool hash_below(std::uint64_t seed, NodeId id, double fraction) {
+  if (fraction <= 0.0) return false;
+  if (fraction >= 1.0) return true;
+  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (id + 1));
+  const std::uint64_t h = stats::splitmix64_next(state);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < fraction;
+}
+
+}  // namespace
+
+SocialService::SocialService(const graph::DiGraph* graph,
+                             std::span<const synth::Profile> profiles,
+                             ServiceConfig config)
+    : graph_(graph), profiles_(profiles), config_(config) {
+  GPLUS_EXPECT(graph != nullptr, "graph must not be null");
+  GPLUS_EXPECT(profiles.size() == graph->node_count(),
+               "profiles must cover every node");
+  GPLUS_EXPECT(config.page_size > 0, "page size must be positive");
+}
+
+bool SocialService::lists_public(NodeId id) const {
+  graph_->check_node(id);
+  return !hash_below(config_.seed, id, config_.hidden_list_fraction);
+}
+
+ProfilePage SocialService::fetch_profile(NodeId id) {
+  graph_->check_node(id);
+  ++requests_;
+  const synth::Profile& p = profiles_[id];
+
+  ProfilePage page;
+  page.id = id;
+  page.shared = p.shared;
+  if (p.shared.test(synth::Attribute::kGender)) page.gender = p.gender;
+  if (p.shared.test(synth::Attribute::kRelationship)) {
+    page.relationship = p.relationship;
+  }
+  if (p.shared.test(synth::Attribute::kOccupation)) page.occupation = p.occupation;
+  if (p.is_located()) page.country = p.country;
+  page.have_in_circles_total = graph_->in_degree(id);
+  page.in_their_circles_total = graph_->out_degree(id);
+  page.lists_public = lists_public(id);
+  return page;
+}
+
+CircleListPage SocialService::fetch_list(NodeId id, ListKind kind,
+                                         std::uint32_t offset) {
+  graph_->check_node(id);
+  ++requests_;
+  CircleListPage page;
+  if (!lists_public(id)) return page;
+
+  const auto full = kind == ListKind::kHaveInCircles ? graph_->in_neighbors(id)
+                                                     : graph_->out_neighbors(id);
+  const std::uint64_t visible =
+      std::min<std::uint64_t>(full.size(), config_.circle_list_cap);
+  page.capped = full.size() > visible;
+  if (offset >= visible) return page;
+
+  const std::uint64_t end =
+      std::min<std::uint64_t>(visible, std::uint64_t{offset} + config_.page_size);
+  page.users.assign(full.begin() + offset, full.begin() + static_cast<std::ptrdiff_t>(end));
+  page.has_more = end < visible;
+  return page;
+}
+
+std::vector<NodeId> SocialService::fetch_full_list(NodeId id, ListKind kind) {
+  std::vector<NodeId> out;
+  std::uint32_t offset = 0;
+  while (true) {
+    const CircleListPage page = fetch_list(id, kind, offset);
+    out.insert(out.end(), page.users.begin(), page.users.end());
+    if (!page.has_more) break;
+    offset += config_.page_size;
+  }
+  return out;
+}
+
+}  // namespace gplus::service

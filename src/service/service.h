@@ -1,0 +1,112 @@
+// Simulated Google+ service frontend (§2 methodology substrate).
+//
+// Stands in for the plus.google.com endpoints the original crawler hit:
+//  * a profile page per user showing the publicly shared fields and the
+//    *displayed totals* of both circle lists ("Have user in circles" /
+//    "In user's circles") — totals are shown even when the list itself is
+//    capped;
+//  * public circle-list fetches, truncated at 10,000 entries (the limit
+//    that loses ~1.6% of edges in §2.2) and paginated;
+//  * users may set their lists private, in which case list fetches return
+//    nothing but the profile page still renders.
+//
+// Every fetch is counted, so crawl cost and simulated wall-clock can be
+// accounted per §2.2's "11 machines, Nov 11 – Dec 27" setup.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "synth/profile.h"
+
+namespace gplus::service {
+
+/// Service behavior knobs.
+struct ServiceConfig {
+  /// Maximum number of entries a public circle list will ever reveal.
+  std::uint32_t circle_list_cap = 10'000;
+  /// Entries per list page (one fetch request per page).
+  std::uint32_t page_size = 1'000;
+  /// Fraction of users who set their circle lists private.
+  double hidden_list_fraction = 0.0;
+  /// Seed for the deterministic hidden-list assignment.
+  std::uint64_t seed = 7;
+};
+
+/// What a profile-page fetch returns.
+struct ProfilePage {
+  graph::NodeId id = 0;
+  /// Publicly shared attributes (Name always present).
+  synth::AttributeMask shared;
+  /// Restricted-field values, present only when shared.
+  std::optional<synth::Gender> gender;
+  std::optional<synth::Relationship> relationship;
+  std::optional<synth::Occupation> occupation;
+  /// Geocoded "places lived" country, when shared.
+  std::optional<geo::CountryId> country;
+  /// Displayed totals of the two lists (rendered even beyond the cap; §2.2
+  /// uses them to estimate lost edges).
+  std::uint64_t have_in_circles_total = 0;  // in-degree
+  std::uint64_t in_their_circles_total = 0; // out-degree
+  /// False when the user hid both lists.
+  bool lists_public = true;
+};
+
+/// One page of a circle list.
+struct CircleListPage {
+  std::vector<graph::NodeId> users;
+  /// True when more pages exist below the cap.
+  bool has_more = false;
+  /// True when the full list exceeds the service cap (entries beyond it are
+  /// unobtainable from this side).
+  bool capped = false;
+};
+
+/// Which of the two public lists to fetch.
+enum class ListKind : std::uint8_t {
+  kHaveInCircles,  // followers: users who added this profile
+  kInTheirCircles, // followees: users this profile added
+};
+
+/// The simulated service. Read-only over the ground-truth network; cheap to
+/// copy-construct views from. Not thread-safe w.r.t. the request counters.
+class SocialService {
+ public:
+  /// Both `graph` and `profiles` must outlive the service;
+  /// profiles.size() must equal graph->node_count().
+  SocialService(const graph::DiGraph* graph,
+                std::span<const synth::Profile> profiles, ServiceConfig config);
+
+  /// Fetches a profile page (1 request).
+  ProfilePage fetch_profile(graph::NodeId id);
+
+  /// Fetches one page of a circle list (1 request). `offset` is the entry
+  /// offset (multiples of page_size give the natural pagination). Returns an
+  /// empty page when the user's lists are private.
+  CircleListPage fetch_list(graph::NodeId id, ListKind kind, std::uint32_t offset);
+
+  /// Convenience: fetches every visible page of a list, counting one
+  /// request per page.
+  std::vector<graph::NodeId> fetch_full_list(graph::NodeId id, ListKind kind);
+
+  /// True when the user's circle lists are publicly visible.
+  bool lists_public(graph::NodeId id) const;
+
+  /// Total fetch requests served so far.
+  std::uint64_t request_count() const noexcept { return requests_; }
+  void reset_request_count() noexcept { requests_ = 0; }
+
+  std::size_t user_count() const noexcept { return graph_->node_count(); }
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  const graph::DiGraph* graph_;
+  std::span<const synth::Profile> profiles_;
+  ServiceConfig config_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace gplus::service

@@ -1,0 +1,40 @@
+// Discrete distributions over small categorical supports.
+//
+// `DiscreteDistribution` is an alias-method sampler: O(n) construction,
+// O(1) sampling. It backs every categorical choice in the synthetic model
+// (country assignment, occupations, relationship status, city selection).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace gplus::stats {
+
+/// Alias-method sampler over indices {0..n-1} with the given nonnegative
+/// weights (at least one must be positive). Weights need not be normalized.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::span<const double> weights);
+
+  /// Samples an index with probability proportional to its weight.
+  std::size_t sample(Rng& rng) const noexcept;
+
+  /// Number of categories.
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Normalized probability of category `i` (i < size()).
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;    // alias-table acceptance probabilities
+  std::vector<std::size_t> alias_;
+  std::vector<double> norm_;    // normalized input weights, for probability()
+};
+
+/// Convenience: empirical probability vector from integer counts.
+std::vector<double> normalize_weights(std::span<const double> weights);
+
+}  // namespace gplus::stats

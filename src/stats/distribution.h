@@ -1,0 +1,72 @@
+// Empirical distribution tooling: histograms and CDF/CCDF curves.
+//
+// The paper reports nearly every result as a CDF or CCDF (Figures 2, 3, 4,
+// 5, 8, 9a). These helpers turn raw samples into the exact point series a
+// plotting tool (or the bench binaries' stdout) would consume.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gplus::stats {
+
+/// One (x, y) point of an empirical curve.
+struct CurvePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Empirical CCDF over nonnegative integer-valued samples: for every distinct
+/// value v in the sample, emits (v, P[X >= v]). Points are sorted by x.
+/// This matches the paper's degree/field-count CCDF plots.
+std::vector<CurvePoint> integer_ccdf(std::span<const std::uint64_t> values);
+
+/// Empirical CDF over real samples: for every distinct value v, emits
+/// (v, P[X <= v]). Points are sorted by x.
+std::vector<CurvePoint> empirical_cdf(std::span<const double> values);
+
+/// Empirical CCDF over real samples: (v, P[X >= v]).
+std::vector<CurvePoint> empirical_ccdf(std::span<const double> values);
+
+/// Evaluates an empirical CDF curve at `x` (step interpolation; 0 before the
+/// first point, last y after the final point).
+double evaluate_step(std::span<const CurvePoint> cdf, double x) noexcept;
+
+/// Logarithmically binned CCDF for heavy-tailed positive integer samples:
+/// bins are [b^k, b^{k+1}) with the given base > 1. Each emitted point is the
+/// bin's geometric-mean x and P[X >= bin lower edge]. Useful for plotting
+/// power laws without per-value noise in the tail.
+std::vector<CurvePoint> log_binned_ccdf(std::span<const std::uint64_t> values,
+                                        double base = 2.0);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const;
+  std::uint64_t total() const noexcept { return total_; }
+  /// Center x of a bin.
+  double bin_center(std::size_t bin) const;
+  /// Probability mass of a bin (0 when empty histogram).
+  double mass(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Probability mass function over small nonnegative integers (e.g. hop
+/// counts): pmf[k] = P[X == k]. Trailing zero entries trimmed.
+std::vector<double> integer_pmf(std::span<const std::uint64_t> values);
+
+}  // namespace gplus::stats

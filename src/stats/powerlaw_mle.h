@@ -1,0 +1,42 @@
+// Maximum-likelihood power-law estimation (Clauset–Shalizi–Newman).
+//
+// §3.3.1 fits the degree CCDF by least squares in log-log space — simple
+// but known to be biased. This module adds the literature-standard
+// discrete MLE (the Hill-style estimator with CSN's finite-xmin
+// correction) plus a Kolmogorov–Smirnov distance for goodness of fit, so
+// the fig3 bench can report both estimators side by side.
+//
+// Note on conventions: CSN's alpha is the *density* exponent
+// p(x) ∝ x^-alpha; the paper's regression fits the *CCDF* exponent,
+// which is alpha - 1. `ccdf_alpha()` converts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gplus::stats {
+
+/// Discrete power-law MLE result.
+struct PowerLawMle {
+  double alpha = 0.0;        // density exponent (p(x) ~ x^-alpha)
+  std::uint64_t x_min = 1;   // fit threshold used
+  std::size_t tail_samples = 0;  // samples >= x_min
+  double ks_distance = 1.0;  // KS distance between tail data and the model
+
+  /// The CCDF exponent comparable to the paper's regression fit.
+  double ccdf_alpha() const noexcept { return alpha - 1.0; }
+};
+
+/// MLE at a fixed threshold: alpha = 1 + n / Σ ln(x_i / (x_min - 0.5))
+/// over samples >= x_min (CSN eq. 3.7, discrete approximation).
+/// Requires at least 2 tail samples and x_min >= 1.
+PowerLawMle fit_power_law_mle(std::span<const std::uint64_t> values,
+                              std::uint64_t x_min);
+
+/// CSN's xmin selection: tries each candidate threshold from the data's
+/// distinct values (capped at `max_candidates` log-spaced probes) and
+/// keeps the fit minimizing the KS distance.
+PowerLawMle fit_power_law_auto(std::span<const std::uint64_t> values,
+                               std::size_t max_candidates = 24);
+
+}  // namespace gplus::stats

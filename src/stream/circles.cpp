@@ -1,0 +1,110 @@
+#include "stream/circles.h"
+
+#include "geo/coords.h"
+#include "stats/expect.h"
+
+namespace gplus::stream {
+
+using graph::NodeId;
+
+std::string_view circle_name(CircleKind kind) noexcept {
+  switch (kind) {
+    case CircleKind::kFamily: return "Family";
+    case CircleKind::kFriends: return "Friends";
+    case CircleKind::kAcquaintances: return "Acquaintances";
+    case CircleKind::kFollowing: return "Following";
+  }
+  return "Unknown";
+}
+
+CircleAssignment::CircleAssignment(const core::Dataset& dataset,
+                                   std::uint64_t seed)
+    : dataset_(&dataset) {
+  const graph::DiGraph& g = dataset.graph();
+  const std::size_t n = g.node_count();
+  offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u + 1] = offsets_[u] + g.out_degree(u);
+  }
+  kinds_.resize(offsets_.back());
+
+  stats::Rng rng(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto outs = g.out_neighbors(u);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      const NodeId v = outs[i];
+      CircleKind kind;
+      if (dataset.profiles[v].celebrity || !g.has_edge(v, u)) {
+        // One-way adds and public figures: content subscription.
+        kind = CircleKind::kFollowing;
+      } else {
+        // Mutual contact: geography decides intimacy. Close pairs are
+        // household/neighborhood ties; a slice of those are family.
+        const double miles = geo::haversine_miles(dataset.profiles[u].home,
+                                                  dataset.profiles[v].home);
+        if (miles < 30.0) {
+          kind = rng.next_bool(0.3) ? CircleKind::kFamily : CircleKind::kFriends;
+        } else if (miles < 800.0) {
+          kind = rng.next_bool(0.7) ? CircleKind::kFriends
+                                    : CircleKind::kAcquaintances;
+        } else {
+          // Long-distance mutuals: mostly acquaintances, family diaspora
+          // sometimes (emigrated relatives).
+          kind = rng.next_bool(0.15) ? CircleKind::kFamily
+                                     : CircleKind::kAcquaintances;
+        }
+      }
+      kinds_[offsets_[u] + i] = kind;
+    }
+  }
+}
+
+std::span<const CircleKind> CircleAssignment::circles_of(NodeId u) const {
+  GPLUS_EXPECT(u < user_count(), "node id out of range");
+  return {kinds_.data() + offsets_[u], kinds_.data() + offsets_[u + 1]};
+}
+
+std::vector<NodeId> CircleAssignment::members(NodeId u, CircleKind kind) const {
+  const auto outs = dataset_->graph().out_neighbors(u);
+  const auto kinds = circles_of(u);
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    if (kinds[i] == kind) out.push_back(outs[i]);
+  }
+  return out;
+}
+
+std::array<std::uint32_t, kCircleKindCount> CircleAssignment::counts(
+    NodeId u) const {
+  std::array<std::uint32_t, kCircleKindCount> out{};
+  for (CircleKind kind : circles_of(u)) {
+    ++out[static_cast<std::size_t>(kind)];
+  }
+  return out;
+}
+
+CircleStats circle_stats(const CircleAssignment& assignment) {
+  CircleStats stats;
+  std::array<std::uint64_t, kCircleKindCount> total{};
+  std::array<std::uint64_t, kCircleKindCount> users_with{};
+  std::uint64_t all = 0;
+  for (NodeId u = 0; u < assignment.user_count(); ++u) {
+    const auto counts = assignment.counts(u);
+    for (std::size_t k = 0; k < kCircleKindCount; ++k) {
+      total[k] += counts[k];
+      users_with[k] += counts[k] > 0 ? 1 : 0;
+      all += counts[k];
+    }
+  }
+  for (std::size_t k = 0; k < kCircleKindCount; ++k) {
+    stats.share[k] =
+        all == 0 ? 0.0 : static_cast<double>(total[k]) / static_cast<double>(all);
+    stats.mean_size[k] = users_with[k] == 0
+                             ? 0.0
+                             : static_cast<double>(total[k]) /
+                                   static_cast<double>(users_with[k]);
+  }
+  return stats;
+}
+
+}  // namespace gplus::stream

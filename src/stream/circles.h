@@ -1,0 +1,75 @@
+// Circle assignment: partitioning contacts the way Google+ users did.
+//
+// §2.1: "Circles are labeled groups of friends, which allows a user to
+// share or receive information with a specified subset of his contacts.
+// For example, a user may manage 'family', 'colleagues', and 'alumni'
+// circles." Circle names and memberships are private — the crawler never
+// saw them — so this module reconstructs a plausible latent assignment
+// from observable structure: mutual geographically-close contacts land in
+// Family/Friends, mutual distant ones in Acquaintances, one-way adds of
+// public figures in Following.
+//
+// The diffusion simulator uses these assignments for circles-only posts,
+// making "share with Family" reach a qualitatively different audience
+// than "share publicly" — the §7 privacy-vs-sharing question.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/dataset.h"
+#include "stats/rng.h"
+
+namespace gplus::stream {
+
+/// Default circles; every out-neighbor of a user belongs to exactly one.
+enum class CircleKind : std::uint8_t {
+  kFamily = 0,
+  kFriends,
+  kAcquaintances,
+  kFollowing,
+};
+inline constexpr std::size_t kCircleKindCount = 4;
+
+/// Display label ("Family", ...).
+std::string_view circle_name(CircleKind kind) noexcept;
+
+/// Per-user circle assignment, parallel to DiGraph::out_neighbors order.
+class CircleAssignment {
+ public:
+  /// Builds the latent assignment for every user (deterministic in seed).
+  CircleAssignment(const core::Dataset& dataset, std::uint64_t seed);
+
+  /// Circle of each out-neighbor of `u`, aligned with
+  /// graph.out_neighbors(u).
+  std::span<const CircleKind> circles_of(graph::NodeId u) const;
+
+  /// Members of `u`'s circle of the given kind (subset of out-neighbors).
+  std::vector<graph::NodeId> members(graph::NodeId u, CircleKind kind) const;
+
+  /// Count of `u`'s contacts per circle kind.
+  std::array<std::uint32_t, kCircleKindCount> counts(graph::NodeId u) const;
+
+  std::size_t user_count() const noexcept { return offsets_.size() - 1; }
+
+ private:
+  const core::Dataset* dataset_;
+  std::vector<std::uint64_t> offsets_;  // CSR offsets matching out-adjacency
+  std::vector<CircleKind> kinds_;
+};
+
+/// Population-level circle statistics.
+struct CircleStats {
+  /// Share of all contact assignments per kind.
+  std::array<double, kCircleKindCount> share{};
+  /// Mean circle size per kind over users with a non-empty circle.
+  std::array<double, kCircleKindCount> mean_size{};
+};
+
+/// Aggregates assignment statistics.
+CircleStats circle_stats(const CircleAssignment& assignment);
+
+}  // namespace gplus::stream

@@ -1,0 +1,179 @@
+#include "stream/diffusion.h"
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <unordered_set>
+
+#include "stats/expect.h"
+
+namespace gplus::stream {
+
+using graph::NodeId;
+
+DiffusionSimulator::DiffusionSimulator(const core::Dataset* dataset,
+                                       DiffusionConfig config)
+    : DiffusionSimulator(dataset, nullptr, config) {}
+
+DiffusionSimulator::DiffusionSimulator(const core::Dataset* dataset,
+                                       const CircleAssignment* circles,
+                                       DiffusionConfig config)
+    : dataset_(dataset), circles_(circles), config_(config) {
+  GPLUS_EXPECT(dataset != nullptr, "dataset must not be null");
+  GPLUS_EXPECT(config.public_post_base >= 0.0 && config.public_post_base <= 1.0,
+               "public-post base must be a probability");
+  GPLUS_EXPECT(config.circle_audience_fraction >= 0.0 &&
+                   config.circle_audience_fraction <= 1.0,
+               "circle audience fraction must be a probability");
+  GPLUS_EXPECT(config.reshare_base >= 0.0 && config.reshare_base <= 1.0,
+               "reshare base must be a probability");
+  GPLUS_EXPECT(config.plus_one_base >= 0.0 && config.plus_one_base <= 1.0,
+               "plus-one base must be a probability");
+  GPLUS_EXPECT(config.comment_base >= 0.0 && config.comment_base <= 1.0,
+               "comment base must be a probability");
+  GPLUS_EXPECT(config.max_cascade_views > 0, "cascade cap must be positive");
+}
+
+Cascade DiffusionSimulator::simulate_post(NodeId author, stats::Rng& rng) const {
+  const auto& profile = dataset_->profiles[author];
+  // Open users default more of their posts to "public": linear tilt around
+  // the population-mean openness (~0.55), so the marginal stays near
+  // public_post_base.
+  const double p_public = std::clamp(
+      config_.public_post_base * profile.openness / 0.55, 0.0, 1.0);
+  return run(author, rng.next_bool(p_public), rng);
+}
+
+Cascade DiffusionSimulator::simulate_post(NodeId author, bool force_public,
+                                          stats::Rng& rng) const {
+  return run(author, force_public, rng);
+}
+
+Cascade DiffusionSimulator::run(NodeId author, bool public_post,
+                                stats::Rng& rng) const {
+  const graph::DiGraph& g = dataset_->graph();
+  g.check_node(author);
+
+  Cascade cascade;
+  cascade.author = author;
+  cascade.public_post = public_post;
+
+  // The author's first-hop audience. Public: all followers. Circles-only
+  // with a concrete assignment: one sampled circle's members (typical
+  // share-with-Friends behavior, weighted toward the social circles).
+  // Without an assignment: a follower subset of the configured size.
+  std::vector<NodeId> author_audience;
+  if (public_post) {
+    const auto followers = g.in_neighbors(author);
+    author_audience.assign(followers.begin(), followers.end());
+  } else if (circles_ != nullptr) {
+    static constexpr std::array<double, kCircleKindCount> kShareWeights = {
+        0.20, 0.50, 0.25, 0.05};  // Family, Friends, Acquaintances, Following
+    double roll = rng.next_double();
+    auto kind = CircleKind::kFriends;
+    for (std::size_t k = 0; k < kCircleKindCount; ++k) {
+      roll -= kShareWeights[k];
+      if (roll <= 0.0) {
+        kind = static_cast<CircleKind>(k);
+        break;
+      }
+    }
+    author_audience = circles_->members(author, kind);
+  } else {
+    for (NodeId follower : g.in_neighbors(author)) {
+      if (rng.next_bool(config_.circle_audience_fraction)) {
+        author_audience.push_back(follower);
+      }
+    }
+  }
+
+  std::unordered_set<NodeId> seen{author};
+  // Reshare frontier: (user, depth) — resharers broadcast to followers.
+  struct Hop {
+    NodeId user;
+    std::uint32_t depth;
+  };
+  std::vector<Hop> frontier{{author, 0}};
+  std::size_t head = 0;
+
+  while (head < frontier.size()) {
+    const Hop hop = frontier[head++];
+    const bool is_author = hop.user == author;
+    const auto followers = g.in_neighbors(hop.user);
+    const std::span<const NodeId> audience =
+        is_author ? std::span<const NodeId>(author_audience)
+                  : std::span<const NodeId>(followers);
+    for (NodeId viewer : audience) {
+      if (!seen.insert(viewer).second) continue;
+      ++cascade.views;
+      if (cascade.views >= config_.max_cascade_views) return cascade;
+
+      // Engagement: "+1" endorsements and comments are centered around
+      // content (§2.1) but do not propagate; reshares do. All scale with
+      // the viewer's openness and the original author's pull.
+      const double engagement =
+          0.5 + 1.5 * dataset_->profiles[viewer].openness;
+      const double boost =
+          dataset_->profiles[author].celebrity ? config_.celebrity_author_boost
+                                               : 1.0;
+      if (rng.next_bool(std::min(1.0, config_.plus_one_base * engagement))) {
+        ++cascade.plus_ones;
+      }
+      if (rng.next_bool(std::min(1.0, config_.comment_base * engagement))) {
+        ++cascade.comments;
+      }
+      const double p = config_.reshare_base * engagement * boost;
+      if (rng.next_bool(std::min(1.0, p))) {
+        ++cascade.reshares;
+        cascade.depth = std::max(cascade.depth, hop.depth + 1);
+        frontier.push_back({viewer, hop.depth + 1});
+      }
+    }
+  }
+  return cascade;
+}
+
+std::vector<Cascade> DiffusionSimulator::simulate_posts(std::size_t posts,
+                                                        stats::Rng& rng) const {
+  const graph::DiGraph& g = dataset_->graph();
+  std::vector<NodeId> eligible;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (g.in_degree(u) > 0) eligible.push_back(u);
+  }
+  std::vector<Cascade> out;
+  out.reserve(posts);
+  if (eligible.empty()) return out;
+  for (std::size_t i = 0; i < posts; ++i) {
+    const NodeId author =
+        eligible[static_cast<std::size_t>(rng.next_below(eligible.size()))];
+    out.push_back(simulate_post(author, rng));
+  }
+  return out;
+}
+
+DiffusionSummary summarize_cascades(const std::vector<Cascade>& cascades) {
+  DiffusionSummary s;
+  s.posts = cascades.size();
+  if (cascades.empty()) return s;
+  double views = 0.0, reshares = 0.0, depth = 0.0, reshared = 0.0;
+  double plus_ones = 0.0, comments = 0.0;
+  for (const auto& c : cascades) {
+    views += static_cast<double>(c.views);
+    reshares += static_cast<double>(c.reshares);
+    plus_ones += static_cast<double>(c.plus_ones);
+    comments += static_cast<double>(c.comments);
+    depth += static_cast<double>(c.depth);
+    reshared += c.reshares > 0 ? 1.0 : 0.0;
+    s.max_views = std::max(s.max_views, static_cast<double>(c.views));
+  }
+  const auto n = static_cast<double>(cascades.size());
+  s.mean_views = views / n;
+  s.mean_reshares = reshares / n;
+  s.mean_plus_ones = plus_ones / n;
+  s.mean_comments = comments / n;
+  s.mean_depth = depth / n;
+  s.reshared_share = reshared / n;
+  return s;
+}
+
+}  // namespace gplus::stream

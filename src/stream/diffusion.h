@@ -1,0 +1,114 @@
+// Content diffusion through the stream — the paper's second future-work
+// item.
+//
+// §7: "we would like to understand how different privacy settings and
+// openness impact the types of conversations and the patterns of content
+// sharing in Google+." §2.1 describes the machinery this module models:
+// posts flow to the author's followers ("have user in circles"), the
+// author chooses per-post visibility (public vs a circle), and viewers
+// can reshare — re-broadcasting to *their* followers.
+//
+// The simulator runs seeded cascades over a generated Dataset, so reach
+// and cascade-size distributions can be measured as a function of the
+// author's audience (celebrity vs ordinary), the post's visibility, and
+// the author country's openness culture (Fig 8's Germany vs Indonesia).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "stats/rng.h"
+#include "stream/circles.h"
+
+namespace gplus::stream {
+
+/// Diffusion-model parameters.
+struct DiffusionConfig {
+  /// Baseline probability a post is public; tilted by the author's latent
+  /// openness (open users post publicly more often).
+  double public_post_base = 0.40;
+  /// Fraction of the author's followers a circles-only post reaches (the
+  /// selected circle is a subset of the people following them).
+  double circle_audience_fraction = 0.35;
+  /// Per-view reshare probability (scaled by the viewer's openness).
+  double reshare_base = 0.015;
+  /// Per-view "+1" probability (§2.1: the Like-equivalent; public
+  /// endorsement, does not propagate).
+  double plus_one_base = 0.06;
+  /// Per-view comment probability.
+  double comment_base = 0.02;
+  /// Extra reshare appeal of celebrity-authored content.
+  double celebrity_author_boost = 2.0;
+  /// Hard cap on cascade size (safety valve for viral runs).
+  std::size_t max_cascade_views = 500'000;
+};
+
+/// Outcome of one simulated post.
+struct Cascade {
+  graph::NodeId author = 0;
+  bool public_post = true;
+  /// Distinct users who saw the post (author excluded).
+  std::uint64_t views = 0;
+  /// Users who reshared it.
+  std::uint64_t reshares = 0;
+  /// "+1" endorsements received.
+  std::uint64_t plus_ones = 0;
+  /// Comments received.
+  std::uint64_t comments = 0;
+  /// Longest reshare chain (0 = nobody reshared).
+  std::uint32_t depth = 0;
+};
+
+/// Cascade simulator over a generated dataset.
+class DiffusionSimulator {
+ public:
+  /// `dataset` must outlive the simulator. Without a circle assignment,
+  /// circles-only posts reach a `circle_audience_fraction` follower
+  /// subset.
+  DiffusionSimulator(const core::Dataset* dataset, DiffusionConfig config);
+
+  /// With a circle assignment (must outlive the simulator), circles-only
+  /// posts go to one concrete circle of the author — Family posts reach a
+  /// handful of close contacts, Following-circle shares reach none of the
+  /// author's *followers* unless they overlap.
+  DiffusionSimulator(const core::Dataset* dataset,
+                     const CircleAssignment* circles, DiffusionConfig config);
+
+  /// Simulates one post by `author`; visibility is drawn from the author's
+  /// openness unless forced via `force_public`.
+  Cascade simulate_post(graph::NodeId author, stats::Rng& rng) const;
+  Cascade simulate_post(graph::NodeId author, bool force_public,
+                        stats::Rng& rng) const;
+
+  /// Simulates `posts` cascades with authors drawn uniformly from users
+  /// with at least one follower.
+  std::vector<Cascade> simulate_posts(std::size_t posts, stats::Rng& rng) const;
+
+  const DiffusionConfig& config() const noexcept { return config_; }
+
+ private:
+  Cascade run(graph::NodeId author, bool public_post, stats::Rng& rng) const;
+
+  const core::Dataset* dataset_;
+  const CircleAssignment* circles_ = nullptr;  // optional
+  DiffusionConfig config_;
+};
+
+/// Summary of a cascade batch.
+struct DiffusionSummary {
+  std::size_t posts = 0;
+  double mean_views = 0.0;
+  double mean_reshares = 0.0;
+  double mean_plus_ones = 0.0;
+  double mean_comments = 0.0;
+  double max_views = 0.0;
+  double mean_depth = 0.0;
+  /// Share of posts that got at least one reshare.
+  double reshared_share = 0.0;
+};
+
+/// Aggregates a batch of cascades.
+DiffusionSummary summarize_cascades(const std::vector<Cascade>& cascades);
+
+}  // namespace gplus::stream

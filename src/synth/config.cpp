@@ -1,0 +1,50 @@
+#include "synth/config.h"
+
+namespace gplus::synth {
+
+GraphGenConfig google_plus_preset(std::size_t nodes, std::uint64_t seed) {
+  GraphGenConfig c;
+  c.node_count = nodes;
+  c.seed = seed;
+  return c;
+}
+
+GraphGenConfig twitter_like_preset(std::size_t nodes, std::uint64_t seed) {
+  GraphGenConfig c;
+  c.node_count = nodes;
+  c.seed = seed;
+  // Twitter circa the [26] crawl: lower reciprocity (22%), no follow cap
+  // that users commonly hit, larger media-style hubs, weaker geography.
+  c.friend_reciprocation = 0.45;
+  c.interest_reciprocation = 0.03;
+  c.social_fraction = 0.40;
+  c.friend_budget_social = 7.0;
+  c.friend_budget_consumer = 0.5;
+  c.enforce_out_cap = false;
+  c.fitness_alpha = 1.15;          // heavier celebrity tail
+  c.celebrity_fraction = 0.001;
+  c.same_city_bias = 0.30;
+  c.triadic_closure = 0.15;        // less triangle-driven than G+
+  return c;
+}
+
+GraphGenConfig facebook_like_preset(std::size_t nodes, std::uint64_t seed) {
+  GraphGenConfig c;
+  c.node_count = nodes;
+  c.seed = seed;
+  // Facebook: symmetric friendships, denser, strongly local.
+  c.friend_reciprocation = 1.0;
+  c.interest_reciprocation = 1.0;
+  c.celebrity_reciprocation = 1.0;
+  c.social_fraction = 1.0;
+  c.friend_budget_social = 1e9;    // every add is a friend add
+  c.dormant_fraction = 0.10;       // friend graphs have fewer ghost accounts
+  c.out_xmin = 5.0;                // denser graph
+  c.out_alpha = 1.8;               // lighter tail than broadcast networks
+  c.celebrity_fraction = 0.0;
+  c.triadic_closure = 0.55;
+  c.same_city_bias = 0.65;
+  return c;
+}
+
+}  // namespace gplus::synth

@@ -1,0 +1,55 @@
+// Synthetic Google+-like social graph generator.
+//
+// Mechanism-for-mechanism stand-in for the crawled network (see DESIGN.md):
+//
+//  * every user gets a home country (Fig 6 shares), a city, coordinates and
+//    a Pareto "audience fitness"; the top of the fitness order are
+//    celebrities with country-flavored occupations (Tables 1 & 5);
+//  * each user plans a heavy-tailed number of adds (out-degree CCDF ~
+//    x^-1.2, Fig 3), split into a small "real friend" budget and the
+//    remainder of interest adds;
+//  * friend adds are geographically local (same-city bias, triadic
+//    closure -> triangles of Fig 4b, short path miles of Fig 9) and are
+//    reciprocated often; interest adds follow the country mixing matrix
+//    (Fig 10) and land fitness-proportionally (power-law in-degree,
+//    Fig 3) with rare reciprocation — the blend reproduces the RR CDF of
+//    Fig 4a and the 32% global reciprocity of Table 4;
+//  * non-exempt users stop at 5,000 out-links (the Fig 3 cliff).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/world.h"
+#include "graph/digraph.h"
+#include "stats/rng.h"
+#include "synth/config.h"
+#include "synth/population.h"
+
+namespace gplus::synth {
+
+/// A generated network: the graph plus the latent per-user facts the
+/// profile generator and the analyses consume.
+struct GeneratedNetwork {
+  graph::DiGraph graph;
+  std::vector<geo::CountryId> country;   // home country per node
+  std::vector<std::uint16_t> city;       // city index within the country
+  std::vector<geo::LatLon> location;     // jittered home coordinate
+  std::vector<std::uint8_t> celebrity;   // 1 when a designated public figure
+  std::vector<float> fitness;            // audience attractiveness
+
+  std::size_t node_count() const noexcept { return country.size(); }
+};
+
+/// Samples floor of a Pareto(xmin, alpha_ccdf) variate truncated at `cap`
+/// (cap = 0 means untruncated). Exposed for tests and for the bench ablation
+/// that sweeps the out-degree law.
+std::uint64_t sample_truncated_pareto(double xmin, double alpha_ccdf,
+                                      std::uint64_t cap, stats::Rng& rng);
+
+/// Generates the network. Deterministic in `config.seed`.
+GeneratedNetwork generate_network(const GraphGenConfig& config,
+                                  const PopulationModel& population,
+                                  const geo::World& world);
+
+}  // namespace gplus::synth

@@ -1,0 +1,21 @@
+// Synthetic display names.
+//
+// Table 1 prints people, not ids. This generator produces deterministic,
+// culturally flavored first/last name pairs per user — hash-indexed into
+// per-language pools — so ranked listings read like the paper's table
+// rather than "User 48213". Names are synthetic combinations; any match
+// with a real person is coincidental.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geo/countries.h"
+
+namespace gplus::synth {
+
+/// Deterministic synthetic full name for user `id` living in `country`
+/// (kNoCountry falls back to the international pool).
+std::string synthesize_name(std::uint32_t id, geo::CountryId country);
+
+}  // namespace gplus::synth

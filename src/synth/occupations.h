@@ -1,0 +1,33 @@
+// Per-country occupation mixes for public figures.
+//
+// Table 5 lists the occupation codes of the top-10 users in each of the top
+// ten countries (e.g. the US list is IT/musician heavy, Italy's is
+// journalist heavy, Spain is the only country with politicians). The
+// celebrity occupation sampler is calibrated so the per-country top lists
+// and their Jaccard similarity to the US reproduce those patterns.
+#pragma once
+
+#include <span>
+
+#include "geo/countries.h"
+#include "stats/discrete.h"
+#include "stats/rng.h"
+#include "synth/profile.h"
+
+namespace gplus::synth {
+
+/// Celebrity occupation weights for a country (indexed by Occupation value,
+/// kOccupationCount entries). Countries without a calibrated row fall back
+/// to a generic global mix.
+std::span<const double> celebrity_occupation_weights(geo::CountryId country);
+
+/// Occupation weights for ordinary (non-celebrity) users; country-agnostic.
+std::span<const double> ordinary_occupation_weights();
+
+/// Samples a celebrity occupation for the given country.
+Occupation sample_celebrity_occupation(geo::CountryId country, stats::Rng& rng);
+
+/// Samples an ordinary-user occupation.
+Occupation sample_ordinary_occupation(stats::Rng& rng);
+
+}  // namespace gplus::synth

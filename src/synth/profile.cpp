@@ -1,0 +1,122 @@
+#include "synth/profile.h"
+
+#include <bit>
+
+#include "synth/names.h"
+
+namespace gplus::synth {
+
+std::string_view attribute_name(Attribute a) noexcept {
+  switch (a) {
+    case Attribute::kName: return "Name";
+    case Attribute::kGender: return "Gender";
+    case Attribute::kEducation: return "Education";
+    case Attribute::kPlacesLived: return "Places lived";
+    case Attribute::kEmployment: return "Employment";
+    case Attribute::kPhrase: return "Phrase";
+    case Attribute::kOtherProfiles: return "Other profiles";
+    case Attribute::kOccupation: return "Occupation";
+    case Attribute::kContributorTo: return "Contributor to";
+    case Attribute::kIntroduction: return "Introduction";
+    case Attribute::kOtherNames: return "Other names";
+    case Attribute::kRelationship: return "Relationship";
+    case Attribute::kBraggingRights: return "Braggin rights";
+    case Attribute::kRecommendedLinks: return "Recommended links";
+    case Attribute::kLookingFor: return "Looking for";
+    case Attribute::kWorkContact: return "Work (contact)";
+    case Attribute::kHomeContact: return "Home (contact)";
+  }
+  return "Unknown";
+}
+
+std::array<Attribute, kAttributeCount> all_attributes() noexcept {
+  std::array<Attribute, kAttributeCount> out{};
+  for (std::size_t i = 0; i < kAttributeCount; ++i) {
+    out[i] = static_cast<Attribute>(i);
+  }
+  return out;
+}
+
+std::string_view gender_name(Gender g) noexcept {
+  switch (g) {
+    case Gender::kMale: return "Male";
+    case Gender::kFemale: return "Female";
+    case Gender::kOther: return "Other";
+  }
+  return "Unknown";
+}
+
+std::string_view relationship_name(Relationship r) noexcept {
+  switch (r) {
+    case Relationship::kSingle: return "Single";
+    case Relationship::kMarried: return "Married";
+    case Relationship::kInRelationship: return "In a relationship";
+    case Relationship::kComplicated: return "It's complicated";
+    case Relationship::kEngaged: return "Engaged";
+    case Relationship::kOpenRelationship: return "In an open relationship";
+    case Relationship::kWidowed: return "Widowed";
+    case Relationship::kDomesticPartnership: return "In a domestic partnership";
+    case Relationship::kCivilUnion: return "In a civil union";
+  }
+  return "Unknown";
+}
+
+std::string_view occupation_code(Occupation o) noexcept {
+  switch (o) {
+    case Occupation::kComedian: return "Co";
+    case Occupation::kMusician: return "Mu";
+    case Occupation::kInformationTech: return "IT";
+    case Occupation::kBusinessman: return "Bu";
+    case Occupation::kModel: return "Mo";
+    case Occupation::kActor: return "Ac";
+    case Occupation::kSocialite: return "So";
+    case Occupation::kTvHost: return "TV";
+    case Occupation::kJournalist: return "Jo";
+    case Occupation::kBlogger: return "Bl";
+    case Occupation::kEconomist: return "Ec";
+    case Occupation::kArtist: return "Ar";
+    case Occupation::kPolitician: return "Po";
+    case Occupation::kPhotographer: return "Ph";
+    case Occupation::kWriter: return "Wr";
+  }
+  return "??";
+}
+
+std::string_view occupation_name(Occupation o) noexcept {
+  switch (o) {
+    case Occupation::kComedian: return "Comedian";
+    case Occupation::kMusician: return "Musician";
+    case Occupation::kInformationTech: return "Information Technology Person";
+    case Occupation::kBusinessman: return "Businessman";
+    case Occupation::kModel: return "Model";
+    case Occupation::kActor: return "Actor";
+    case Occupation::kSocialite: return "Socialite";
+    case Occupation::kTvHost: return "Television Host";
+    case Occupation::kJournalist: return "Journalist";
+    case Occupation::kBlogger: return "Blogger";
+    case Occupation::kEconomist: return "Economist";
+    case Occupation::kArtist: return "Artist";
+    case Occupation::kPolitician: return "Politician";
+    case Occupation::kPhotographer: return "Photographer";
+    case Occupation::kWriter: return "Writer";
+  }
+  return "Unknown";
+}
+
+int AttributeMask::count(std::uint32_t exclude_bits) const noexcept {
+  return std::popcount(bits_ & ~exclude_bits);
+}
+
+std::string display_name(std::uint32_t id, const Profile& profile) {
+  // Public figures carry their occupation as a byline, the way the
+  // paper's Table 1 annotates its rows.
+  std::string name = synthesize_name(id, profile.country);
+  if (profile.celebrity) {
+    name += " (";
+    name += occupation_name(profile.occupation);
+    name += ")";
+  }
+  return name;
+}
+
+}  // namespace gplus::synth

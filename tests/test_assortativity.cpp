@@ -1,0 +1,94 @@
+#include "algo/assortativity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "stats/rng.h"
+
+namespace gplus::algo {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+TEST(Assortativity, EmptyAndEdgelessGraphsAreNeutral) {
+  EXPECT_DOUBLE_EQ(degree_assortativity(DiGraph{}), 0.0);
+  GraphBuilder b(4);
+  EXPECT_DOUBLE_EQ(degree_assortativity(b.build()), 0.0);
+}
+
+TEST(Assortativity, RegularGraphIsNeutral) {
+  // Directed ring: every endpoint degree identical -> constant marginals.
+  GraphBuilder b;
+  for (NodeId u = 0; u < 20; ++u) b.add_edge(u, (u + 1) % 20);
+  EXPECT_DOUBLE_EQ(degree_assortativity(b.build()), 0.0);
+}
+
+TEST(Assortativity, StarIsDisassortative) {
+  // Hub followed by many leaves: high in-degree target paired with
+  // low-out-degree sources plus the hub's own out-edges to leaves.
+  GraphBuilder b;
+  for (NodeId v = 1; v <= 30; ++v) {
+    b.add_edge(v, 0);
+    b.add_edge(0, v);
+  }
+  const double r = degree_assortativity(b.build(), DegreeMode::kOutIn);
+  EXPECT_LT(r, -0.5);
+}
+
+TEST(Assortativity, AssortativePairingDetected) {
+  // Two tiers: hubs link hubs, leaves link leaves.
+  GraphBuilder b;
+  // Hub clique (nodes 0..5): dense mutual links.
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      if (u != v) b.add_edge(u, v);
+    }
+  }
+  // Leaf pairs (6,7), (8,9), ... mutual links only.
+  for (NodeId u = 6; u < 46; u += 2) {
+    b.add_reciprocal_edge(u, u + 1);
+  }
+  const double r = degree_assortativity(b.build(), DegreeMode::kOutIn);
+  EXPECT_GT(r, 0.5);
+}
+
+TEST(Assortativity, ModesDifferOnAsymmetricGraph) {
+  GraphBuilder b;
+  stats::Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    // Sources concentrated on few nodes, targets spread wide.
+    b.add_edge(static_cast<NodeId>(rng.next_below(20)),
+               static_cast<NodeId>(20 + rng.next_below(980)));
+  }
+  const auto g = b.build();
+  // All four modes are finite and within [-1, 1].
+  for (auto mode : {DegreeMode::kOutIn, DegreeMode::kInIn, DegreeMode::kOutOut,
+                    DegreeMode::kInOut}) {
+    const double r = degree_assortativity(g, mode);
+    EXPECT_GE(r, -1.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(NeighborDegreeProfile, StarProfile) {
+  GraphBuilder b;
+  for (NodeId v = 1; v <= 10; ++v) b.add_edge(v, 0);
+  b.add_edge(0, 1);
+  const auto profile = neighbor_degree_profile(b.build(), 5);
+  ASSERT_EQ(profile.size(), 6u);
+  // Out-degree-1 nodes: the 10 leaves point at the hub (in-degree 10) and
+  // the hub points at leaf 1 (in-degree 1): mean = (10*10 + 1) / 11.
+  EXPECT_NEAR(profile[1], 101.0 / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(profile[2], 0.0);  // nobody has out-degree 2
+}
+
+TEST(NeighborDegreeProfile, EmptyGraph) {
+  const auto profile = neighbor_degree_profile(DiGraph{}, 3);
+  ASSERT_EQ(profile.size(), 4u);
+  for (double v : profile) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace gplus::algo

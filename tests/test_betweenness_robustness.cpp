@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "algo/betweenness.h"
+#include "algo/robustness.h"
+#include "graph/builder.h"
+
+namespace gplus::algo {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+TEST(Betweenness, PathGraphMiddleCarriesTraffic) {
+  // 0 -> 1 -> 2 -> 3 -> 4: node 2 lies on paths 0->3, 0->4, 1->3, 1->4
+  // plus endpoints-of-its-own; exact Brandes values are known.
+  GraphBuilder b;
+  for (NodeId u = 0; u + 1 < 5; ++u) b.add_edge(u, u + 1);
+  const auto score = betweenness_centrality(b.build());
+  EXPECT_DOUBLE_EQ(score[0], 0.0);
+  EXPECT_DOUBLE_EQ(score[1], 3.0);  // pairs (0,2), (0,3), (0,4)
+  EXPECT_DOUBLE_EQ(score[2], 4.0);  // (0,3), (0,4), (1,3), (1,4)
+  EXPECT_DOUBLE_EQ(score[3], 3.0);
+  EXPECT_DOUBLE_EQ(score[4], 0.0);
+}
+
+TEST(Betweenness, StarHubCarriesEverything) {
+  GraphBuilder b;
+  constexpr NodeId kLeaves = 6;
+  for (NodeId v = 1; v <= kLeaves; ++v) b.add_reciprocal_edge(0, v);
+  const auto score = betweenness_centrality(b.build());
+  // Every leaf pair routes through the hub: 6*5 ordered pairs.
+  EXPECT_DOUBLE_EQ(score[0], 30.0);
+  for (NodeId v = 1; v <= kLeaves; ++v) EXPECT_DOUBLE_EQ(score[v], 0.0);
+}
+
+TEST(Betweenness, SplitsOverEqualShortestPaths) {
+  // Two parallel 2-hop routes 0 -> {1,2} -> 3: each carries half of (0,3).
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  const auto score = betweenness_centrality(b.build());
+  EXPECT_DOUBLE_EQ(score[1], 0.5);
+  EXPECT_DOUBLE_EQ(score[2], 0.5);
+  EXPECT_DOUBLE_EQ(score[3], 0.0);
+}
+
+TEST(Betweenness, SampledMatchesExactInExpectation) {
+  GraphBuilder b;
+  stats::Rng gen(5);
+  constexpr NodeId kN = 150;
+  for (int i = 0; i < 1200; ++i) {
+    b.add_edge(static_cast<NodeId>(gen.next_below(kN)),
+               static_cast<NodeId>(gen.next_below(kN)));
+  }
+  const auto g = b.build();
+  const auto exact = betweenness_centrality(g);
+  stats::Rng rng(6);
+  // All sources sampled = exact (scale factor 1).
+  const auto full = sampled_betweenness(g, kN, rng);
+  for (NodeId u = 0; u < kN; ++u) EXPECT_NEAR(full[u], exact[u], 1e-9);
+
+  // Partial sampling: top node by exact score stays near the top.
+  const auto approx = sampled_betweenness(g, 50, rng);
+  NodeId exact_top = 0, approx_top = 0;
+  for (NodeId u = 1; u < kN; ++u) {
+    if (exact[u] > exact[exact_top]) exact_top = u;
+    if (approx[u] > approx[approx_top]) approx_top = u;
+  }
+  EXPECT_GT(approx[exact_top], 0.0);
+}
+
+TEST(Betweenness, RejectsZeroSources) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  const auto g = b.build();
+  stats::Rng rng(1);
+  EXPECT_THROW(sampled_betweenness(g, 0, rng), std::invalid_argument);
+}
+
+DiGraph hub_and_chains() {
+  // A hub (0) mutually linked to 40 users, plus 10 chains of 20 hanging
+  // off them: targeted hub removal disconnects the chains from each other.
+  GraphBuilder b;
+  for (NodeId v = 1; v <= 40; ++v) b.add_reciprocal_edge(0, v);
+  NodeId next = 41;
+  for (NodeId c = 1; c <= 10; ++c) {
+    NodeId prev = c;
+    for (int i = 0; i < 20; ++i) {
+      b.add_reciprocal_edge(prev, next);
+      prev = next++;
+    }
+  }
+  return b.build();
+}
+
+TEST(Robustness, TargetedRemovalHurtsMoreThanRandom) {
+  const auto g = hub_and_chains();
+  const std::vector<double> fractions = {0.0, 0.02};
+  stats::Rng rng1(7), rng2(7);
+  const auto random =
+      removal_sweep(g, RemovalStrategy::kRandom, fractions, rng1);
+  const auto targeted =
+      removal_sweep(g, RemovalStrategy::kTopInDegree, fractions, rng2);
+  // Baseline point identical.
+  EXPECT_DOUBLE_EQ(random[0].giant_wcc_fraction,
+                   targeted[0].giant_wcc_fraction);
+  EXPECT_DOUBLE_EQ(random[0].removed_fraction, 0.0);
+  // Removing the top 2% by in-degree kills the hub: giant collapses.
+  EXPECT_LT(targeted[1].giant_wcc_fraction,
+            random[1].giant_wcc_fraction - 0.2);
+  EXPECT_LT(targeted[1].edge_survival, random[1].edge_survival);
+}
+
+TEST(Robustness, MonotoneDamageInRemovalBudget) {
+  const auto g = hub_and_chains();
+  const std::vector<double> fractions = {0.0, 0.05, 0.2, 0.5};
+  stats::Rng rng(9);
+  const auto sweep =
+      removal_sweep(g, RemovalStrategy::kTopOutDegree, fractions, rng);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].edge_survival, sweep[i - 1].edge_survival + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(sweep[0].edge_survival, 1.0);
+}
+
+TEST(Robustness, Validation) {
+  const auto g = hub_and_chains();
+  stats::Rng rng(1);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW(removal_sweep(g, RemovalStrategy::kRandom, bad, rng),
+               std::invalid_argument);
+  EXPECT_THROW(removal_sweep(DiGraph{}, RemovalStrategy::kRandom,
+                             std::vector<double>{0.1}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gplus::algo

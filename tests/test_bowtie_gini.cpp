@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "algo/bowtie.h"
+#include "graph/builder.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace gplus {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+TEST(BowTie, ClassicShape) {
+  // IN (0,1) -> core cycle (2,3,4) -> OUT (5,6); 7 disconnected.
+  GraphBuilder b;
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 2);
+  b.add_edge(4, 5);
+  b.add_edge(5, 6);
+  b.ensure_node(7);
+  const auto bt = algo::bow_tie_decomposition(b.build());
+  EXPECT_EQ(bt.core, 3u);
+  EXPECT_EQ(bt.in, 2u);
+  EXPECT_EQ(bt.out, 2u);
+  EXPECT_EQ(bt.other, 1u);
+  EXPECT_EQ(bt.region[0], algo::BowTieRegion::kIn);
+  EXPECT_EQ(bt.region[2], algo::BowTieRegion::kCore);
+  EXPECT_EQ(bt.region[6], algo::BowTieRegion::kOut);
+  EXPECT_EQ(bt.region[7], algo::BowTieRegion::kOther);
+  EXPECT_DOUBLE_EQ(bt.core_fraction(8), 3.0 / 8.0);
+}
+
+TEST(BowTie, TendrilIsOther) {
+  // Core (0,1); IN node 2; a tendril 3 hanging off the IN node (3 cannot
+  // reach the core and the core cannot reach it).
+  GraphBuilder b;
+  b.add_reciprocal_edge(0, 1);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  const auto bt = algo::bow_tie_decomposition(b.build());
+  EXPECT_EQ(bt.region[2], algo::BowTieRegion::kIn);
+  EXPECT_EQ(bt.region[3], algo::BowTieRegion::kOther);
+}
+
+TEST(BowTie, FullyConnectedIsAllCore) {
+  GraphBuilder b;
+  for (NodeId u = 0; u < 6; ++u) b.add_edge(u, (u + 1) % 6);
+  const auto bt = algo::bow_tie_decomposition(b.build());
+  EXPECT_EQ(bt.core, 6u);
+  EXPECT_EQ(bt.in + bt.out + bt.other, 0u);
+}
+
+TEST(BowTie, EmptyGraph) {
+  const auto bt = algo::bow_tie_decomposition(DiGraph{});
+  EXPECT_EQ(bt.core, 0u);
+  EXPECT_DOUBLE_EQ(bt.core_fraction(0), 0.0);
+}
+
+TEST(BowTie, RegionsPartitionTheGraph) {
+  GraphBuilder b;
+  stats::Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    b.add_edge(static_cast<NodeId>(rng.next_below(800)),
+               static_cast<NodeId>(rng.next_below(800)));
+  }
+  const auto g = b.build();
+  const auto bt = algo::bow_tie_decomposition(g);
+  EXPECT_EQ(bt.core + bt.in + bt.out + bt.other, g.node_count());
+  EXPECT_GT(bt.core, 0u);
+}
+
+TEST(Gini, PerfectEqualityIsZero) {
+  const std::vector<double> equal(50, 3.0);
+  EXPECT_NEAR(stats::gini_coefficient(equal), 0.0, 1e-12);
+}
+
+TEST(Gini, ExtremeConcentrationApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[7] = 1000.0;
+  EXPECT_NEAR(stats::gini_coefficient(v), 0.99, 1e-9);
+}
+
+TEST(Gini, KnownSmallExample) {
+  // {0, 1}: G = 1/2 exactly.
+  const std::vector<double> v = {0.0, 1.0};
+  EXPECT_NEAR(stats::gini_coefficient(v), 0.5, 1e-12);
+}
+
+TEST(Gini, ScaleInvariant) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 10.0};
+  std::vector<double> b;
+  for (double x : a) b.push_back(x * 37.5);
+  EXPECT_NEAR(stats::gini_coefficient(a), stats::gini_coefficient(b), 1e-12);
+}
+
+TEST(Gini, Validation) {
+  EXPECT_THROW(stats::gini_coefficient({}), std::invalid_argument);
+  const std::vector<double> neg = {1.0, -2.0};
+  EXPECT_THROW(stats::gini_coefficient(neg), std::invalid_argument);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(stats::gini_coefficient(zeros), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gplus

@@ -1,0 +1,89 @@
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace gplus::graph {
+namespace {
+
+TEST(GraphBuilder, GrowsNodeSpaceOnDemand) {
+  GraphBuilder b;
+  EXPECT_EQ(b.node_count(), 0u);
+  b.add_edge(3, 7);
+  EXPECT_EQ(b.node_count(), 8u);
+  b.add_edge(1, 2);
+  EXPECT_EQ(b.node_count(), 8u);
+}
+
+TEST(GraphBuilder, PreallocatedNodeSpace) {
+  GraphBuilder b(10);
+  EXPECT_EQ(b.node_count(), 10u);
+  const auto g = b.build();
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(GraphBuilder, EnsureNodeCreatesIsolated) {
+  GraphBuilder b;
+  b.ensure_node(4);
+  const auto g = b.build();
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.out_degree(4), 0u);
+}
+
+TEST(GraphBuilder, ReciprocalEdgeAddsBoth) {
+  GraphBuilder b;
+  b.add_reciprocal_edge(0, 1);
+  const auto g = b.build();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.is_reciprocal(0, 1));
+}
+
+TEST(GraphBuilder, BatchAdd) {
+  GraphBuilder b;
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}};
+  b.add_edges(edges);
+  EXPECT_EQ(b.buffered_edge_count(), 3u);
+  const auto g = b.build();
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(GraphBuilder, BuildIsRepeatableAndIncremental) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  const auto g1 = b.build();
+  EXPECT_EQ(g1.edge_count(), 1u);
+  b.add_edge(1, 0);
+  const auto g2 = b.build();
+  EXPECT_EQ(g2.edge_count(), 2u);
+  // First snapshot unaffected.
+  EXPECT_EQ(g1.edge_count(), 1u);
+}
+
+TEST(GraphBuilder, SelfLoopPolicyFlowsThrough) {
+  GraphBuilder b;
+  b.add_edge(2, 2);
+  EXPECT_EQ(b.build(false).edge_count(), 0u);
+  EXPECT_EQ(b.build(true).edge_count(), 1u);
+}
+
+TEST(GraphBuilder, ClearResets) {
+  GraphBuilder b;
+  b.add_edge(0, 9);
+  b.clear();
+  EXPECT_EQ(b.node_count(), 0u);
+  EXPECT_EQ(b.buffered_edge_count(), 0u);
+  const auto g = b.build();
+  EXPECT_EQ(g.node_count(), 0u);
+}
+
+TEST(GraphBuilder, BufferedEdgesViewKeepsDuplicates) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  EXPECT_EQ(b.buffered_edge_count(), 2u);  // dedup happens at build()
+  EXPECT_EQ(b.build().edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace gplus::graph

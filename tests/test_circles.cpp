@@ -1,0 +1,183 @@
+#include "stream/circles.h"
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stream/diffusion.h"
+
+namespace gplus::stream {
+namespace {
+
+using graph::NodeId;
+
+class CirclesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new core::Dataset(core::make_standard_dataset(15'000, 13));
+    circles_ = new CircleAssignment(*ds_, 7);
+  }
+  static void TearDownTestSuite() {
+    delete circles_;
+    delete ds_;
+    circles_ = nullptr;
+    ds_ = nullptr;
+  }
+  static core::Dataset* ds_;
+  static CircleAssignment* circles_;
+};
+
+core::Dataset* CirclesTest::ds_ = nullptr;
+CircleAssignment* CirclesTest::circles_ = nullptr;
+
+TEST(CircleNames, AllDistinctAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (std::size_t k = 0; k < kCircleKindCount; ++k) {
+    const auto name = circle_name(static_cast<CircleKind>(k));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second);
+  }
+}
+
+TEST_F(CirclesTest, EveryContactHasExactlyOneCircle) {
+  EXPECT_EQ(circles_->user_count(), ds_->user_count());
+  for (NodeId u = 0; u < ds_->user_count(); ++u) {
+    const auto kinds = circles_->circles_of(u);
+    ASSERT_EQ(kinds.size(), ds_->graph().out_degree(u)) << u;
+    const auto counts = circles_->counts(u);
+    std::uint64_t total = 0;
+    for (auto c : counts) total += c;
+    ASSERT_EQ(total, kinds.size()) << u;
+  }
+}
+
+TEST_F(CirclesTest, MembersMatchAssignments) {
+  // Spot-check a few users: members() must agree with circles_of().
+  for (NodeId u = 0; u < 50; ++u) {
+    const auto outs = ds_->graph().out_neighbors(u);
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < kCircleKindCount; ++k) {
+      const auto members = circles_->members(u, static_cast<CircleKind>(k));
+      total += members.size();
+      for (NodeId v : members) {
+        EXPECT_TRUE(std::find(outs.begin(), outs.end(), v) != outs.end());
+      }
+    }
+    EXPECT_EQ(total, outs.size());
+  }
+}
+
+TEST_F(CirclesTest, OneWayAddsLandInFollowing) {
+  const graph::DiGraph& g = ds_->graph();
+  std::size_t checked = 0;
+  for (NodeId u = 0; u < ds_->user_count() && checked < 2000; ++u) {
+    const auto outs = g.out_neighbors(u);
+    const auto kinds = circles_->circles_of(u);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      if (!g.has_edge(outs[i], u)) {
+        EXPECT_EQ(kinds[i], CircleKind::kFollowing);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST_F(CirclesTest, MutualContactsNeverInFollowingUnlessCelebrity) {
+  const graph::DiGraph& g = ds_->graph();
+  std::size_t checked = 0;
+  for (NodeId u = 0; u < 2000; ++u) {
+    const auto outs = g.out_neighbors(u);
+    const auto kinds = circles_->circles_of(u);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      if (g.has_edge(outs[i], u) && !ds_->profiles[outs[i]].celebrity) {
+        EXPECT_NE(kinds[i], CircleKind::kFollowing);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST_F(CirclesTest, FamilyLivesCloserThanAcquaintances) {
+  double family_sum = 0.0, acq_sum = 0.0;
+  std::size_t family_n = 0, acq_n = 0;
+  for (NodeId u = 0; u < ds_->user_count(); ++u) {
+    const auto outs = ds_->graph().out_neighbors(u);
+    const auto kinds = circles_->circles_of(u);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      const double miles = geo::haversine_miles(ds_->profiles[u].home,
+                                                ds_->profiles[outs[i]].home);
+      if (kinds[i] == CircleKind::kFamily) {
+        family_sum += miles;
+        ++family_n;
+      } else if (kinds[i] == CircleKind::kAcquaintances) {
+        acq_sum += miles;
+        ++acq_n;
+      }
+    }
+  }
+  ASSERT_GT(family_n, 100u);
+  ASSERT_GT(acq_n, 100u);
+  EXPECT_LT(family_sum / static_cast<double>(family_n),
+            acq_sum / static_cast<double>(acq_n));
+}
+
+TEST_F(CirclesTest, StatsAreCoherent) {
+  const auto stats = circle_stats(*circles_);
+  double total = 0.0;
+  for (double s : stats.share) {
+    EXPECT_GE(s, 0.0);
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Friends should be a major circle; Following exists (one-way adds).
+  EXPECT_GT(stats.share[static_cast<std::size_t>(CircleKind::kFriends)], 0.1);
+  EXPECT_GT(stats.share[static_cast<std::size_t>(CircleKind::kFollowing)], 0.1);
+}
+
+TEST_F(CirclesTest, DeterministicForSameSeed) {
+  const CircleAssignment again(*ds_, 7);
+  for (NodeId u = 0; u < 200; ++u) {
+    const auto a = circles_->circles_of(u);
+    const auto b = again.circles_of(u);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << u;
+  }
+}
+
+TEST_F(CirclesTest, CircleAwareDiffusionNarrowsPrivatePosts) {
+  const DiffusionSimulator plain(ds_, {});
+  const DiffusionSimulator aware(ds_, circles_, {});
+  // Author with a meaningful audience.
+  NodeId author = 0;
+  for (NodeId u = 0; u < ds_->user_count(); ++u) {
+    if (ds_->graph().in_degree(u) >= 30 && !ds_->profiles[u].celebrity) {
+      author = u;
+      break;
+    }
+  }
+  stats::Rng rng(5);
+  double public_views = 0.0, circle_views = 0.0;
+  constexpr int kRuns = 20;
+  for (int i = 0; i < kRuns; ++i) {
+    public_views +=
+        static_cast<double>(aware.simulate_post(author, true, rng).views);
+    circle_views +=
+        static_cast<double>(aware.simulate_post(author, false, rng).views);
+  }
+  EXPECT_GT(public_views, circle_views);
+  // And the circle-aware limited audience differs from the fraction model
+  // but stays bounded by the contact list.
+  const auto cascade = aware.simulate_post(author, false, rng);
+  EXPECT_LE(cascade.views,
+            ds_->user_count());
+  (void)plain;
+}
+
+TEST_F(CirclesTest, InvalidUserRejected) {
+  EXPECT_THROW(circles_->circles_of(static_cast<NodeId>(ds_->user_count())),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gplus::stream

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+
+namespace gplus::cli {
+namespace {
+
+TEST(ArgParser, DefaultsAndOverrides) {
+  ArgParser parser("test", "test parser");
+  parser.add_option("nodes", "100", "node count");
+  parser.add_flag("verbose", "chatty output");
+
+  ASSERT_FALSE(parser.parse({}).has_value());
+  EXPECT_EQ(parser.get("nodes"), "100");
+  EXPECT_FALSE(parser.get_flag("verbose"));
+
+  ASSERT_FALSE(parser.parse({"--nodes", "250", "--verbose"}).has_value());
+  EXPECT_EQ(parser.get_u64("nodes"), 250u);
+  EXPECT_TRUE(parser.get_flag("verbose"));
+}
+
+TEST(ArgParser, EqualsSyntaxAndPositionals) {
+  ArgParser parser("test", "test parser");
+  parser.add_option("rate", "0.5", "a rate");
+  ASSERT_FALSE(parser.parse({"input.txt", "--rate=0.25", "extra"}).has_value());
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 0.25);
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.txt");
+  EXPECT_EQ(parser.positional()[1], "extra");
+}
+
+TEST(ArgParser, ReportsErrors) {
+  ArgParser parser("test", "test parser");
+  parser.add_option("nodes", "1", "n");
+  parser.add_flag("fast", "f");
+  EXPECT_TRUE(parser.parse({"--bogus"}).has_value());
+  EXPECT_TRUE(parser.parse({"--nodes"}).has_value());     // missing value
+  EXPECT_TRUE(parser.parse({"--fast=yes"}).has_value());  // flag with value
+}
+
+TEST(ArgParser, ReparseResetsState) {
+  ArgParser parser("test", "test parser");
+  parser.add_option("n", "5", "n");
+  ASSERT_FALSE(parser.parse({"--n", "9"}).has_value());
+  EXPECT_EQ(parser.get_u64("n"), 9u);
+  ASSERT_FALSE(parser.parse({}).has_value());
+  EXPECT_EQ(parser.get_u64("n"), 5u);
+}
+
+TEST(ArgParser, TypeValidation) {
+  ArgParser parser("test", "test parser");
+  parser.add_option("n", "abc", "n");
+  ASSERT_FALSE(parser.parse({}).has_value());
+  EXPECT_THROW(parser.get_u64("n"), std::invalid_argument);
+  EXPECT_THROW(parser.get_double("n"), std::invalid_argument);
+  EXPECT_THROW(parser.get("undeclared"), std::invalid_argument);
+}
+
+TEST(ArgParser, UsageMentionsAllOptions) {
+  ArgParser parser("prog", "does things");
+  parser.add_option("alpha", "1.0", "the exponent");
+  parser.add_flag("quiet", "hush");
+  const auto usage = parser.usage();
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("--quiet"), std::string::npos);
+  EXPECT_NE(usage.find("the exponent"), std::string::npos);
+  EXPECT_NE(usage.find("default: 1.0"), std::string::npos);
+}
+
+// End-to-end: generate -> analyze -> top -> crawl -> export, in-process.
+// Each TEST may run in its own process (ctest discovery), so the fixture
+// regenerates the dataset on demand rather than relying on test order.
+class CliPipelineTest : public ::testing::Test {
+ protected:
+  static std::filesystem::path dataset_path() {
+    return std::filesystem::temp_directory_path() / "gplus_cli_test.dataset";
+  }
+  void SetUp() override {
+    if (std::filesystem::exists(dataset_path())) return;
+    std::ostringstream out;
+    ASSERT_EQ(run_command({"generate", "--nodes", "3000", "--seed", "7",
+                           "--out", dataset_path().string()},
+                          out),
+              0)
+        << out.str();
+  }
+};
+
+TEST_F(CliPipelineTest, A_GenerateWritesADataset) {
+  const auto fresh =
+      std::filesystem::temp_directory_path() / "gplus_cli_test_fresh.dataset";
+  std::ostringstream out;
+  const int rc = run_command(
+      {"generate", "--nodes", "3000", "--seed", "7", "--out", fresh.string()},
+      out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_TRUE(std::filesystem::exists(fresh));
+  EXPECT_NE(out.str().find("3,000 users"), std::string::npos);
+  std::filesystem::remove(fresh);
+}
+
+TEST_F(CliPipelineTest, B_AnalyzePrintsSummary) {
+  std::ostringstream out;
+  const int rc = run_command({"analyze", "--in", dataset_path().string(),
+                              "--path-sources", "40", "--attributes"},
+                             out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("Mean degree"), std::string::npos);
+  EXPECT_NE(out.str().find("Reciprocity"), std::string::npos);
+  EXPECT_NE(out.str().find("Places lived"), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, C_TopListsRankedUsers) {
+  std::ostringstream out;
+  const int rc =
+      run_command({"top", "--in", dataset_path().string(), "--k", "5"}, out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("Rank"), std::string::npos);
+  EXPECT_NE(out.str().find("5"), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, D_CrawlReportsStats) {
+  std::ostringstream out;
+  const int rc = run_command({"crawl", "--in", dataset_path().string(),
+                              "--coverage", "0.5", "--cap", "500"},
+                             out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("Profiles crawled"), std::string::npos);
+  EXPECT_NE(out.str().find("Degree-bias ratio"), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, F_ExportGraphmlAndCsv) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto graphml = dir / "gplus_cli_test.graphml";
+  std::ostringstream out1;
+  EXPECT_EQ(run_command({"export", "--in", dataset_path().string(), "--out",
+                         graphml.string(), "--format", "graphml"},
+                        out1),
+            0)
+      << out1.str();
+  EXPECT_TRUE(std::filesystem::exists(graphml));
+
+  const auto nodes = dir / "gplus_cli_test_nodes.csv";
+  std::ostringstream out2;
+  EXPECT_EQ(run_command({"export", "--in", dataset_path().string(), "--out",
+                         nodes.string(), "--format", "csv", "--latent"},
+                        out2),
+            0)
+      << out2.str();
+  EXPECT_TRUE(std::filesystem::exists(nodes));
+  EXPECT_TRUE(std::filesystem::exists(nodes.string() + ".edges.csv"));
+
+  std::filesystem::remove(graphml);
+  std::filesystem::remove(nodes);
+  std::filesystem::remove(nodes.string() + ".edges.csv");
+}
+
+TEST_F(CliPipelineTest, E_ExportWritesEdgeList) {
+  const auto edges_path =
+      std::filesystem::temp_directory_path() / "gplus_cli_test_edges.txt";
+  std::ostringstream out;
+  const int rc = run_command({"export", "--in", dataset_path().string(),
+                              "--out", edges_path.string()},
+                             out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_TRUE(std::filesystem::exists(edges_path));
+  EXPECT_GT(std::filesystem::file_size(edges_path), 1000u);
+  std::filesystem::remove(edges_path);
+}
+
+TEST_F(CliPipelineTest, G_ReportRendersMarkdown) {
+  std::ostringstream out;
+  const int rc = run_command({"report", "--in", dataset_path().string(),
+                              "--path-sources", "30"},
+                             out);
+  EXPECT_EQ(rc, 0) << out.str();
+  const auto text = out.str();
+  EXPECT_NE(text.find("# Google+ reproduction report"), std::string::npos);
+  EXPECT_NE(text.find("Mean degree"), std::string::npos);
+  EXPECT_NE(text.find("Tel-users"), std::string::npos);
+  EXPECT_NE(text.find("Country mixing"), std::string::npos);
+  EXPECT_NE(text.find("IT share"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandAndHelp) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command({"frobnicate"}, out), 2);
+  EXPECT_NE(out.str().find("unknown command"), std::string::npos);
+
+  std::ostringstream help;
+  EXPECT_EQ(run_command({"help"}, help), 0);
+  EXPECT_NE(help.str().find("generate"), std::string::npos);
+
+  std::ostringstream empty;
+  EXPECT_EQ(run_command({}, empty), 2);
+}
+
+TEST(Cli, BadOptionsPrintUsageAndFail) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command({"generate", "--bogus"}, out), 2);
+  EXPECT_NE(out.str().find("unknown option"), std::string::npos);
+  EXPECT_NE(out.str().find("--nodes"), std::string::npos);
+}
+
+TEST(Cli, MissingFileIsAnError) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command({"analyze", "--in", "/no/such/file.ds"}, out), 1);
+  EXPECT_NE(out.str().find("error"), std::string::npos);
+}
+
+TEST(Cli, BadPresetIsAnError) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command({"generate", "--preset", "myspace"}, out), 1);
+  EXPECT_NE(out.str().find("unknown preset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gplus::cli

@@ -1,0 +1,135 @@
+#include "algo/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "stats/rng.h"
+
+namespace gplus::algo {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+TEST(ClusteringCoefficient, UndefinedBelowTwoOutNeighbors) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  const auto g = b.build();
+  EXPECT_FALSE(clustering_coefficient(g, 0).has_value());
+  EXPECT_FALSE(clustering_coefficient(g, 1).has_value());
+}
+
+TEST(ClusteringCoefficient, FullTriangleBothDirections) {
+  GraphBuilder b;
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId v = 0; v < 3; ++v) {
+      if (u != v) b.add_edge(u, v);
+    }
+  }
+  const auto g = b.build();
+  // Every ordered pair of out-neighbors is connected: C = 1.
+  EXPECT_DOUBLE_EQ(*clustering_coefficient(g, 0), 1.0);
+}
+
+TEST(ClusteringCoefficient, OneWayTriangleIsHalf) {
+  // 0 -> 1, 0 -> 2, 1 -> 2 (but not 2 -> 1): one of the two ordered pairs.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const auto g = b.build();
+  EXPECT_DOUBLE_EQ(*clustering_coefficient(g, 0), 0.5);
+}
+
+TEST(ClusteringCoefficient, StarCenterIsZero) {
+  GraphBuilder b;
+  for (NodeId v = 1; v <= 6; ++v) b.add_edge(0, v);
+  const auto g = b.build();
+  EXPECT_DOUBLE_EQ(*clustering_coefficient(g, 0), 0.0);
+}
+
+TEST(ClusteringCoefficient, IgnoresEdgesBackToCenter) {
+  // 0 -> {1, 2}; 1 -> 0 must not count as a link "among neighbors".
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 0);
+  const auto g = b.build();
+  EXPECT_DOUBLE_EQ(*clustering_coefficient(g, 0), 0.0);
+}
+
+TEST(ClusteringCoefficients, CollectsQualifyingNodes) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(3, 0);  // 3 has out-degree 1: excluded
+  const auto values = clustering_coefficients(b.build());
+  EXPECT_EQ(values.size(), 1u);
+}
+
+TEST(AverageClustering, CliqueIsOne) {
+  GraphBuilder b;
+  constexpr NodeId kN = 6;
+  for (NodeId u = 0; u < kN; ++u) {
+    for (NodeId v = 0; v < kN; ++v) {
+      if (u != v) b.add_edge(u, v);
+    }
+  }
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(b.build()), 1.0);
+}
+
+TEST(AverageClustering, EmptyAndSparseGraphs) {
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(DiGraph{}), 0.0);
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(b.build()), 0.0);
+}
+
+TEST(SampledClustering, SmallGraphReturnsAllQualifying) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  b.add_edge(1, 0);
+  stats::Rng rng(1);
+  const auto sample = sampled_clustering_coefficients(b.build(), 100, rng);
+  EXPECT_EQ(sample.size(), 2u);  // nodes 0 and 1 qualify
+}
+
+TEST(SampledClustering, RespectsSampleBudget) {
+  GraphBuilder b;
+  stats::Rng gen(2);
+  for (NodeId u = 0; u < 500; ++u) {
+    b.add_edge(u, static_cast<NodeId>(gen.next_below(500)));
+    b.add_edge(u, static_cast<NodeId>(gen.next_below(500)));
+    b.add_edge(u, static_cast<NodeId>(gen.next_below(500)));
+  }
+  stats::Rng rng(3);
+  const auto sample = sampled_clustering_coefficients(b.build(), 50, rng);
+  EXPECT_EQ(sample.size(), 50u);
+  for (double c : sample) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(ClusteringCdf, IsMonotone) {
+  GraphBuilder b;
+  stats::Rng gen(4);
+  for (NodeId u = 0; u < 300; ++u) {
+    for (int i = 0; i < 4; ++i) {
+      b.add_edge(u, static_cast<NodeId>(gen.next_below(300)));
+    }
+  }
+  stats::Rng rng(5);
+  const auto cdf = clustering_cdf(b.build(), 200, rng);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().y, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LT(cdf[i - 1].y, cdf[i].y + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace gplus::algo

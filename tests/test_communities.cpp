@@ -1,0 +1,156 @@
+#include "algo/communities.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.h"
+
+namespace gplus::algo {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+// Two dense cliques joined by a single bridge edge.
+DiGraph two_cliques(NodeId size_each) {
+  GraphBuilder b;
+  for (NodeId u = 0; u < size_each; ++u) {
+    for (NodeId v = 0; v < size_each; ++v) {
+      if (u != v) b.add_edge(u, v);
+    }
+  }
+  for (NodeId u = size_each; u < 2 * size_each; ++u) {
+    for (NodeId v = size_each; v < 2 * size_each; ++v) {
+      if (u != v) b.add_edge(u, v);
+    }
+  }
+  b.add_edge(0, size_each);  // bridge
+  return b.build();
+}
+
+TEST(LabelPropagation, FindsTwoCliques) {
+  const auto g = two_cliques(12);
+  stats::Rng rng(1);
+  const auto partition = label_propagation(g, rng);
+  EXPECT_EQ(partition.community_count, 2u);
+  // Every member of clique 1 shares a label; same for clique 2.
+  for (NodeId u = 1; u < 12; ++u) {
+    EXPECT_EQ(partition.label[u], partition.label[0]);
+  }
+  for (NodeId u = 13; u < 24; ++u) {
+    EXPECT_EQ(partition.label[u], partition.label[12]);
+  }
+  EXPECT_NE(partition.label[0], partition.label[12]);
+}
+
+TEST(LabelPropagation, IsolatedNodesKeepOwnLabels) {
+  GraphBuilder b(4);
+  b.add_reciprocal_edge(0, 1);
+  stats::Rng rng(2);
+  const auto partition = label_propagation(b.build(), rng);
+  EXPECT_EQ(partition.label[0], partition.label[1]);
+  EXPECT_NE(partition.label[2], partition.label[3]);
+  EXPECT_EQ(partition.community_count, 3u);
+}
+
+TEST(LabelPropagation, EmptyGraph) {
+  stats::Rng rng(3);
+  const auto partition = label_propagation(DiGraph{}, rng);
+  EXPECT_EQ(partition.community_count, 0u);
+  EXPECT_TRUE(partition.label.empty());
+}
+
+TEST(PartitionFromLabels, CompactsArbitraryIds) {
+  const std::vector<std::uint32_t> raw = {99, 5, 99, 7, 5};
+  const auto p = partition_from_labels(raw);
+  EXPECT_EQ(p.community_count, 3u);
+  EXPECT_EQ(p.label[0], p.label[2]);
+  EXPECT_EQ(p.label[1], p.label[4]);
+  EXPECT_NE(p.label[0], p.label[3]);
+  const auto sizes = p.sizes();
+  std::uint64_t total = std::accumulate(sizes.begin(), sizes.end(),
+                                        std::uint64_t{0});
+  EXPECT_EQ(total, raw.size());
+}
+
+TEST(Nmi, IdenticalPartitionsAreOne) {
+  const std::vector<std::uint32_t> labels = {0, 0, 1, 1, 2, 2};
+  const auto a = partition_from_labels(labels);
+  const auto b = partition_from_labels(labels);
+  EXPECT_NEAR(normalized_mutual_information(a, b), 1.0, 1e-9);
+}
+
+TEST(Nmi, RelabeledPartitionsStillOne) {
+  const std::vector<std::uint32_t> x = {0, 0, 1, 1, 2, 2};
+  const std::vector<std::uint32_t> y = {7, 7, 3, 3, 9, 9};
+  EXPECT_NEAR(normalized_mutual_information(partition_from_labels(x),
+                                            partition_from_labels(y)),
+              1.0, 1e-9);
+}
+
+TEST(Nmi, IndependentPartitionsNearZero) {
+  // Labels alternate vs block: knowing one says nothing about the other.
+  std::vector<std::uint32_t> alternate, block;
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    alternate.push_back(i % 2);
+    block.push_back(i < 200 ? 0 : 1);
+  }
+  const double nmi = normalized_mutual_information(
+      partition_from_labels(alternate), partition_from_labels(block));
+  EXPECT_LT(nmi, 0.05);
+}
+
+TEST(Nmi, TrivialPartitionConventions) {
+  const std::vector<std::uint32_t> one_block(10, 0);
+  std::vector<std::uint32_t> singletons(10);
+  std::iota(singletons.begin(), singletons.end(), 0U);
+  // one-block vs anything non-trivial: 0 (entropy 0 on one side).
+  EXPECT_DOUBLE_EQ(
+      normalized_mutual_information(partition_from_labels(one_block),
+                                    partition_from_labels(singletons)),
+      0.0);
+  // two trivial partitions: 1 by convention.
+  EXPECT_DOUBLE_EQ(
+      normalized_mutual_information(partition_from_labels(one_block),
+                                    partition_from_labels(one_block)),
+      1.0);
+}
+
+TEST(Nmi, RejectsMismatchedSizes) {
+  const std::vector<std::uint32_t> a = {0, 1};
+  const std::vector<std::uint32_t> b = {0, 1, 2};
+  EXPECT_THROW(normalized_mutual_information(partition_from_labels(a),
+                                             partition_from_labels(b)),
+               std::invalid_argument);
+}
+
+TEST(Modularity, HighForPlantedPartitionLowForMerged) {
+  const auto g = two_cliques(10);
+  std::vector<std::uint32_t> planted(20);
+  for (NodeId u = 0; u < 20; ++u) planted[u] = u < 10 ? 0 : 1;
+  const double planted_q = modularity(g, partition_from_labels(planted));
+  EXPECT_GT(planted_q, 0.4);
+
+  const std::vector<std::uint32_t> merged(20, 0);
+  EXPECT_LT(modularity(g, partition_from_labels(merged)), 0.01);
+}
+
+TEST(Modularity, LabelPropagationFindsHighModularityPartition) {
+  const auto g = two_cliques(10);
+  stats::Rng rng(5);
+  const auto detected = label_propagation(g, rng);
+  EXPECT_GT(modularity(g, detected), 0.4);
+}
+
+TEST(Modularity, ValidatesCoverage) {
+  const auto g = two_cliques(4);
+  const std::vector<std::uint32_t> short_labels = {0, 1};
+  EXPECT_THROW(modularity(g, partition_from_labels(short_labels)),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(modularity(DiGraph{}, Partition{}), 0.0);
+}
+
+}  // namespace
+}  // namespace gplus::algo

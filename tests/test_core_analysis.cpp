@@ -1,0 +1,214 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "core/table.h"
+
+namespace gplus::core {
+namespace {
+
+// One shared dataset for all node-level analyses (generation is the
+// expensive part; 50k users keeps the cohort statistics meaningful).
+class CoreAnalysisTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new Dataset(make_standard_dataset(50'000, 42));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+  static Dataset* ds_;
+};
+
+Dataset* CoreAnalysisTest::ds_ = nullptr;
+
+TEST_F(CoreAnalysisTest, TopUsersAreRankedAndMostlyCelebrities) {
+  const auto top = top_users(*ds_, 20);
+  ASSERT_EQ(top.size(), 20u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].in_degree, top[i].in_degree);
+  }
+  std::size_t celebs = 0;
+  for (const auto& u : top) celebs += u.celebrity;
+  // The audience model concentrates the top list on designated celebrities.
+  EXPECT_GE(celebs, 15u);
+  EXPECT_FALSE(top[0].name.empty());
+}
+
+TEST_F(CoreAnalysisTest, TopListIsItHeavyLikeTable1) {
+  const auto top = top_users(*ds_, 20);
+  // Paper: 7 of 20 are IT people — far above the ~7% an occupation would
+  // get uniformly. Accept a generous band around 0.35.
+  const double it = it_fraction(top);
+  EXPECT_GE(it, 0.15);
+  EXPECT_LT(it, 0.65);
+}
+
+TEST_F(CoreAnalysisTest, ItFractionEdgeCases) {
+  EXPECT_DOUBLE_EQ(it_fraction({}), 0.0);
+  std::vector<TopUser> two(2);
+  two[0].occupation = synth::Occupation::kInformationTech;
+  two[1].occupation = synth::Occupation::kMusician;
+  EXPECT_DOUBLE_EQ(it_fraction(two), 0.5);
+}
+
+TEST_F(CoreAnalysisTest, AttributeAvailabilityMatchesTable2Order) {
+  const auto table = attribute_availability(*ds_);
+  ASSERT_EQ(table.size(), synth::kAttributeCount);
+  // Name leads with 100%.
+  EXPECT_EQ(table[0].attribute, synth::Attribute::kName);
+  EXPECT_DOUBLE_EQ(table[0].fraction, 1.0);
+  // Sorted descending.
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_GE(table[i - 1].available, table[i].available);
+  }
+  // Gender second (97.7%), contact fields last (~0.2%).
+  EXPECT_EQ(table[1].attribute, synth::Attribute::kGender);
+  EXPECT_NEAR(table[1].fraction, 0.9767, 0.02);
+  const auto& last = table.back();
+  EXPECT_TRUE(last.attribute == synth::Attribute::kWorkContact ||
+              last.attribute == synth::Attribute::kHomeContact);
+  EXPECT_LT(last.fraction, 0.01);
+}
+
+TEST_F(CoreAnalysisTest, CohortBreakdownAllUsers) {
+  const auto all = cohort_breakdown(*ds_, false);
+  EXPECT_EQ(all.total, ds_->user_count());
+  EXPECT_NEAR(all.gender_share[0], 0.6765, 0.02);   // male
+  EXPECT_NEAR(all.gender_share[1], 0.3146, 0.02);   // female
+  EXPECT_NEAR(all.relationship_share[0], 0.4282, 0.05);  // single
+  // Location rows: US ~31%, India ~17%.
+  EXPECT_NEAR(all.location_share[0], 0.3138, 0.04);
+  EXPECT_NEAR(all.location_share[1], 0.1671, 0.04);
+  double loc_total = 0.0;
+  for (double s : all.location_share) loc_total += s;
+  EXPECT_NEAR(loc_total, 1.0, 1e-9);
+}
+
+TEST_F(CoreAnalysisTest, TelCohortSkewsMatchTable3) {
+  const auto all = cohort_breakdown(*ds_, false);
+  const auto tel = cohort_breakdown(*ds_, true);
+  ASSERT_GT(tel.total, 20u);
+  EXPECT_LT(tel.total, all.total / 50);  // rare cohort
+  // Male share higher among tel-users; India over-represented; the US
+  // under-represented.
+  EXPECT_GT(tel.gender_share[0], all.gender_share[0]);
+  EXPECT_GT(tel.location_share[1], all.location_share[1] * 1.2);
+  EXPECT_LT(tel.location_share[0], all.location_share[0]);
+}
+
+TEST_F(CoreAnalysisTest, FieldsSharedCcdfTelDominates) {
+  const auto all = fields_shared_ccdf(*ds_, false);
+  const auto tel = fields_shared_ccdf(*ds_, true);
+  ASSERT_FALSE(all.empty());
+  ASSERT_FALSE(tel.empty());
+  // Fig 2 comparison at 6 fields: 10% of all users vs 66% of tel-users
+  // share more than six.
+  const double all_at_7 = stats::evaluate_step(all, 6.999);
+  auto ccdf_at = [](const std::vector<stats::CurvePoint>& curve, double x) {
+    double y = 0.0;
+    for (const auto& p : curve) {
+      if (p.x >= x) return p.y;
+      y = p.y;
+    }
+    return y;
+  };
+  const double all_over_6 = ccdf_at(all, 7.0);
+  const double tel_over_6 = ccdf_at(tel, 7.0);
+  EXPECT_GT(tel_over_6, all_over_6 + 0.2);
+  (void)all_at_7;
+}
+
+TEST_F(CoreAnalysisTest, StructuralSummaryInPaperBands) {
+  stats::Rng rng(1);
+  const auto s = structural_summary(ds_->graph(), 150, rng);
+  EXPECT_EQ(s.nodes, ds_->user_count());
+  EXPECT_GT(s.mean_degree, 12.0);
+  EXPECT_LT(s.mean_degree, 21.0);
+  EXPECT_GT(s.reciprocity, 0.25);
+  EXPECT_LT(s.reciprocity, 0.45);
+  EXPECT_GT(s.giant_scc_fraction, 0.6);
+  EXPECT_LT(s.giant_scc_fraction, 0.9);
+  EXPECT_GT(s.path_length, 2.0);
+  EXPECT_LT(s.path_length, 8.0);
+  EXPECT_GE(s.diameter_lower_bound, 5u);
+  EXPECT_NEAR(s.in_alpha, 1.3, 0.35);
+  EXPECT_NEAR(s.out_alpha, 1.2, 0.35);
+}
+
+TEST_F(CoreAnalysisTest, OccupationsByCountryShape) {
+  const auto table = occupations_by_country(*ds_, 10);
+  ASSERT_EQ(table.size(), 10u);
+  // First row is the US, Jaccard with itself = 1.
+  EXPECT_EQ(geo::country(table[0].country).code, "US");
+  EXPECT_DOUBLE_EQ(table[0].jaccard_vs_us, 1.0);
+  for (const auto& row : table) {
+    EXPECT_LE(row.occupations.size(), 10u);
+    EXPECT_GE(row.jaccard_vs_us, 0.0);
+    EXPECT_LE(row.jaccard_vs_us, 1.0);
+  }
+}
+
+TEST(StructuralSummary, RejectsZeroSources) {
+  const auto ds = make_standard_dataset(2000, 1);
+  stats::Rng rng(2);
+  EXPECT_THROW(structural_summary(ds.graph(), 0, rng), std::invalid_argument);
+}
+
+TEST(Reference, Table4RowsAsPrinted) {
+  const auto rows = reference_networks();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "Google+");
+  EXPECT_DOUBLE_EQ(rows[0].path_length, 5.9);
+  EXPECT_DOUBLE_EQ(rows[0].reciprocity, 0.32);
+  EXPECT_EQ(rows[0].diameter, 19);
+  EXPECT_EQ(rows[1].name, "Facebook");
+  EXPECT_DOUBLE_EQ(rows[1].reciprocity, 1.0);
+  EXPECT_EQ(rows[2].name, "Twitter");
+  EXPECT_DOUBLE_EQ(rows[2].reciprocity, 0.221);
+  EXPECT_FALSE(rows[3].mean_in_degree.has_value());  // Orkut: not reported
+  EXPECT_EQ(&google_plus_reference(), &rows[0]);
+}
+
+TEST(Reference, PaperConstantsConsistent) {
+  const auto& c = paper_constants();
+  EXPECT_GT(c.gplus_reciprocity, c.twitter_reciprocity);
+  EXPECT_GT(c.directed_mean_path, c.undirected_mean_path);
+  EXPECT_GT(c.directed_diameter, c.undirected_diameter);
+  EXPECT_LT(c.tel_user_fraction, 0.01);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Rank", "Name"});
+  t.add_row({"1", "Larry Page"});
+  t.add_row({"2", "Mark Zuckerberg"});
+  const auto s = t.str();
+  EXPECT_NE(s.find("Rank"), std::string::npos);
+  EXPECT_NE(s.find("Larry Page"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, PadsMissingAndRejectsExtraCells) {
+  TextTable t({"A", "B"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.str());
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.3138), "31.38%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(27'556'390), "27,556,390");
+  EXPECT_EQ(fmt_count(575'141'097), "575,141,097");
+}
+
+}  // namespace
+}  // namespace gplus::core

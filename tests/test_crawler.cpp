@@ -1,0 +1,227 @@
+#include "crawler/crawler.h"
+
+#include <gtest/gtest.h>
+
+#include "crawler/bias.h"
+#include "graph/builder.h"
+
+namespace gplus::crawler {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+struct Fixture {
+  graph::DiGraph graph;
+  std::vector<synth::Profile> profiles;
+
+  explicit Fixture(graph::DiGraph g)
+      : graph(std::move(g)), profiles(graph.node_count()) {}
+
+  service::SocialService service(service::ServiceConfig config = {}) {
+    return service::SocialService(&graph, profiles, config);
+  }
+};
+
+Fixture chain_with_celebrity() {
+  // 0 -> 1 -> 2 -> 3 chain plus a celebrity (4) everyone follows.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  for (NodeId u = 0; u < 4; ++u) b.add_edge(u, 4);
+  return Fixture(b.build());
+}
+
+TEST(Crawler, FullCrawlRecoversEveryEdge) {
+  Fixture fx = chain_with_celebrity();
+  auto svc = fx.service();
+  CrawlConfig config;
+  config.seed_node = 0;
+  const auto result = run_bfs_crawl(svc, config);
+
+  EXPECT_EQ(result.node_count(), fx.graph.node_count());
+  EXPECT_EQ(result.stats.profiles_crawled, fx.graph.node_count());
+  EXPECT_EQ(result.stats.boundary_nodes, 0u);
+  EXPECT_EQ(result.graph.edge_count(), fx.graph.edge_count());
+  for (NodeId u = 0; u < result.graph.node_count(); ++u) {
+    for (NodeId v : result.graph.out_neighbors(u)) {
+      EXPECT_TRUE(
+          fx.graph.has_edge(result.original_id[u], result.original_id[v]));
+    }
+  }
+}
+
+TEST(Crawler, BidirectionalReachesFollowersOfSeed) {
+  // Seed 4 (the celebrity) has only incoming edges; a forward-only BFS
+  // would be stuck, the bidirectional crawl walks the in-list.
+  Fixture fx = chain_with_celebrity();
+  auto svc = fx.service();
+  CrawlConfig config;
+  config.seed_node = 4;
+  const auto result = run_bfs_crawl(svc, config);
+  EXPECT_EQ(result.node_count(), 5u);
+  EXPECT_EQ(result.graph.edge_count(), fx.graph.edge_count());
+
+  CrawlConfig forward_only = config;
+  forward_only.bidirectional = false;
+  auto svc2 = fx.service();
+  const auto stuck = run_bfs_crawl(svc2, forward_only);
+  EXPECT_EQ(stuck.node_count(), 1u);
+  EXPECT_EQ(stuck.graph.edge_count(), 0u);
+}
+
+TEST(Crawler, MaxProfilesBudgetLeavesBoundary) {
+  Fixture fx = chain_with_celebrity();
+  auto svc = fx.service();
+  CrawlConfig config;
+  config.seed_node = 0;
+  config.max_profiles = 2;
+  const auto result = run_bfs_crawl(svc, config);
+  EXPECT_EQ(result.stats.profiles_crawled, 2u);
+  EXPECT_GT(result.stats.boundary_nodes, 0u);
+  EXPECT_EQ(result.node_count(),
+            result.stats.profiles_crawled + result.stats.boundary_nodes);
+  // Crawled flags are consistent.
+  std::size_t crawled = 0;
+  for (auto f : result.crawled) crawled += f;
+  EXPECT_EQ(crawled, 2u);
+}
+
+TEST(Crawler, DisconnectedPartStaysUnseen) {
+  GraphBuilder b;
+  b.add_reciprocal_edge(0, 1);
+  b.add_reciprocal_edge(2, 3);  // unreachable island
+  Fixture fx(b.build());
+  auto svc = fx.service();
+  CrawlConfig config;
+  config.seed_node = 0;
+  const auto result = run_bfs_crawl(svc, config);
+  EXPECT_EQ(result.node_count(), 2u);
+}
+
+TEST(Crawler, HiddenListUsersYieldNoEdges) {
+  Fixture fx = chain_with_celebrity();
+  service::ServiceConfig sconfig;
+  sconfig.hidden_list_fraction = 1.0;
+  auto svc = fx.service(sconfig);
+  CrawlConfig config;
+  config.seed_node = 0;
+  const auto result = run_bfs_crawl(svc, config);
+  EXPECT_EQ(result.node_count(), 1u);
+  EXPECT_EQ(result.graph.edge_count(), 0u);
+  EXPECT_EQ(result.stats.hidden_list_users, 1u);
+}
+
+TEST(Crawler, StatsAccounting) {
+  Fixture fx = chain_with_celebrity();
+  auto svc = fx.service();
+  CrawlConfig config;
+  config.seed_node = 0;
+  config.machines = 2;
+  const auto result = run_bfs_crawl(svc, config);
+  EXPECT_GT(result.stats.requests, 0u);
+  EXPECT_EQ(result.stats.requests, svc.request_count());
+  EXPECT_GT(result.stats.simulated_hours, 0.0);
+  // More machines -> proportionally less wall-clock.
+  auto svc2 = fx.service();
+  CrawlConfig one_machine = config;
+  one_machine.machines = 1;
+  const auto slow = run_bfs_crawl(svc2, one_machine);
+  EXPECT_GT(slow.stats.simulated_hours, result.stats.simulated_hours);
+}
+
+TEST(Crawler, CapTruncationFlagsUsersAndLosesEdges) {
+  // Celebrity with 30 followers, cap at 10: the in-list is truncated, and
+  // followers beyond the cap are only discovered if otherwise linked.
+  GraphBuilder b;
+  for (NodeId v = 1; v <= 30; ++v) b.add_edge(v, 0);
+  Fixture fx(b.build());
+  service::ServiceConfig sconfig;
+  sconfig.circle_list_cap = 10;
+  auto svc = fx.service(sconfig);
+  CrawlConfig config;
+  config.seed_node = 0;
+  const auto result = run_bfs_crawl(svc, config);
+  EXPECT_GT(result.stats.capped_users, 0u);
+  EXPECT_LT(result.graph.edge_count(), fx.graph.edge_count());
+}
+
+TEST(Crawler, LostEdgeEstimateMatchesConstruction) {
+  // 40 followers of node 0, cap 10. The crawl sees 10 via the in-list; the
+  // estimator compares the displayed total (40) against collected edges.
+  GraphBuilder b;
+  for (NodeId v = 1; v <= 40; ++v) b.add_edge(v, 0);
+  b.add_edge(0, 1);  // make the crawl expand beyond the seed
+  Fixture fx(b.build());
+  service::ServiceConfig sconfig;
+  sconfig.circle_list_cap = 10;
+  auto svc = fx.service(sconfig);
+  CrawlConfig config;
+  config.seed_node = 0;
+  const auto result = run_bfs_crawl(svc, config);
+
+  const auto est = estimate_lost_edges(svc, result);
+  EXPECT_EQ(est.users_over_cap, 1u);
+  EXPECT_EQ(est.displayed_total, 40u);
+  // Collected for node 0: 10 from its own in-list, plus edge 1 -> 0 seen in
+  // node 1's out-list (already within the cap sample).
+  EXPECT_GE(est.collected_total, 10u);
+  EXPECT_GT(est.lost_fraction, 0.0);
+}
+
+TEST(Crawler, LostEdgeEstimateZeroWithoutCapPressure) {
+  Fixture fx = chain_with_celebrity();
+  auto svc = fx.service();
+  CrawlConfig config;
+  config.seed_node = 0;
+  const auto result = run_bfs_crawl(svc, config);
+  const auto est = estimate_lost_edges(svc, result);
+  EXPECT_EQ(est.users_over_cap, 0u);
+  EXPECT_DOUBLE_EQ(est.lost_fraction, 0.0);
+}
+
+TEST(Crawler, RejectsBadConfig) {
+  Fixture fx = chain_with_celebrity();
+  auto svc = fx.service();
+  CrawlConfig bad_seed;
+  bad_seed.seed_node = 99;
+  EXPECT_THROW(run_bfs_crawl(svc, bad_seed), std::invalid_argument);
+  CrawlConfig no_machines;
+  no_machines.machines = 0;
+  EXPECT_THROW(run_bfs_crawl(svc, no_machines), std::invalid_argument);
+}
+
+TEST(Bias, PartialBfsOversamplesPopularNodes) {
+  // Hub-and-spoke plus a long tail of low-degree chains: an early-stopped
+  // BFS from the hub's neighborhood sees the high-degree core first.
+  GraphBuilder b;
+  for (NodeId v = 1; v <= 50; ++v) b.add_reciprocal_edge(0, v);
+  // Low-degree chain hanging off node 50.
+  for (NodeId u = 50; u < 450; ++u) b.add_edge(u, u + 1);
+  Fixture fx(b.build());
+  auto svc = fx.service();
+  CrawlConfig config;
+  config.seed_node = 0;
+  config.max_profiles = 20;
+  const auto result = run_bfs_crawl(svc, config);
+  const auto report = measure_bias(fx.graph, result);
+  EXPECT_LT(report.coverage, 0.2);
+  EXPECT_GT(report.degree_bias_ratio, 1.0);
+  EXPECT_LE(report.edge_recall, 1.0);
+}
+
+TEST(Bias, FullCrawlIsUnbiased) {
+  Fixture fx = chain_with_celebrity();
+  auto svc = fx.service();
+  CrawlConfig config;
+  config.seed_node = 0;
+  const auto result = run_bfs_crawl(svc, config);
+  const auto report = measure_bias(fx.graph, result);
+  EXPECT_DOUBLE_EQ(report.coverage, 1.0);
+  EXPECT_NEAR(report.degree_bias_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(report.edge_recall, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gplus::crawler

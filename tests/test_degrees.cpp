@@ -1,0 +1,93 @@
+#include "algo/degrees.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.h"
+#include "stats/rng.h"
+
+namespace gplus::algo {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+DiGraph star_graph(NodeId leaves) {
+  GraphBuilder b;
+  for (NodeId v = 1; v <= leaves; ++v) b.add_edge(v, 0);
+  return b.build();
+}
+
+TEST(Degrees, VectorsMatchGraphAccessors) {
+  const auto g = star_graph(5);
+  const auto in = in_degrees(g);
+  const auto out = out_degrees(g);
+  ASSERT_EQ(in.size(), 6u);
+  EXPECT_EQ(in[0], 5u);
+  EXPECT_EQ(out[0], 0u);
+  for (NodeId v = 1; v <= 5; ++v) {
+    EXPECT_EQ(in[v], 0u);
+    EXPECT_EQ(out[v], 1u);
+  }
+}
+
+TEST(Degrees, DistributionMeanAndMax) {
+  const auto g = star_graph(9);
+  const auto dist = in_degree_distribution(g);
+  EXPECT_DOUBLE_EQ(dist.mean, 0.9);
+  EXPECT_EQ(dist.max, 9u);
+  ASSERT_FALSE(dist.ccdf.empty());
+  EXPECT_DOUBLE_EQ(dist.ccdf.front().y, 1.0);
+}
+
+TEST(Degrees, DegenerateGraphSkipsPowerLawFit) {
+  // Ring: every degree is exactly 1 — no fit possible, no throw.
+  GraphBuilder b;
+  for (NodeId u = 0; u < 10; ++u) b.add_edge(u, (u + 1) % 10);
+  const auto dist = out_degree_distribution(b.build());
+  EXPECT_EQ(dist.power_law.points, 0u);
+  EXPECT_DOUBLE_EQ(dist.power_law.alpha, 0.0);
+}
+
+TEST(Degrees, PowerLawRecoveredFromSyntheticGraph) {
+  // Build a graph whose in-degrees follow floor(Pareto) explicitly.
+  stats::Rng rng(3);
+  GraphBuilder b;
+  NodeId next_src = 20'000;  // sources live above the 20k targets
+  for (NodeId v = 0; v < 20'000; ++v) {
+    const double u = 1.0 - rng.next_double();
+    const auto deg = static_cast<std::uint64_t>(std::pow(u, -1.0 / 1.5));
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(deg, 4000); ++i) {
+      b.add_edge(next_src++, v);
+    }
+  }
+  const auto dist = in_degree_distribution(b.build(), 1);
+  EXPECT_NEAR(dist.power_law.alpha, 1.5, 0.25);
+  EXPECT_GT(dist.power_law.r_squared, 0.95);
+}
+
+TEST(Degrees, MeanInEqualsMeanOut) {
+  stats::Rng rng(4);
+  GraphBuilder b(500);
+  for (int i = 0; i < 3000; ++i) {
+    b.add_edge(static_cast<NodeId>(rng.next_below(500)),
+               static_cast<NodeId>(rng.next_below(500)));
+  }
+  const auto g = b.build();
+  const auto in = in_degree_distribution(g);
+  const auto out = out_degree_distribution(g);
+  EXPECT_DOUBLE_EQ(in.mean, out.mean);
+}
+
+TEST(Degrees, EmptyGraph) {
+  const DiGraph g;
+  const auto dist = in_degree_distribution(g);
+  EXPECT_EQ(dist.mean, 0.0);
+  EXPECT_EQ(dist.max, 0u);
+  EXPECT_TRUE(dist.ccdf.empty());
+}
+
+}  // namespace
+}  // namespace gplus::algo

@@ -1,0 +1,207 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace gplus::stats {
+namespace {
+
+TEST(Summarize, EmptyInputYieldsZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> v = {4.5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.5);
+  EXPECT_DOUBLE_EQ(s.max, 4.5);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> v = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(v), 5.0);
+}
+
+TEST(Quantile, RejectsBadArguments) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(PearsonCorrelation, PerfectLinearRelations) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y_pos = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> y_neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantSeriesGivesZero) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(PearsonCorrelation, RejectsMismatchedLengths) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  EXPECT_THROW(pearson_correlation(x, y), std::invalid_argument);
+}
+
+TEST(RunningStats, MatchesBatchSummary) {
+  Rng rng(99);
+  std::vector<double> values;
+  RunningStats acc;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.next_normal(10.0, 3.0);
+    values.push_back(v);
+    acc.add(v);
+  }
+  const Summary batch = summarize(values);
+  EXPECT_EQ(acc.count(), batch.count);
+  EXPECT_NEAR(acc.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(acc.variance(), batch.variance, 1e-6);
+  EXPECT_DOUBLE_EQ(acc.min(), batch.min);
+  EXPECT_DOUBLE_EQ(acc.max(), batch.max);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(7);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 5'000; ++i) {
+    const double v = rng.next_double() * 100.0;
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);  // empty.merge(non-empty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  RunningStats c;
+  a.merge(c);  // non-empty.merge(empty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(RunningStats, EmptyAccessorsAreZero) {
+  const RunningStats acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+}
+
+
+TEST(KsTwoSample, IdenticalSamplesAreZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, a), 0.0);
+}
+
+TEST(KsTwoSample, DisjointSupportsAreOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 11.0};
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, b), 1.0);
+}
+
+TEST(KsTwoSample, KnownHalfOverlap) {
+  // a = {1, 2}, b = {2, 3}: max gap at x = 1 -> |0.5 - 0| = 0.5.
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, b), 0.5);
+}
+
+TEST(KsTwoSample, SameDistributionSmallStatistic) {
+  Rng rng(77);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20'000; ++i) {
+    a.push_back(rng.next_normal(5.0, 2.0));
+    b.push_back(rng.next_normal(5.0, 2.0));
+  }
+  EXPECT_LT(ks_two_sample(a, b), 0.03);
+  // Shift one sample: the statistic reacts.
+  for (auto& x : b) x += 1.0;
+  EXPECT_GT(ks_two_sample(a, b), 0.15);
+}
+
+TEST(KsTwoSample, RejectsEmptySamples) {
+  const std::vector<double> a = {1.0};
+  EXPECT_THROW(ks_two_sample({}, a), std::invalid_argument);
+  EXPECT_THROW(ks_two_sample(a, {}), std::invalid_argument);
+}
+
+
+TEST(BootstrapMeanCi, CoversTheTrueMean) {
+  Rng gen(21);
+  std::vector<double> sample;
+  for (int i = 0; i < 2'000; ++i) sample.push_back(gen.next_normal(10.0, 3.0));
+  Rng rng(22);
+  const auto ci = bootstrap_mean_ci(sample, 500, rng);
+  EXPECT_LT(ci.lower, ci.mean);
+  EXPECT_GT(ci.upper, ci.mean);
+  // True mean 10 inside the interval; width ~ 4 * sigma/sqrt(n) ~ 0.27.
+  EXPECT_LT(ci.lower, 10.0);
+  EXPECT_GT(ci.upper, 10.0);
+  EXPECT_LT(ci.upper - ci.lower, 0.6);
+}
+
+TEST(BootstrapMeanCi, TightensWithSampleSize) {
+  Rng gen(23);
+  std::vector<double> small, large;
+  for (int i = 0; i < 100; ++i) small.push_back(gen.next_normal(0.0, 1.0));
+  for (int i = 0; i < 10'000; ++i) large.push_back(gen.next_normal(0.0, 1.0));
+  Rng rng(24);
+  const auto wide = bootstrap_mean_ci(small, 300, rng);
+  const auto tight = bootstrap_mean_ci(large, 300, rng);
+  EXPECT_GT(wide.upper - wide.lower, 3.0 * (tight.upper - tight.lower));
+}
+
+TEST(BootstrapMeanCi, Validation) {
+  Rng rng(25);
+  EXPECT_THROW(bootstrap_mean_ci({}, 100, rng), std::invalid_argument);
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(bootstrap_mean_ci(v, 5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gplus::stats

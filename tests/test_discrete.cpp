@@ -1,0 +1,103 @@
+#include "stats/discrete.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace gplus::stats {
+namespace {
+
+TEST(NormalizeWeights, NormalizesToUnitSum) {
+  const std::vector<double> w = {1.0, 3.0, 4.0};
+  const auto norm = normalize_weights(w);
+  EXPECT_DOUBLE_EQ(norm[0], 0.125);
+  EXPECT_DOUBLE_EQ(norm[1], 0.375);
+  EXPECT_DOUBLE_EQ(norm[2], 0.5);
+}
+
+TEST(NormalizeWeights, RejectsInvalidInput) {
+  EXPECT_THROW(normalize_weights({}), std::invalid_argument);
+  const std::vector<double> neg = {1.0, -0.5};
+  EXPECT_THROW(normalize_weights(neg), std::invalid_argument);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(normalize_weights(zeros), std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, ProbabilityMatchesNormalizedWeights) {
+  const std::vector<double> w = {2.0, 6.0, 2.0};
+  const DiscreteDistribution dist(w);
+  EXPECT_EQ(dist.size(), 3u);
+  EXPECT_DOUBLE_EQ(dist.probability(0), 0.2);
+  EXPECT_DOUBLE_EQ(dist.probability(1), 0.6);
+  EXPECT_DOUBLE_EQ(dist.probability(2), 0.2);
+  EXPECT_THROW(dist.probability(3), std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, SingleCategoryAlwaysSampled) {
+  const std::vector<double> w = {7.5};
+  const DiscreteDistribution dist(w);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(rng), 0u);
+}
+
+TEST(DiscreteDistribution, ZeroWeightCategoryNeverSampled) {
+  const std::vector<double> w = {1.0, 0.0, 1.0};
+  const DiscreteDistribution dist(w);
+  Rng rng(2);
+  for (int i = 0; i < 10'000; ++i) EXPECT_NE(dist.sample(rng), 1u);
+}
+
+TEST(DiscreteDistribution, EmpiricalFrequenciesMatch) {
+  const std::vector<double> w = {0.1, 0.2, 0.3, 0.4};
+  const DiscreteDistribution dist(w);
+  Rng rng(3);
+  std::array<int, 4> counts{};
+  constexpr int kDraws = 400'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[dist.sample(rng)];
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws, w[i], 0.005)
+        << "category " << i;
+  }
+}
+
+TEST(DiscreteDistribution, HandlesManyCategories) {
+  std::vector<double> w(1000, 1.0);
+  w[500] = 1000.0;  // one heavy category
+  const DiscreteDistribution dist(w);
+  Rng rng(4);
+  int heavy = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) heavy += dist.sample(rng) == 500;
+  // Heavy category holds 1000/1999 ≈ 0.5 of the mass.
+  EXPECT_NEAR(static_cast<double>(heavy) / kDraws, 0.5, 0.02);
+}
+
+TEST(DiscreteDistribution, ExtremeWeightRatios) {
+  const std::vector<double> w = {1e-12, 1.0};
+  const DiscreteDistribution dist(w);
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) EXPECT_EQ(dist.sample(rng), 1u);
+}
+
+class DiscreteCategoryCount : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DiscreteCategoryCount, UniformWeightsAreUniform) {
+  const std::size_t n = GetParam();
+  std::vector<double> w(n, 2.5);
+  const DiscreteDistribution dist(w);
+  Rng rng(6);
+  std::vector<int> counts(n, 0);
+  const int draws = static_cast<int>(20'000 * n);
+  for (int i = 0; i < draws; ++i) ++counts[dist.sample(rng)];
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / draws, 1.0 / n, 0.15 / n)
+        << "category " << i << " of " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DiscreteCategoryCount,
+                         ::testing::Values(1u, 2u, 3u, 7u, 16u));
+
+}  // namespace
+}  // namespace gplus::stats

@@ -1,0 +1,120 @@
+#include "stats/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gplus::stats {
+namespace {
+
+TEST(IntegerCcdf, EmptyInput) { EXPECT_TRUE(integer_ccdf({}).empty()); }
+
+TEST(IntegerCcdf, KnownDistribution) {
+  const std::vector<std::uint64_t> v = {1, 1, 2, 3, 3, 3};
+  const auto ccdf = integer_ccdf(v);
+  ASSERT_EQ(ccdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(ccdf[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(ccdf[0].y, 1.0);            // P[X >= 1]
+  EXPECT_DOUBLE_EQ(ccdf[1].x, 2.0);
+  EXPECT_DOUBLE_EQ(ccdf[1].y, 4.0 / 6.0);      // P[X >= 2]
+  EXPECT_DOUBLE_EQ(ccdf[2].x, 3.0);
+  EXPECT_DOUBLE_EQ(ccdf[2].y, 0.5);            // P[X >= 3]
+}
+
+TEST(IntegerCcdf, MonotoneDecreasingAndStartsAtOne) {
+  const std::vector<std::uint64_t> v = {0, 5, 5, 9, 12, 12, 12, 40};
+  const auto ccdf = integer_ccdf(v);
+  ASSERT_FALSE(ccdf.empty());
+  EXPECT_DOUBLE_EQ(ccdf.front().y, 1.0);
+  for (std::size_t i = 1; i < ccdf.size(); ++i) {
+    EXPECT_LT(ccdf[i - 1].x, ccdf[i].x);
+    EXPECT_GT(ccdf[i - 1].y, ccdf[i].y);
+  }
+}
+
+TEST(EmpiricalCdf, KnownValues) {
+  const std::vector<double> v = {1.0, 1.0, 2.0, 4.0};
+  const auto cdf = empirical_cdf(v);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].y, 0.5);   // P[X <= 1]
+  EXPECT_DOUBLE_EQ(cdf[1].y, 0.75);  // P[X <= 2]
+  EXPECT_DOUBLE_EQ(cdf[2].y, 1.0);   // P[X <= 4]
+}
+
+TEST(EmpiricalCcdf, ComplementsCdf) {
+  const std::vector<double> v = {1.0, 2.0, 2.0, 3.0};
+  const auto ccdf = empirical_ccdf(v);
+  ASSERT_EQ(ccdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(ccdf[0].y, 1.0);    // P[X >= 1]
+  EXPECT_DOUBLE_EQ(ccdf[1].y, 0.75);   // P[X >= 2]
+  EXPECT_DOUBLE_EQ(ccdf[2].y, 0.25);   // P[X >= 3]
+}
+
+TEST(EvaluateStep, StepInterpolation) {
+  const std::vector<double> v = {1.0, 2.0, 4.0};
+  const auto cdf = empirical_cdf(v);
+  EXPECT_DOUBLE_EQ(evaluate_step(cdf, 0.5), 0.0);
+  EXPECT_NEAR(evaluate_step(cdf, 1.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(evaluate_step(cdf, 3.0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(evaluate_step(cdf, 100.0), 1.0);
+}
+
+TEST(LogBinnedCcdf, RejectsBadBase) {
+  const std::vector<std::uint64_t> v = {1, 2};
+  EXPECT_THROW(log_binned_ccdf(v, 1.0), std::invalid_argument);
+}
+
+TEST(LogBinnedCcdf, MonotoneAndCoversZero) {
+  const std::vector<std::uint64_t> v = {0, 1, 1, 2, 4, 8, 16, 64, 256};
+  const auto curve = log_binned_ccdf(v, 2.0);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().y, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i - 1].x, curve[i].x);
+    EXPECT_GE(curve[i - 1].y, curve[i].y);
+  }
+}
+
+TEST(LogBinnedCcdf, AllZeros) {
+  const std::vector<std::uint64_t> v = {0, 0, 0};
+  const auto curve = log_binned_ccdf(v);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].y, 1.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 5.0);
+  EXPECT_DOUBLE_EQ(h.mass(0), 0.4);
+  EXPECT_THROW(h.count(5), std::invalid_argument);
+}
+
+TEST(IntegerPmf, SumsToOne) {
+  const std::vector<std::uint64_t> v = {0, 1, 1, 3};
+  const auto pmf = integer_pmf(v);
+  ASSERT_EQ(pmf.size(), 4u);
+  EXPECT_DOUBLE_EQ(pmf[0], 0.25);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.5);
+  EXPECT_DOUBLE_EQ(pmf[2], 0.0);
+  EXPECT_DOUBLE_EQ(pmf[3], 0.25);
+}
+
+TEST(IntegerPmf, EmptyInput) { EXPECT_TRUE(integer_pmf({}).empty()); }
+
+}  // namespace
+}  // namespace gplus::stats

@@ -1,0 +1,124 @@
+#include "graph/edgelist_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "graph/builder.h"
+
+namespace gplus::graph {
+namespace {
+
+DiGraph sample_graph() {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 1);
+  b.ensure_node(4);  // trailing isolated node
+  return b.build();
+}
+
+TEST(EdgelistText, RoundTripPreservesEdges) {
+  const auto g = sample_graph();
+  std::stringstream buf;
+  write_edgelist_text(g, buf);
+  const auto back = read_edgelist_text(buf);
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  for (const Edge& e : g.edges()) EXPECT_TRUE(back.has_edge(e.from, e.to));
+  // Text format cannot express the trailing isolated node.
+  EXPECT_EQ(back.node_count(), 3u);
+}
+
+TEST(EdgelistText, SkipsCommentsAndBlankLines) {
+  std::stringstream in("# header\n\n  \n0 1\n# mid comment\n1 2\n");
+  const auto g = read_edgelist_text(in);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(EdgelistText, RejectsMalformedLines) {
+  std::stringstream missing("0\n");
+  EXPECT_THROW(read_edgelist_text(missing), std::runtime_error);
+  std::stringstream garbage("a b\n");
+  EXPECT_THROW(read_edgelist_text(garbage), std::runtime_error);
+  std::stringstream trailing("0 1 2\n");
+  EXPECT_THROW(read_edgelist_text(trailing), std::runtime_error);
+}
+
+TEST(EdgelistText, RejectsOversizedIds) {
+  std::stringstream in("0 4294967296\n");  // 2^32
+  EXPECT_THROW(read_edgelist_text(in), std::runtime_error);
+}
+
+TEST(EdgelistText, PreservesSelfLoops) {
+  std::stringstream in("3 3\n");
+  const auto g = read_edgelist_text(in);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(3, 3));
+}
+
+TEST(EdgelistBinary, RoundTripPreservesEverything) {
+  const auto g = sample_graph();
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_edgelist_binary(g, buf);
+  const auto back = read_edgelist_binary(buf);
+  EXPECT_EQ(back.node_count(), g.node_count());  // isolated node survives
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  for (const Edge& e : g.edges()) EXPECT_TRUE(back.has_edge(e.from, e.to));
+}
+
+TEST(EdgelistBinary, RejectsTruncatedStream) {
+  const auto g = sample_graph();
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_edgelist_binary(g, buf);
+  std::string data = buf.str();
+  data.resize(data.size() - 3);
+  std::stringstream cut(data, std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_edgelist_binary(cut), std::runtime_error);
+}
+
+TEST(EdgelistBinary, RejectsCorruptEndpoint) {
+  // node count 1, edge count 1, edge (0, 5) — endpoint out of range.
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  auto put64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf.put(static_cast<char>(v >> (8 * i)));
+  };
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf.put(static_cast<char>(v >> (8 * i)));
+  };
+  put64(1);
+  put64(1);
+  put32(0);
+  put32(5);
+  EXPECT_THROW(read_edgelist_binary(buf), std::runtime_error);
+}
+
+TEST(EdgelistFiles, SaveLoadBothFormats) {
+  const auto g = sample_graph();
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto text_path = dir / "gplus_test_edges.txt";
+  const auto bin_path = dir / "gplus_test_edges.bin";
+
+  save_text(g, text_path);
+  const auto from_text = load_text(text_path);
+  EXPECT_EQ(from_text.edge_count(), g.edge_count());
+
+  save_binary(g, bin_path);
+  const auto from_bin = load_binary(bin_path);
+  EXPECT_EQ(from_bin.node_count(), g.node_count());
+  EXPECT_EQ(from_bin.edge_count(), g.edge_count());
+
+  std::filesystem::remove(text_path);
+  std::filesystem::remove(bin_path);
+}
+
+TEST(EdgelistFiles, MissingFileThrows) {
+  EXPECT_THROW(load_text("/nonexistent/dir/x.txt"), std::runtime_error);
+  EXPECT_THROW(load_binary("/nonexistent/dir/x.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gplus::graph

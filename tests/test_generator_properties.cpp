@@ -1,0 +1,86 @@
+// Property sweep: generator invariants that must hold for every seed and
+// scale, not just the calibrated default.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algo/reciprocity.h"
+#include "algo/scc.h"
+#include "core/dataset.h"
+#include "geo/coords.h"
+
+namespace gplus {
+namespace {
+
+using Param = std::tuple<std::uint64_t /*seed*/, std::size_t /*nodes*/>;
+
+class GeneratorProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  static core::Dataset make() {
+    const auto [seed, nodes] = GetParam();
+    return core::make_standard_dataset(nodes, seed);
+  }
+};
+
+TEST_P(GeneratorProperties, StructuralInvariants) {
+  const auto ds = make();
+  const auto& g = ds.graph();
+  const auto [seed, nodes] = GetParam();
+  ASSERT_EQ(g.node_count(), nodes);
+  ASSERT_EQ(ds.profiles.size(), nodes);
+
+  // No self-loops; adjacency sorted and deduplicated by construction.
+  for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+    ASSERT_FALSE(g.has_edge(u, u)) << "seed " << seed << " node " << u;
+    const auto outs = g.out_neighbors(u);
+    for (std::size_t i = 1; i < outs.size(); ++i) {
+      ASSERT_LT(outs[i - 1], outs[i]);
+    }
+  }
+}
+
+TEST_P(GeneratorProperties, ProfileInvariants) {
+  const auto ds = make();
+  for (graph::NodeId u = 0; u < ds.user_count(); ++u) {
+    const auto& p = ds.profiles[u];
+    // Name always public; latent facts in range; home coordinate valid.
+    ASSERT_TRUE(p.shared.test(synth::Attribute::kName));
+    ASSERT_LT(static_cast<std::size_t>(p.gender), synth::kGenderCount);
+    ASSERT_LT(static_cast<std::size_t>(p.relationship),
+              synth::kRelationshipCount);
+    ASSERT_LT(static_cast<std::size_t>(p.occupation), synth::kOccupationCount);
+    ASSERT_LT(p.country, geo::country_count());
+    ASSERT_TRUE(geo::is_valid(p.home));
+    ASSERT_GE(p.openness, 0.0F);
+    ASSERT_LE(p.openness, 1.0F);
+    // Located implies the latent country is set (it always is here).
+    if (p.is_located()) ASSERT_NE(p.country, geo::kNoCountry);
+  }
+}
+
+TEST_P(GeneratorProperties, MetricsStayInSaneBands) {
+  const auto ds = make();
+  const auto& g = ds.graph();
+  // Broad bands — these hold at any seed/scale in the sweep, while the
+  // tight paper bands are asserted on the calibrated default elsewhere.
+  EXPECT_GT(g.mean_degree(), 8.0);
+  EXPECT_LT(g.mean_degree(), 25.0);
+  const double reciprocity = algo::global_reciprocity(g);
+  EXPECT_GT(reciprocity, 0.2);
+  EXPECT_LT(reciprocity, 0.55);
+  const auto wcc = algo::weakly_connected_components(g);
+  EXPECT_GT(wcc.giant_fraction(), 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, GeneratorProperties,
+    ::testing::Values(Param{1, 4000}, Param{2, 4000}, Param{3, 4000},
+                      Param{99, 8000}, Param{12345, 8000},
+                      Param{0xDEADBEEF, 16000}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace gplus

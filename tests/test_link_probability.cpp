@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/geo_analysis.h"
+#include "stream/diffusion.h"
+
+namespace gplus::core {
+namespace {
+
+class LinkProbabilityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new Dataset(make_standard_dataset(25'000, 29));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+  static Dataset* ds_;
+};
+
+Dataset* LinkProbabilityTest::ds_ = nullptr;
+
+TEST_F(LinkProbabilityTest, CurveDecaysWithDistance) {
+  stats::Rng rng(1);
+  const auto curve = link_probability_by_distance(*ds_, 2'000'000, rng);
+  ASSERT_GE(curve.size(), 5u);
+  // Bins cover [0, max] contiguously.
+  for (std::size_t b = 1; b < curve.size(); ++b) {
+    EXPECT_DOUBLE_EQ(curve[b].min_miles, curve[b - 1].max_miles);
+  }
+  // Find the first and a far bin with enough samples and compare.
+  const auto& close = curve[0];  // < 10 miles
+  ASSERT_GT(close.pairs, 200u);
+  double far_prob = 0.0;
+  for (const auto& bin : curve) {
+    if (bin.min_miles >= 3000.0 && bin.pairs > 1000) {
+      far_prob = bin.probability;
+      break;
+    }
+  }
+  // Same-neighborhood pairs are orders of magnitude more likely to link.
+  EXPECT_GT(close.probability, 20.0 * std::max(far_prob, 1e-7));
+  // Counts are consistent.
+  for (const auto& bin : curve) {
+    EXPECT_LE(bin.linked, bin.pairs);
+    if (bin.pairs > 0) {
+      EXPECT_NEAR(bin.probability,
+                  static_cast<double>(bin.linked) /
+                      static_cast<double>(bin.pairs),
+                  1e-12);
+    }
+  }
+}
+
+TEST_F(LinkProbabilityTest, Validation) {
+  stats::Rng rng(2);
+  EXPECT_THROW(link_probability_by_distance(*ds_, 0, rng),
+               std::invalid_argument);
+}
+
+TEST_F(LinkProbabilityTest, InteractionCountsFlowThroughCascades) {
+  // The +1 / comment engagement model: counts accumulate and scale with
+  // the audience.
+  const stream::DiffusionSimulator sim(ds_, {});
+  stats::Rng rng(3);
+  const auto cascades = sim.simulate_posts(500, rng);
+  const auto summary = stream::summarize_cascades(cascades);
+  EXPECT_GT(summary.mean_plus_ones, 0.0);
+  EXPECT_GT(summary.mean_comments, 0.0);
+  // +1s are configured more common than comments.
+  EXPECT_GT(summary.mean_plus_ones, summary.mean_comments);
+  for (const auto& c : cascades) {
+    EXPECT_LE(c.plus_ones, c.views);
+    EXPECT_LE(c.comments, c.views);
+  }
+}
+
+}  // namespace
+}  // namespace gplus::core

@@ -1,0 +1,122 @@
+#include "synth/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gplus::synth {
+namespace {
+
+TEST(Attributes, TableOrderAndNames) {
+  const auto all = all_attributes();
+  EXPECT_EQ(all.size(), kAttributeCount);
+  EXPECT_EQ(attribute_name(all[0]), "Name");
+  EXPECT_EQ(attribute_name(Attribute::kPlacesLived), "Places lived");
+  EXPECT_EQ(attribute_name(Attribute::kHomeContact), "Home (contact)");
+  std::set<std::string_view> names;
+  for (auto a : all) EXPECT_TRUE(names.insert(attribute_name(a)).second);
+}
+
+TEST(Enums, NamesAreDistinctAndNonEmpty) {
+  std::set<std::string_view> seen;
+  for (std::size_t i = 0; i < kGenderCount; ++i) {
+    const auto name = gender_name(static_cast<Gender>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second);
+  }
+  seen.clear();
+  for (std::size_t i = 0; i < kRelationshipCount; ++i) {
+    const auto name = relationship_name(static_cast<Relationship>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second);
+  }
+}
+
+TEST(Occupations, CodesMatchPaperNotation) {
+  EXPECT_EQ(occupation_code(Occupation::kComedian), "Co");
+  EXPECT_EQ(occupation_code(Occupation::kInformationTech), "IT");
+  EXPECT_EQ(occupation_code(Occupation::kTvHost), "TV");
+  EXPECT_EQ(occupation_code(Occupation::kWriter), "Wr");
+  std::set<std::string_view> codes;
+  for (std::size_t i = 0; i < kOccupationCount; ++i) {
+    const auto code = occupation_code(static_cast<Occupation>(i));
+    EXPECT_EQ(code.size(), 2u);
+    EXPECT_TRUE(codes.insert(code).second);
+    EXPECT_FALSE(occupation_name(static_cast<Occupation>(i)).empty());
+  }
+}
+
+TEST(AttributeMask, SetTestClear) {
+  AttributeMask m;
+  EXPECT_FALSE(m.test(Attribute::kGender));
+  m.set(Attribute::kGender);
+  m.set(Attribute::kPhrase);
+  EXPECT_TRUE(m.test(Attribute::kGender));
+  EXPECT_TRUE(m.test(Attribute::kPhrase));
+  EXPECT_FALSE(m.test(Attribute::kEducation));
+  m.clear(Attribute::kGender);
+  EXPECT_FALSE(m.test(Attribute::kGender));
+  EXPECT_TRUE(m.test(Attribute::kPhrase));
+}
+
+TEST(AttributeMask, CountWithExclusions) {
+  AttributeMask m;
+  m.set(Attribute::kName);
+  m.set(Attribute::kWorkContact);
+  m.set(Attribute::kHomeContact);
+  m.set(Attribute::kGender);
+  EXPECT_EQ(m.count(), 4);
+  const std::uint32_t exclude = AttributeMask::bit(Attribute::kWorkContact) |
+                                AttributeMask::bit(Attribute::kHomeContact);
+  EXPECT_EQ(m.count(exclude), 2);
+}
+
+TEST(AttributeMask, Equality) {
+  AttributeMask a, b;
+  EXPECT_EQ(a, b);
+  a.set(Attribute::kPhrase);
+  EXPECT_NE(a, b);
+  b.set(Attribute::kPhrase);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Profile, TelUserDetection) {
+  Profile p;
+  EXPECT_FALSE(p.is_tel_user());
+  p.shared.set(Attribute::kWorkContact);
+  EXPECT_TRUE(p.is_tel_user());
+  p.shared.clear(Attribute::kWorkContact);
+  p.shared.set(Attribute::kHomeContact);
+  EXPECT_TRUE(p.is_tel_user());
+}
+
+TEST(Profile, LocatedRequiresBothFieldAndCountry) {
+  Profile p;
+  p.country = 0;
+  EXPECT_FALSE(p.is_located());  // field not shared
+  p.shared.set(Attribute::kPlacesLived);
+  EXPECT_TRUE(p.is_located());
+  p.country = geo::kNoCountry;
+  EXPECT_FALSE(p.is_located());
+}
+
+TEST(DisplayName, OrdinaryAndCelebrity) {
+  Profile ordinary;
+  ordinary.country = *geo::find_country("US");
+  const auto plain = display_name(42, ordinary);
+  EXPECT_NE(plain.find(' '), std::string::npos);  // "First Last"
+  EXPECT_EQ(plain.find("("), std::string::npos);  // no byline
+  // Deterministic.
+  EXPECT_EQ(plain, display_name(42, ordinary));
+
+  Profile celeb = ordinary;
+  celeb.celebrity = true;
+  celeb.country = *geo::find_country("BR");
+  celeb.occupation = Occupation::kComedian;
+  const auto name = display_name(7, celeb);
+  EXPECT_NE(name.find("Comedian"), std::string::npos);
+  EXPECT_NE(name, plain);
+}
+
+}  // namespace
+}  // namespace gplus::synth

@@ -1,0 +1,108 @@
+#include "algo/reciprocity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace gplus::algo {
+namespace {
+
+using graph::DiGraph;
+using graph::GraphBuilder;
+
+DiGraph mutual_pair() {
+  GraphBuilder b;
+  b.add_reciprocal_edge(0, 1);
+  return b.build();
+}
+
+TEST(RelationReciprocity, FullyMutualNodeIsOne) {
+  const auto g = mutual_pair();
+  EXPECT_DOUBLE_EQ(*relation_reciprocity(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(*relation_reciprocity(g, 1), 1.0);
+}
+
+TEST(RelationReciprocity, UndefinedWithoutOutEdges) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  const auto g = b.build();
+  EXPECT_FALSE(relation_reciprocity(g, 1).has_value());
+  EXPECT_DOUBLE_EQ(*relation_reciprocity(g, 0), 0.0);
+}
+
+TEST(RelationReciprocity, PartialOverlap) {
+  // 0 -> {1, 2, 3}; only 2 points back.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  b.add_edge(2, 0);
+  const auto g = b.build();
+  EXPECT_DOUBLE_EQ(*relation_reciprocity(g, 0), 1.0 / 3.0);
+}
+
+TEST(RelationReciprocity, CelebrityPattern) {
+  // Celebrity 0 follows 1 user, is followed by 100; RR(0) depends only on
+  // its single out-edge.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  for (graph::NodeId v = 2; v < 102; ++v) b.add_edge(v, 0);
+  const auto g = b.build();
+  EXPECT_DOUBLE_EQ(*relation_reciprocity(g, 0), 0.0);
+  b.add_edge(1, 0);
+  const auto g2 = b.build();
+  EXPECT_DOUBLE_EQ(*relation_reciprocity(g2, 0), 1.0);
+}
+
+TEST(RelationReciprocities, CollectsOnlyQualifyingNodes) {
+  GraphBuilder b;
+  b.add_edge(0, 1);  // node 1 has out-degree 0
+  b.add_reciprocal_edge(2, 3);
+  const auto values = relation_reciprocities(b.build());
+  EXPECT_EQ(values.size(), 3u);  // nodes 0, 2, 3
+}
+
+TEST(GlobalReciprocity, ExtremeCases) {
+  EXPECT_DOUBLE_EQ(global_reciprocity(mutual_pair()), 1.0);
+  GraphBuilder star;
+  for (graph::NodeId v = 1; v < 10; ++v) star.add_edge(v, 0);
+  EXPECT_DOUBLE_EQ(global_reciprocity(star.build()), 0.0);
+  EXPECT_DOUBLE_EQ(global_reciprocity(DiGraph{}), 0.0);
+}
+
+TEST(GlobalReciprocity, MixedGraphExactFraction) {
+  // 4 edges, 2 of which form one mutual pair -> reciprocity 0.5.
+  GraphBuilder b;
+  b.add_reciprocal_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  EXPECT_DOUBLE_EQ(global_reciprocity(b.build()), 0.5);
+}
+
+TEST(ReciprocityCdf, IsValidCdf) {
+  GraphBuilder b;
+  b.add_reciprocal_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(3, 0);
+  b.add_edge(3, 1);
+  const auto cdf = reciprocity_cdf(b.build());
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().y, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LT(cdf[i - 1].x, cdf[i].x);
+    EXPECT_LT(cdf[i - 1].y, cdf[i].y);
+  }
+}
+
+TEST(GlobalReciprocity, SelfLoopCountsAsReciprocal) {
+  // A self-loop's reverse is itself; the merge counts it once.
+  GraphBuilder b;
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const auto g = b.build(/*keep_self_loops=*/true);
+  // Edges: 0->0 (mutual with itself), 0->1 (not mutual): 1 of 2.
+  EXPECT_DOUBLE_EQ(global_reciprocity(g), 0.5);
+}
+
+}  // namespace
+}  // namespace gplus::algo

@@ -1,0 +1,111 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace gplus::stats {
+namespace {
+
+TEST(LinearRegression, RecoversExactLine) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(2.5 * xi - 1.0);
+  const auto fit = linear_regression(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.points, 4u);
+}
+
+TEST(LinearRegression, FlatDataFitsPerfectly) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {7.0, 7.0, 7.0};
+  const auto fit = linear_regression(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(LinearRegression, NoisyDataHasImperfectR2) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + rng.next_normal(0.0, 10.0));
+  }
+  const auto fit = linear_regression(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.05);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.5);
+}
+
+TEST(LinearRegression, RejectsDegenerateInputs) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(linear_regression(one, one), std::invalid_argument);
+  const std::vector<double> x = {2.0, 2.0};
+  const std::vector<double> y = {1.0, 3.0};
+  EXPECT_THROW(linear_regression(x, y), std::invalid_argument);
+  const std::vector<double> x2 = {1.0, 2.0};
+  const std::vector<double> y2 = {1.0};
+  EXPECT_THROW(linear_regression(x2, y2), std::invalid_argument);
+}
+
+TEST(PowerLawFit, RecoversSyntheticParetoExponent) {
+  // Continuous Pareto with CCDF exponent alpha: floor() of the draws keeps
+  // the tail exponent.
+  Rng rng(11);
+  constexpr double kAlpha = 1.5;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 300'000; ++i) {
+    const double u = 1.0 - rng.next_double();
+    values.push_back(
+        static_cast<std::uint64_t>(std::pow(u, -1.0 / kAlpha)));
+  }
+  const auto fit = fit_power_law_ccdf(values, 2);
+  EXPECT_NEAR(fit.alpha, kAlpha, 0.12);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(PowerLawFit, SteeperTailYieldsLargerAlpha) {
+  Rng rng(13);
+  auto fit_for = [&](double alpha) {
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 100'000; ++i) {
+      const double u = 1.0 - rng.next_double();
+      values.push_back(static_cast<std::uint64_t>(std::pow(u, -1.0 / alpha)));
+    }
+    return fit_power_law_ccdf(values, 2).alpha;
+  };
+  EXPECT_LT(fit_for(1.2), fit_for(2.5));
+}
+
+TEST(PowerLawFit, RejectsXMinZero) {
+  const std::vector<std::uint64_t> v = {1, 2, 3};
+  EXPECT_THROW(fit_power_law_ccdf(v, 0), std::invalid_argument);
+}
+
+TEST(PowerLawFit, RejectsTooFewPoints) {
+  const std::vector<std::uint64_t> v = {5, 5, 5, 5};
+  EXPECT_THROW(fit_power_law_ccdf(v, 1), std::invalid_argument);
+}
+
+TEST(PowerLawCurveFit, SkipsPointsBelowXMin) {
+  // Construct a curve with junk below x=10 and a clean power law above.
+  std::vector<CurvePoint> curve;
+  curve.push_back({1.0, 1.0});
+  curve.push_back({2.0, 0.999});
+  for (int k = 1; k <= 6; ++k) {
+    const double x = 10.0 * std::pow(2.0, k);
+    curve.push_back({x, std::pow(x / 20.0, -2.0)});
+  }
+  const auto fit = fit_power_law_curve(curve, 15.0);
+  EXPECT_NEAR(fit.alpha, 2.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gplus::stats

@@ -1,0 +1,77 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gplus::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new Dataset(make_standard_dataset(8'000, 37));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+  static std::string render(const ReportOptions& options) {
+    std::ostringstream out;
+    write_report(*ds_, out, options);
+    return out.str();
+  }
+  static Dataset* ds_;
+};
+
+Dataset* ReportTest::ds_ = nullptr;
+
+TEST_F(ReportTest, ContainsEverySection) {
+  ReportOptions options;
+  options.path_sources = 30;
+  const auto text = render(options);
+  EXPECT_NE(text.find("# Google+ reproduction report"), std::string::npos);
+  EXPECT_NE(text.find("## Structure"), std::string::npos);
+  EXPECT_NE(text.find("## Profiles"), std::string::npos);
+  EXPECT_NE(text.find("## Geography"), std::string::npos);
+  EXPECT_NE(text.find("## Top users"), std::string::npos);
+  // Key paper anchors rendered.
+  EXPECT_NE(text.find("16.4"), std::string::npos);   // paper mean degree
+  EXPECT_NE(text.find("0.26%"), std::string::npos);  // paper tel-user rate
+  EXPECT_NE(text.find("Places lived"), std::string::npos);
+}
+
+TEST_F(ReportTest, SectionsCanBeDisabled) {
+  ReportOptions options;
+  options.include_structure = false;
+  options.include_geography = false;
+  const auto text = render(options);
+  EXPECT_EQ(text.find("## Structure"), std::string::npos);
+  EXPECT_EQ(text.find("## Geography"), std::string::npos);
+  EXPECT_NE(text.find("## Profiles"), std::string::npos);
+  EXPECT_NE(text.find("## Top users"), std::string::npos);
+}
+
+TEST_F(ReportTest, MarkdownTablesAreWellFormed) {
+  ReportOptions options;
+  options.path_sources = 20;
+  const auto text = render(options);
+  std::istringstream in(text);
+  std::string line;
+  std::size_t table_rows = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("|", 0) != 0) continue;
+    ++table_rows;
+    EXPECT_EQ(line.back(), '|') << line;
+  }
+  EXPECT_GT(table_rows, 25u);  // attribute table alone has 17 rows
+}
+
+TEST_F(ReportTest, DeterministicForSameOptions) {
+  ReportOptions options;
+  options.path_sources = 20;
+  EXPECT_EQ(render(options), render(options));
+}
+
+}  // namespace
+}  // namespace gplus::core

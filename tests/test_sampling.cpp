@@ -1,0 +1,100 @@
+#include "stats/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace gplus::stats {
+namespace {
+
+TEST(SampleWithoutReplacement, AllDistinctAndInRange) {
+  Rng rng(1);
+  const auto sample = sample_without_replacement(100, 30, rng);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (auto v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(SampleWithoutReplacement, FullPopulationIsPermutation) {
+  Rng rng(2);
+  auto sample = sample_without_replacement(50, 50, rng);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(SampleWithoutReplacement, ZeroSample) {
+  Rng rng(3);
+  EXPECT_TRUE(sample_without_replacement(10, 0, rng).empty());
+}
+
+TEST(SampleWithoutReplacement, RejectsOversizedRequest) {
+  Rng rng(3);
+  EXPECT_THROW(sample_without_replacement(5, 6, rng), std::invalid_argument);
+}
+
+TEST(SampleWithoutReplacement, IsUniformOverElements) {
+  Rng rng(4);
+  constexpr int kTrials = 30'000;
+  std::vector<int> counts(10, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    for (auto v : sample_without_replacement(10, 3, rng)) ++counts[v];
+  }
+  // Each element appears with probability 3/10 per trial.
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.3, 0.02);
+  }
+}
+
+TEST(SampleWithReplacement, SizeAndRange) {
+  Rng rng(5);
+  const auto sample = sample_with_replacement(7, 1000, rng);
+  EXPECT_EQ(sample.size(), 1000u);
+  for (auto v : sample) EXPECT_LT(v, 7u);
+}
+
+TEST(SampleWithReplacement, RejectsEmptyPopulation) {
+  Rng rng(5);
+  EXPECT_THROW(sample_with_replacement(0, 3, rng), std::invalid_argument);
+}
+
+TEST(ReservoirSampler, KeepsEverythingBelowCapacity) {
+  Rng rng(6);
+  ReservoirSampler<int> res(10, rng);
+  for (int i = 0; i < 5; ++i) res.add(i);
+  EXPECT_EQ(res.sample().size(), 5u);
+  EXPECT_EQ(res.seen(), 5u);
+}
+
+TEST(ReservoirSampler, CapacityBound) {
+  Rng rng(7);
+  ReservoirSampler<int> res(10, rng);
+  for (int i = 0; i < 1000; ++i) res.add(i);
+  EXPECT_EQ(res.sample().size(), 10u);
+  EXPECT_EQ(res.seen(), 1000u);
+}
+
+TEST(ReservoirSampler, RejectsZeroCapacity) {
+  Rng rng(8);
+  EXPECT_THROW(ReservoirSampler<int>(0, rng), std::invalid_argument);
+}
+
+TEST(ReservoirSampler, UniformOverStream) {
+  Rng rng(9);
+  constexpr int kTrials = 20'000;
+  std::vector<int> counts(20, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSampler<int> res(5, rng);
+    for (int i = 0; i < 20; ++i) res.add(i);
+    for (int v : res.sample()) ++counts[v];
+  }
+  // Each stream element retained with probability 5/20 = 0.25.
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.25, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace gplus::stats

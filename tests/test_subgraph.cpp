@@ -1,0 +1,106 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace gplus::graph {
+namespace {
+
+DiGraph sample_graph() {
+  // 0 -> 1 -> 2 -> 3 -> 0 ring, plus chords 0 -> 2 and 3 -> 1.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  b.add_edge(0, 2);
+  b.add_edge(3, 1);
+  return b.build();
+}
+
+TEST(Subgraph, KeepsOnlyInternalEdges) {
+  const auto g = sample_graph();
+  const std::vector<NodeId> keep = {0, 1, 2};
+  const auto sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.node_count(), 3u);
+  // Internal edges: 0->1, 1->2, 0->2.
+  EXPECT_EQ(sub.graph.edge_count(), 3u);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));
+  EXPECT_TRUE(sub.graph.has_edge(0, 2));
+}
+
+TEST(Subgraph, OriginalIdsMapBack) {
+  const auto g = sample_graph();
+  const std::vector<NodeId> keep = {3, 1};
+  const auto sub = induced_subgraph(g, keep);
+  ASSERT_EQ(sub.original_id.size(), 2u);
+  // original_id sorted ascending by construction.
+  EXPECT_EQ(sub.original_id[0], 1u);
+  EXPECT_EQ(sub.original_id[1], 3u);
+  // Edge 3 -> 1 survives under new labels (1 -> 0).
+  EXPECT_TRUE(sub.graph.has_edge(1, 0));
+  EXPECT_EQ(sub.graph.edge_count(), 1u);
+}
+
+TEST(Subgraph, DuplicateSelectionCollapsed) {
+  const auto g = sample_graph();
+  const std::vector<NodeId> keep = {2, 2, 2};
+  const auto sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.node_count(), 1u);
+  EXPECT_EQ(sub.graph.edge_count(), 0u);
+}
+
+TEST(Subgraph, EmptySelection) {
+  const auto g = sample_graph();
+  const auto sub = induced_subgraph(g, std::vector<NodeId>{});
+  EXPECT_EQ(sub.graph.node_count(), 0u);
+  EXPECT_EQ(sub.graph.edge_count(), 0u);
+}
+
+TEST(Subgraph, InvalidNodeRejected) {
+  const auto g = sample_graph();
+  const std::vector<NodeId> keep = {0, 99};
+  EXPECT_THROW(induced_subgraph(g, keep), std::invalid_argument);
+}
+
+TEST(Subgraph, MaskVariantMatchesListVariant) {
+  const auto g = sample_graph();
+  std::vector<bool> mask = {true, false, true, true};
+  const auto from_mask = induced_subgraph(g, mask);
+  const std::vector<NodeId> list = {0, 2, 3};
+  const auto from_list = induced_subgraph(g, list);
+  EXPECT_EQ(from_mask.graph.node_count(), from_list.graph.node_count());
+  EXPECT_EQ(from_mask.graph.edge_count(), from_list.graph.edge_count());
+  EXPECT_EQ(from_mask.original_id, from_list.original_id);
+}
+
+TEST(Subgraph, MaskSizeMustMatch) {
+  const auto g = sample_graph();
+  std::vector<bool> mask = {true, false};
+  EXPECT_THROW(induced_subgraph(g, mask), std::invalid_argument);
+}
+
+TEST(Subgraph, FullMaskIsIdentity) {
+  const auto g = sample_graph();
+  std::vector<bool> mask(g.node_count(), true);
+  const auto sub = induced_subgraph(g, mask);
+  EXPECT_EQ(sub.graph.node_count(), g.node_count());
+  EXPECT_EQ(sub.graph.edge_count(), g.edge_count());
+  for (const Edge& e : g.edges()) EXPECT_TRUE(sub.graph.has_edge(e.from, e.to));
+}
+
+TEST(Subgraph, PreservesSelfLoops) {
+  GraphBuilder b;
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const auto g = b.build(/*keep_self_loops=*/true);
+  const std::vector<NodeId> keep = {0};
+  const auto sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.edge_count(), 1u);
+  EXPECT_TRUE(sub.graph.has_edge(0, 0));
+}
+
+}  // namespace
+}  // namespace gplus::graph

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algo/jaccard.h"
+#include "algo/topk.h"
+#include "graph/builder.h"
+
+namespace gplus::algo {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+GraphBuilder popularity_graph() {
+  // in-degrees: node 0 <- 3, node 1 <- 2, node 2 <- 1, others 0.
+  GraphBuilder b;
+  b.add_edge(4, 0);
+  b.add_edge(5, 0);
+  b.add_edge(6, 0);
+  b.add_edge(4, 1);
+  b.add_edge(5, 1);
+  b.add_edge(4, 2);
+  return b;
+}
+
+TEST(TopK, RanksByInDegree) {
+  const auto g = popularity_graph().build();
+  const auto top = top_by_in_degree(g, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].node, 0u);
+  EXPECT_EQ(top[0].score, 3u);
+  EXPECT_EQ(top[1].node, 1u);
+  EXPECT_EQ(top[2].node, 2u);
+}
+
+TEST(TopK, TiesBreakByLowestId) {
+  GraphBuilder b;
+  b.add_edge(2, 0);
+  b.add_edge(3, 1);
+  const auto top = top_by_in_degree(b.build(), 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 0u);
+  EXPECT_EQ(top[1].node, 1u);
+}
+
+TEST(TopK, KLargerThanGraph) {
+  const auto g = popularity_graph().build();
+  const auto top = top_by_in_degree(g, 100);
+  EXPECT_EQ(top.size(), g.node_count());
+}
+
+TEST(TopK, ZeroK) {
+  const auto g = popularity_graph().build();
+  EXPECT_TRUE(top_by_in_degree(g, 0).empty());
+}
+
+TEST(TopK, OutDegreeVariant) {
+  const auto g = popularity_graph().build();
+  const auto top = top_by_out_degree(g, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 4u);  // out-degree 3
+  EXPECT_EQ(top[0].score, 3u);
+  EXPECT_EQ(top[1].node, 5u);  // out-degree 2
+}
+
+TEST(TopK, FilteredRanking) {
+  const auto g = popularity_graph().build();
+  const auto top = top_by_in_degree_filtered(
+      g, 2, [](NodeId u) { return u % 2 == 1; });  // odd nodes only
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 1u);
+  EXPECT_EQ(top[1].node, 3u);  // in-degree 0, but best remaining odd node
+}
+
+TEST(TopK, FilterExcludingEverything) {
+  const auto g = popularity_graph().build();
+  EXPECT_TRUE(
+      top_by_in_degree_filtered(g, 5, [](NodeId) { return false; }).empty());
+}
+
+TEST(Jaccard, IdenticalSetsAreOne) {
+  const std::vector<int> a = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(jaccard_index(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSetsAreZero) {
+  const std::vector<int> a = {1, 2};
+  const std::vector<int> b = {3, 4};
+  EXPECT_DOUBLE_EQ(jaccard_index(a, b), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  const std::vector<int> a = {1, 2, 3};
+  const std::vector<int> b = {2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(jaccard_index(a, b), 2.0 / 5.0);
+}
+
+TEST(Jaccard, DuplicatesCollapse) {
+  const std::vector<int> a = {1, 1, 1, 2};
+  const std::vector<int> b = {1, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(jaccard_index(a, b), 1.0);
+}
+
+TEST(Jaccard, EmptyConventions) {
+  const std::vector<int> empty;
+  const std::vector<int> a = {1};
+  EXPECT_DOUBLE_EQ(jaccard_index(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_index(empty, a), 0.0);
+}
+
+TEST(Jaccard, StringVariant) {
+  const std::vector<std::string> a = {"IT", "Mu", "Co"};
+  const std::vector<std::string> b = {"Mu", "IT", "Jo"};
+  EXPECT_DOUBLE_EQ(jaccard_index(a, b), 0.5);
+}
+
+TEST(Jaccard, PaperTable5UsCaExample) {
+  // US: Co Mu IT Mu IT Mu Bu IT Mo Ac -> {Co, Mu, IT, Bu, Mo, Ac}
+  // CA: IT IT Mu Co Bu Ac IT Mu Co Ac -> {IT, Mu, Co, Bu, Ac}
+  const std::vector<std::string> us = {"Co", "Mu", "IT", "Mu", "IT",
+                                       "Mu", "Bu", "IT", "Mo", "Ac"};
+  const std::vector<std::string> ca = {"IT", "IT", "Mu", "Co", "Bu",
+                                       "Ac", "IT", "Mu", "Co", "Ac"};
+  // Intersection {Co,Mu,IT,Bu,Ac} = 5, union = 6 -> 0.83 as the paper prints.
+  EXPECT_NEAR(jaccard_index(us, ca), 0.83, 0.005);
+}
+
+}  // namespace
+}  // namespace gplus::algo

@@ -1,0 +1,12 @@
+// The gplus command-line tool: generate, analyze, crawl and export
+// calibrated synthetic Google+ datasets. See `gplus help`.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return gplus::cli::run_command(args, std::cout);
+}
