@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "core/parallel.h"
 #include "stats/expect.h"
 
 namespace gplus::algo {
@@ -63,34 +64,55 @@ NeighborhoodFunction approximate_neighborhood_function(const DiGraph& g,
   NeighborhoodFunction out;
   if (n == 0) return out;
 
-  // One sketch per node, seeded with the node's own hash.
+  // One sketch per node, seeded with the node's own hash. Sketch unions
+  // are register-wise max — commutative and associative — and each lane
+  // only writes next[u] for its own u range, so every phase of a pass is
+  // race-free and thread-count independent.
+  constexpr std::size_t kGrain = 1024;
   std::vector<HyperLogLog> current(n, HyperLogLog(options.precision));
-  for (NodeId u = 0; u < n; ++u) {
-    std::uint64_t state = options.seed ^ (0x9E3779B97F4A7C15ULL * (u + 1));
-    current[u].add_hash(stats::splitmix64_next(state));
-  }
+  core::parallel_for(n, kGrain, [&](std::size_t begin, std::size_t end) {
+    for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+      std::uint64_t state = options.seed ^ (0x9E3779B97F4A7C15ULL * (u + 1));
+      current[u].add_hash(stats::splitmix64_next(state));
+    }
+  });
 
   auto total_estimate = [&] {
-    double total = 0.0;
-    for (const auto& sketch : current) total += sketch.estimate();
-    return total;
+    // Per-sketch estimates are exact doubles of the serial path; the fixed
+    // combine tree keeps the sum bit-identical across thread counts.
+    return core::parallel_reduce(
+        n, kGrain, 0.0,
+        [&](std::size_t begin, std::size_t end, double& acc) {
+          for (std::size_t u = begin; u < end; ++u) {
+            acc += current[u].estimate();
+          }
+        },
+        [](double& into, const double& from) { into += from; });
   };
   out.reachable_pairs.push_back(total_estimate());  // h = 0: the nodes
 
   std::vector<HyperLogLog> next = current;
   for (std::size_t hop = 1; hop <= options.max_hops; ++hop) {
-    bool any_change = false;
-    for (NodeId u = 0; u < n; ++u) {
-      for (NodeId v : g.out_neighbors(u)) {
-        any_change |= next[u].merge(current[v]);
-      }
-      if (options.undirected) {
-        for (NodeId v : g.in_neighbors(u)) {
-          any_change |= next[u].merge(current[v]);
-        }
-      }
-    }
-    current = next;
+    // char, not bool: std::vector<bool> slots can't bind the combine refs.
+    const bool any_change =
+        core::parallel_reduce(
+            n, kGrain, char{0},
+            [&](std::size_t begin, std::size_t end, char& changed) {
+              for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+                for (NodeId v : g.out_neighbors(u)) {
+                  changed |= next[u].merge(current[v]);
+                }
+                if (options.undirected) {
+                  for (NodeId v : g.in_neighbors(u)) {
+                    changed |= next[u].merge(current[v]);
+                  }
+                }
+              }
+            },
+            [](char& into, const char& from) { into |= from; }) != 0;
+    core::parallel_for(n, kGrain, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t u = begin; u < end; ++u) current[u] = next[u];
+    });
     out.iterations = hop;
     out.reachable_pairs.push_back(total_estimate());
     if (!any_change) break;

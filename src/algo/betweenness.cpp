@@ -1,5 +1,8 @@
 #include "algo/betweenness.h"
 
+#include <algorithm>
+
+#include "core/parallel.h"
 #include "stats/expect.h"
 #include "stats/sampling.h"
 
@@ -73,17 +76,38 @@ std::vector<double> sampled_betweenness(const DiGraph& g, std::size_t sources,
   std::vector<double> score(n, 0.0);
   if (n == 0) return score;
   const std::size_t k = std::min(sources, n);
+  const auto picks = stats::sample_without_replacement(n, k, rng);
 
-  std::vector<std::uint32_t> dist(n);
-  std::vector<double> sigma(n), delta(n);
-  std::vector<NodeId> order;
-  order.reserve(n);
-  for (std::size_t pick : stats::sample_without_replacement(n, k, rng)) {
-    accumulate_from(g, static_cast<NodeId>(pick), score, dist, sigma, delta,
-                    order);
-  }
+  // Brandes accumulations from different sources are independent but all
+  // add into the score vector, so each *chunk* of sources gets a private
+  // score vector and the chunks are summed per node in fixed chunk order.
+  // The chunk grid depends only on k (at most 32 chunks, bounding the
+  // partial-vector memory at 32 * n doubles), never on the thread count,
+  // so the estimate is bit-identical for 1..N lanes.
+  const std::size_t grain = std::max<std::size_t>(1, (k + 31) / 32);
+  const std::size_t chunks = core::detail::chunk_count(k, grain);
+  std::vector<std::vector<double>> partials(chunks);
+  core::detail::run_chunks(
+      k, grain, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        auto& local = partials[chunk];
+        local.assign(n, 0.0);
+        std::vector<std::uint32_t> dist(n);
+        std::vector<double> sigma(n), delta(n);
+        std::vector<NodeId> order;
+        order.reserve(n);
+        for (std::size_t i = begin; i < end; ++i) {
+          accumulate_from(g, static_cast<NodeId>(picks[i]), local, dist, sigma,
+                          delta, order);
+        }
+      });
   const double scale = static_cast<double>(n) / static_cast<double>(k);
-  for (auto& s : score) s *= scale;
+  core::parallel_for(n, 8192, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      double total = 0.0;
+      for (std::size_t c = 0; c < chunks; ++c) total += partials[c][u];
+      score[u] = total * scale;
+    }
+  });
   return score;
 }
 

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
-#include <thread>
 
+#include "core/parallel.h"
 #include "stats/expect.h"
 #include "stats/sampling.h"
 
@@ -128,14 +128,12 @@ PathLengthEstimate estimate_path_lengths(const DiGraph& g,
   std::size_t used = 0;
   std::size_t round_target = std::min(options.initial_sources, cap);
 
-  const std::size_t threads =
-      options.threads != 0
-          ? options.threads
-          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-
   // Runs the BFS fan-out for sources[begin, end): single-threaded inline,
-  // or sharded across workers with per-worker accumulators merged in a
-  // fixed order (the totals are sums, so the estimate is identical).
+  // or sharded over the shared pool (core/parallel.h) with per-chunk
+  // accumulators merged in a fixed order. The totals are integer sums, so
+  // the estimate is identical for any thread count — and the shared pool
+  // means concurrent callers reuse one bounded worker set instead of each
+  // spawning hardware_concurrency() threads per round.
   auto fan_out = [&](std::size_t begin, std::size_t end) {
     auto work = [&](std::size_t from, std::size_t to, HopAccumulator& local) {
       for (std::size_t i = from; i < to; ++i) {
@@ -147,21 +145,20 @@ PathLengthEstimate estimate_path_lengths(const DiGraph& g,
       }
     };
     const std::size_t span = end - begin;
-    if (threads <= 1 || span < 2 * threads) {
+    if (options.threads == 1 || span < 4) {
       work(begin, end, acc);
       return;
     }
-    std::vector<HopAccumulator> locals(threads);
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    const std::size_t chunk = (span + threads - 1) / threads;
-    for (std::size_t t = 0; t < threads; ++t) {
-      const std::size_t from = begin + t * chunk;
-      const std::size_t to = std::min(end, from + chunk);
-      if (from >= to) break;
-      pool.emplace_back(work, from, to, std::ref(locals[t]));
-    }
-    for (auto& worker : pool) worker.join();
+    // One BFS is a coarse work item; a grain of 4 sources keeps dispatch
+    // overhead negligible while load-balancing the heavy sources.
+    constexpr std::size_t kGrain = 4;
+    const std::size_t chunks = core::detail::chunk_count(span, kGrain);
+    std::vector<HopAccumulator> locals(chunks);
+    core::detail::run_chunks(span, kGrain,
+                             [&](std::size_t chunk, std::size_t from,
+                                 std::size_t to) {
+                               work(begin + from, begin + to, locals[chunk]);
+                             });
     for (const auto& local : locals) acc.merge(local);
   };
 

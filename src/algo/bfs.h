@@ -50,9 +50,12 @@ struct PathLengthOptions {
   /// Convergence: max absolute pmf change between rounds.
   double tolerance = 1e-3;
   bool undirected = false;
-  /// Worker threads for the per-source BFS fan-out (sources are
-  /// independent; results are summed, so the estimate is bit-identical
-  /// for any thread count). 0 = hardware concurrency.
+  /// Per-source BFS fan-out threading (sources are independent; results
+  /// are summed, so the estimate is bit-identical for any thread count).
+  /// 1 = run inline on the calling thread; any other value (including the
+  /// 0 default-to-parallel) shards the sources over the shared worker
+  /// pool, whose size is governed by GPLUS_THREADS /
+  /// core::set_thread_count().
   std::size_t threads = 1;
 };
 

@@ -1,5 +1,6 @@
 #include "algo/clustering.h"
 
+#include "core/parallel.h"
 #include "stats/sampling.h"
 
 namespace gplus::algo {
@@ -34,9 +35,18 @@ std::optional<double> clustering_coefficient(const DiGraph& g, NodeId u) {
 }
 
 std::vector<double> clustering_coefficients(const DiGraph& g) {
+  const std::size_t n = g.node_count();
+  // Each C(u) is independent: compute into per-node slots on the pool,
+  // then compact serially in node order — same output as the serial loop.
+  std::vector<std::optional<double>> slots(n);
+  core::parallel_for(n, 512, [&](std::size_t begin, std::size_t end) {
+    for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+      slots[u] = clustering_coefficient(g, u);
+    }
+  });
   std::vector<double> out;
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    if (auto c = clustering_coefficient(g, u)) out.push_back(*c);
+  for (const auto& c : slots) {
+    if (c) out.push_back(*c);
   }
   return out;
 }
@@ -48,19 +58,24 @@ std::vector<double> sampled_clustering_coefficients(const DiGraph& g,
   for (NodeId u = 0; u < g.node_count(); ++u) {
     if (g.out_degree(u) > 1) qualifying.push_back(u);
   }
+  // The sample is drawn up front, so each pick computes into its own slot
+  // regardless of which lane runs it; output order matches the serial path.
+  std::vector<NodeId> picked;
   if (qualifying.size() <= sample_size) {
-    std::vector<double> out;
-    out.reserve(qualifying.size());
-    for (NodeId u : qualifying) out.push_back(*clustering_coefficient(g, u));
-    return out;
+    picked = std::move(qualifying);
+  } else {
+    const auto picks =
+        stats::sample_without_replacement(qualifying.size(), sample_size, rng);
+    picked.reserve(picks.size());
+    for (std::size_t idx : picks) picked.push_back(qualifying[idx]);
   }
-  const auto picks =
-      stats::sample_without_replacement(qualifying.size(), sample_size, rng);
-  std::vector<double> out;
-  out.reserve(picks.size());
-  for (std::size_t idx : picks) {
-    out.push_back(*clustering_coefficient(g, qualifying[idx]));
-  }
+  std::vector<double> out(picked.size());
+  core::parallel_for(picked.size(), 256,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         out[i] = *clustering_coefficient(g, picked[i]);
+                       }
+                     });
   return out;
 }
 

@@ -2,20 +2,39 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
+
 namespace gplus::algo {
 
 using graph::DiGraph;
 using graph::NodeId;
 
+namespace {
+
+// Degree fills are pure per-slot writes; one coarse grain fits both.
+constexpr std::size_t kDegreeGrain = 8192;
+
+}  // namespace
+
 std::vector<std::uint64_t> in_degrees(const DiGraph& g) {
   std::vector<std::uint64_t> d(g.node_count());
-  for (NodeId u = 0; u < g.node_count(); ++u) d[u] = g.in_degree(u);
+  core::parallel_for(d.size(), kDegreeGrain,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+                         d[u] = g.in_degree(u);
+                       }
+                     });
   return d;
 }
 
 std::vector<std::uint64_t> out_degrees(const DiGraph& g) {
   std::vector<std::uint64_t> d(g.node_count());
-  for (NodeId u = 0; u < g.node_count(); ++u) d[u] = g.out_degree(u);
+  core::parallel_for(d.size(), kDegreeGrain,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+                         d[u] = g.out_degree(u);
+                       }
+                     });
   return d;
 }
 
@@ -26,12 +45,25 @@ DegreeDistribution make_distribution(const std::vector<std::uint64_t>& degrees,
   DegreeDistribution out;
   out.ccdf = stats::integer_ccdf(degrees);
   if (!degrees.empty()) {
-    std::uint64_t total = 0;
-    for (auto d : degrees) {
-      total += d;
-      out.max = std::max(out.max, d);
-    }
-    out.mean = static_cast<double>(total) / static_cast<double>(degrees.size());
+    struct TotalMax {
+      std::uint64_t total = 0;
+      std::uint64_t max = 0;
+    };
+    const auto agg = core::parallel_reduce(
+        degrees.size(), kDegreeGrain, TotalMax{},
+        [&](std::size_t begin, std::size_t end, TotalMax& acc) {
+          for (std::size_t i = begin; i < end; ++i) {
+            acc.total += degrees[i];
+            acc.max = std::max(acc.max, degrees[i]);
+          }
+        },
+        [](TotalMax& into, const TotalMax& from) {
+          into.total += from.total;
+          into.max = std::max(into.max, from.max);
+        });
+    out.max = agg.max;
+    out.mean =
+        static_cast<double>(agg.total) / static_cast<double>(degrees.size());
   }
   // The log-log regression needs at least two distinct degree values in the
   // fit range; tiny or regular graphs simply get a zeroed fit.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/parallel.h"
 #include "stats/expect.h"
 
 namespace gplus::algo {
@@ -26,25 +27,47 @@ PageRankResult pagerank(const DiGraph& g, const PageRankOptions& options) {
   const double uniform = 1.0 / static_cast<double>(n);
   std::vector<double> rank(n, uniform);
   std::vector<double> next(n, 0.0);
+  // Pull formulation: next[v] = base + Σ share[u] over in-neighbors u.
+  // Each lane writes disjoint next[v] slots and every per-node sum runs
+  // in ascending in-neighbor order, so the scores are bit-identical for
+  // any thread count (the push/scatter form would race).
+  std::vector<double> share(n, 0.0);
+  constexpr std::size_t kGrain = 4096;
+  const auto add = [](double& into, const double& from) { into += from; };
 
   for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
-    double dangling = 0.0;
-    for (NodeId u = 0; u < n; ++u) {
-      if (g.out_degree(u) == 0) dangling += rank[u];
-    }
+    const double dangling = core::parallel_reduce(
+        n, kGrain, 0.0,
+        [&](std::size_t begin, std::size_t end, double& acc) {
+          for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+            const std::size_t d = g.out_degree(u);
+            if (d == 0) {
+              share[u] = 0.0;
+              acc += rank[u];
+            } else {
+              share[u] = options.damping * rank[u] / static_cast<double>(d);
+            }
+          }
+        },
+        add);
     const double base =
         (1.0 - options.damping) * uniform + options.damping * dangling * uniform;
-    std::fill(next.begin(), next.end(), base);
-    for (NodeId u = 0; u < n; ++u) {
-      const auto outs = g.out_neighbors(u);
-      if (outs.empty()) continue;
-      const double share =
-          options.damping * rank[u] / static_cast<double>(outs.size());
-      for (NodeId v : outs) next[v] += share;
-    }
+    core::parallel_for(n, kGrain / 4, [&](std::size_t begin, std::size_t end) {
+      for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+        double total = base;
+        for (NodeId u : g.in_neighbors(v)) total += share[u];
+        next[v] = total;
+      }
+    });
 
-    double delta = 0.0;
-    for (std::size_t i = 0; i < n; ++i) delta += std::abs(next[i] - rank[i]);
+    const double delta = core::parallel_reduce(
+        n, kGrain, 0.0,
+        [&](std::size_t begin, std::size_t end, double& acc) {
+          for (std::size_t i = begin; i < end; ++i) {
+            acc += std::abs(next[i] - rank[i]);
+          }
+        },
+        add);
     rank.swap(next);
     result.iterations = iter;
     if (delta <= options.tolerance) {

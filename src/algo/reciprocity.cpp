@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
+
 namespace gplus::algo {
 
 using graph::DiGraph;
@@ -37,21 +39,35 @@ std::optional<double> relation_reciprocity(const DiGraph& g, NodeId u) {
 }
 
 std::vector<double> relation_reciprocities(const DiGraph& g) {
+  const std::size_t n = g.node_count();
+  // Per-node RR into fixed slots on the pool, compacted in node order —
+  // identical output to the serial loop for any thread count.
+  std::vector<std::optional<double>> slots(n);
+  core::parallel_for(n, 2048, [&](std::size_t begin, std::size_t end) {
+    for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+      slots[u] = relation_reciprocity(g, u);
+    }
+  });
   std::vector<double> out;
-  out.reserve(g.node_count());
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    if (auto rr = relation_reciprocity(g, u)) out.push_back(*rr);
+  out.reserve(n);
+  for (const auto& rr : slots) {
+    if (rr) out.push_back(*rr);
   }
   return out;
 }
 
 double global_reciprocity(const DiGraph& g) {
   if (g.edge_count() == 0) return 0.0;
-  std::uint64_t mutual_edges = 0;
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    mutual_edges += mutual_count(g, u);  // counts each reciprocal pair twice,
-                                         // once per endpoint — i.e. per edge
-  }
+  // Counts each reciprocal pair twice, once per endpoint — i.e. per edge.
+  // Integer sum, so the chunked reduction is exact.
+  const std::uint64_t mutual_edges = core::parallel_reduce(
+      g.node_count(), 2048, std::uint64_t{0},
+      [&](std::size_t begin, std::size_t end, std::uint64_t& acc) {
+        for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+          acc += mutual_count(g, u);
+        }
+      },
+      [](std::uint64_t& into, const std::uint64_t& from) { into += from; });
   return static_cast<double>(mutual_edges) / static_cast<double>(g.edge_count());
 }
 

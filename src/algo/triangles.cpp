@@ -3,10 +3,21 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/parallel.h"
+
 namespace gplus::algo {
 
 using graph::DiGraph;
 using graph::NodeId;
+
+namespace {
+
+// Rows are independent, so every per-node phase below runs on the shared
+// pool; counts are summed with the deterministic chunked reduction, so
+// the census is identical for every thread count.
+constexpr std::size_t kRowGrain = 2048;
+
+}  // namespace
 
 TriangleCensus count_triangles(const DiGraph& g) {
   const std::size_t n = g.node_count();
@@ -15,31 +26,38 @@ TriangleCensus count_triangles(const DiGraph& g) {
 
   // Undirected adjacency: union of out- and in-lists, self-loops dropped.
   std::vector<std::vector<NodeId>> adj(n);
-  for (NodeId u = 0; u < n; ++u) {
-    const auto outs = g.out_neighbors(u);
-    const auto ins = g.in_neighbors(u);
-    auto& row = adj[u];
-    row.reserve(outs.size() + ins.size());
-    std::size_t i = 0, j = 0;
-    while (i < outs.size() || j < ins.size()) {
-      NodeId next;
-      if (j >= ins.size() || (i < outs.size() && outs[i] < ins[j])) {
-        next = outs[i++];
-      } else if (i >= outs.size() || ins[j] < outs[i]) {
-        next = ins[j++];
-      } else {
-        next = outs[i++];
-        ++j;
+  core::parallel_for(n, kRowGrain, [&](std::size_t begin, std::size_t end) {
+    for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+      const auto outs = g.out_neighbors(u);
+      const auto ins = g.in_neighbors(u);
+      auto& row = adj[u];
+      row.reserve(outs.size() + ins.size());
+      std::size_t i = 0, j = 0;
+      while (i < outs.size() || j < ins.size()) {
+        NodeId next;
+        if (j >= ins.size() || (i < outs.size() && outs[i] < ins[j])) {
+          next = outs[i++];
+        } else if (i >= outs.size() || ins[j] < outs[i]) {
+          next = ins[j++];
+        } else {
+          next = outs[i++];
+          ++j;
+        }
+        if (next != u) row.push_back(next);
       }
-      if (next != u) row.push_back(next);
     }
-  }
+  });
 
   // Connected triples: sum over nodes of C(deg, 2).
-  for (NodeId u = 0; u < n; ++u) {
-    const auto d = static_cast<std::uint64_t>(adj[u].size());
-    census.triples += d * (d - 1) / 2;
-  }
+  census.triples = core::parallel_reduce(
+      n, kRowGrain, std::uint64_t{0},
+      [&](std::size_t begin, std::size_t end, std::uint64_t& acc) {
+        for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+          const auto d = static_cast<std::uint64_t>(adj[u].size());
+          acc += d * (d - 1) / 2;
+        }
+      },
+      [](std::uint64_t& into, const std::uint64_t& from) { into += from; });
 
   // Triangle count via forward adjacency: keep only neighbors that are
   // "later" in the (degree, id) total order; each triangle is then counted
@@ -49,31 +67,40 @@ TriangleCensus count_triangles(const DiGraph& g) {
     return a < b;
   };
   std::vector<std::vector<NodeId>> forward(n);
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v : adj[u]) {
-      if (rank_less(u, v)) forward[u].push_back(v);
-    }
-    std::sort(forward[u].begin(), forward[u].end());
-  }
-  for (NodeId u = 0; u < n; ++u) {
-    const auto& fu = forward[u];
-    for (NodeId v : fu) {
-      const auto& fv = forward[v];
-      // Merge-intersect fu and fv.
-      std::size_t i = 0, j = 0;
-      while (i < fu.size() && j < fv.size()) {
-        if (fu[i] < fv[j]) {
-          ++i;
-        } else if (fu[i] > fv[j]) {
-          ++j;
-        } else {
-          ++census.triangles;
-          ++i;
-          ++j;
-        }
+  core::parallel_for(n, kRowGrain, [&](std::size_t begin, std::size_t end) {
+    for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+      for (NodeId v : adj[u]) {
+        if (rank_less(u, v)) forward[u].push_back(v);
       }
+      std::sort(forward[u].begin(), forward[u].end());
     }
-  }
+  });
+  // Intersection cost varies wildly per node (hubs dominate), so the grain
+  // is finer here to keep lanes balanced.
+  census.triangles = core::parallel_reduce(
+      n, kRowGrain / 8, std::uint64_t{0},
+      [&](std::size_t begin, std::size_t end, std::uint64_t& acc) {
+        for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+          const auto& fu = forward[u];
+          for (NodeId v : fu) {
+            const auto& fv = forward[v];
+            // Merge-intersect fu and fv.
+            std::size_t i = 0, j = 0;
+            while (i < fu.size() && j < fv.size()) {
+              if (fu[i] < fv[j]) {
+                ++i;
+              } else if (fu[i] > fv[j]) {
+                ++j;
+              } else {
+                ++acc;
+                ++i;
+                ++j;
+              }
+            }
+          }
+        }
+      },
+      [](std::uint64_t& into, const std::uint64_t& from) { into += from; });
   return census;
 }
 

@@ -7,6 +7,7 @@
 #include "cli/args.h"
 #include "core/analysis.h"
 #include "core/dataset_io.h"
+#include "core/parallel.h"
 #include "core/table.h"
 #include "crawler/bias.h"
 #include "core/export.h"
@@ -39,6 +40,18 @@ bool parse_or_usage(ArgParser& parser, const std::vector<std::string>& args,
   return true;
 }
 
+// Declares the shared --threads option on analysis-heavy commands.
+void add_threads_option(ArgParser& parser) {
+  parser.add_option("threads", "0",
+                    "worker threads for the parallel kernels "
+                    "(0 = GPLUS_THREADS or all cores)");
+}
+
+// Applies --threads to the shared pool; results never depend on it.
+void apply_threads_option(const ArgParser& parser) {
+  core::set_thread_count(parser.get_u64("threads"));
+}
+
 }  // namespace
 
 int cmd_generate(const std::vector<std::string>& args, std::ostream& out) {
@@ -67,7 +80,9 @@ int cmd_analyze(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_option("in", "gplus.dataset", "dataset file");
   parser.add_option("path-sources", "300", "BFS sources for path sampling");
   parser.add_flag("attributes", "also print the Table 2 attribute summary");
+  add_threads_option(parser);
   if (!parse_or_usage(parser, args, out)) return 2;
+  apply_threads_option(parser);
 
   const auto dataset = core::load_dataset(parser.get("in"));
   stats::Rng rng(1);
@@ -200,7 +215,9 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_option("in", "gplus.dataset", "dataset file");
   parser.add_option("out", "", "write to this file instead of stdout");
   parser.add_option("path-sources", "200", "BFS sources for path sampling");
+  add_threads_option(parser);
   if (!parse_or_usage(parser, args, out)) return 2;
+  apply_threads_option(parser);
 
   const auto dataset = core::load_dataset(parser.get("in"));
   core::ReportOptions options;

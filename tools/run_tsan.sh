@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Builds the parallel-runtime test binaries under ThreadSanitizer and runs
+# them. Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+#
+# TSan catches the races a serial-equivalence test cannot: unsynchronized
+# pool state, kernels writing overlapping slots, etc. The same script works
+# for the other sanitizers via GPLUS_SANITIZE=address|undefined.
+set -eu
+
+BUILD_DIR="${1:-build-tsan}"
+SANITIZER="${GPLUS_SANITIZE:-thread}"
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+TARGETS="test_parallel test_parallel_equivalence test_bfs"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DGPLUS_SANITIZE="$SANITIZER" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+# shellcheck disable=SC2086  # TARGETS is intentionally word-split
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target $TARGETS
+
+status=0
+for t in $TARGETS; do
+  echo "== $SANITIZER: $t =="
+  "$BUILD_DIR/tests/$t" || status=1
+done
+exit $status
