@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_methodology.dir/crawl_methodology.cpp.o"
+  "CMakeFiles/crawl_methodology.dir/crawl_methodology.cpp.o.d"
+  "crawl_methodology"
+  "crawl_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_dynamics.dir/diffusion_dynamics.cpp.o"
+  "CMakeFiles/diffusion_dynamics.dir/diffusion_dynamics.cpp.o.d"
+  "diffusion_dynamics"
+  "diffusion_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

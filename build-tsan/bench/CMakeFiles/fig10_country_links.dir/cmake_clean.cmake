@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_country_links.dir/fig10_country_links.cpp.o"
+  "CMakeFiles/fig10_country_links.dir/fig10_country_links.cpp.o.d"
+  "fig10_country_links"
+  "fig10_country_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_country_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_profile_page.dir/fig1_profile_page.cpp.o"
+  "CMakeFiles/fig1_profile_page.dir/fig1_profile_page.cpp.o.d"
+  "fig1_profile_page"
+  "fig1_profile_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_profile_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

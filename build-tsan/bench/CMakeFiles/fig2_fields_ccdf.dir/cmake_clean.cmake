@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fields_ccdf.dir/fig2_fields_ccdf.cpp.o"
+  "CMakeFiles/fig2_fields_ccdf.dir/fig2_fields_ccdf.cpp.o.d"
+  "fig2_fields_ccdf"
+  "fig2_fields_ccdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fields_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_degree_dist.dir/fig3_degree_dist.cpp.o"
+  "CMakeFiles/fig3_degree_dist.dir/fig3_degree_dist.cpp.o.d"
+  "fig3_degree_dist"
+  "fig3_degree_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_degree_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

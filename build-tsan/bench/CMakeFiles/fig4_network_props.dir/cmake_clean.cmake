@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_network_props.dir/fig4_network_props.cpp.o"
+  "CMakeFiles/fig4_network_props.dir/fig4_network_props.cpp.o.d"
+  "fig4_network_props"
+  "fig4_network_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_network_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

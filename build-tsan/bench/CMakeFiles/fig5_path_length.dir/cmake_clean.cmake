@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_path_length.dir/fig5_path_length.cpp.o"
+  "CMakeFiles/fig5_path_length.dir/fig5_path_length.cpp.o.d"
+  "fig5_path_length"
+  "fig5_path_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_path_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

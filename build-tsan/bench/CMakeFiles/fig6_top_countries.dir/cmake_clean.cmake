@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_top_countries.dir/fig6_top_countries.cpp.o"
+  "CMakeFiles/fig6_top_countries.dir/fig6_top_countries.cpp.o.d"
+  "fig6_top_countries"
+  "fig6_top_countries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_top_countries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_top_countries.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_penetration.dir/fig7_penetration.cpp.o"
+  "CMakeFiles/fig7_penetration.dir/fig7_penetration.cpp.o.d"
+  "fig7_penetration"
+  "fig7_penetration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_penetration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

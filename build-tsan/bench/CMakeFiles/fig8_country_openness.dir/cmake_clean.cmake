@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_country_openness.dir/fig8_country_openness.cpp.o"
+  "CMakeFiles/fig8_country_openness.dir/fig8_country_openness.cpp.o.d"
+  "fig8_country_openness"
+  "fig8_country_openness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_country_openness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_path_miles.dir/fig9_path_miles.cpp.o"
+  "CMakeFiles/fig9_path_miles.dir/fig9_path_miles.cpp.o.d"
+  "fig9_path_miles"
+  "fig9_path_miles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_path_miles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

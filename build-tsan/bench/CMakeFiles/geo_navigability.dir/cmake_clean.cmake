@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_navigability.dir/geo_navigability.cpp.o"
+  "CMakeFiles/geo_navigability.dir/geo_navigability.cpp.o.d"
+  "geo_navigability"
+  "geo_navigability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_navigability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/growth_dynamics.dir/growth_dynamics.cpp.o"
+  "CMakeFiles/growth_dynamics.dir/growth_dynamics.cpp.o.d"
+  "growth_dynamics"
+  "growth_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growth_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_algo.dir/micro_algo.cpp.o"
+  "CMakeFiles/micro_algo.dir/micro_algo.cpp.o.d"
+  "micro_algo"
+  "micro_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sampler_comparison.cpp" "bench/CMakeFiles/sampler_comparison.dir/sampler_comparison.cpp.o" "gcc" "bench/CMakeFiles/sampler_comparison.dir/sampler_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/stream/CMakeFiles/gplus_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/evolve/CMakeFiles/gplus_evolve.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/gplus_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crawler/CMakeFiles/gplus_crawler.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/service/CMakeFiles/gplus_service.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/synth/CMakeFiles/gplus_synth.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/algo/CMakeFiles/gplus_algo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/gplus_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/gplus_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/gplus_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/gplus_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_comparison.dir/sampler_comparison.cpp.o"
+  "CMakeFiles/sampler_comparison.dir/sampler_comparison.cpp.o.d"
+  "sampler_comparison"
+  "sampler_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

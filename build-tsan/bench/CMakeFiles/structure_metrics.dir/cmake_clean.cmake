@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_metrics.dir/structure_metrics.cpp.o"
+  "CMakeFiles/structure_metrics.dir/structure_metrics.cpp.o.d"
+  "structure_metrics"
+  "structure_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

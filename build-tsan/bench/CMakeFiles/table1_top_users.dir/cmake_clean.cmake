@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_top_users.dir/table1_top_users.cpp.o"
+  "CMakeFiles/table1_top_users.dir/table1_top_users.cpp.o.d"
+  "table1_top_users"
+  "table1_top_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_top_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

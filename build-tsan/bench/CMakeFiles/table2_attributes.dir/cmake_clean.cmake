@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_attributes.dir/table2_attributes.cpp.o"
+  "CMakeFiles/table2_attributes.dir/table2_attributes.cpp.o.d"
+  "table2_attributes"
+  "table2_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

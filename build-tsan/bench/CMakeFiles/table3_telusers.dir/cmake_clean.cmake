@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_telusers.dir/table3_telusers.cpp.o"
+  "CMakeFiles/table3_telusers.dir/table3_telusers.cpp.o.d"
+  "table3_telusers"
+  "table3_telusers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_telusers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_topology.dir/table4_topology.cpp.o"
+  "CMakeFiles/table4_topology.dir/table4_topology.cpp.o.d"
+  "table4_topology"
+  "table4_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

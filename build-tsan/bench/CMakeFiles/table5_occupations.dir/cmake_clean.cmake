@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_occupations.dir/table5_occupations.cpp.o"
+  "CMakeFiles/table5_occupations.dir/table5_occupations.cpp.o.d"
+  "table5_occupations"
+  "table5_occupations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_occupations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_study.dir/crawl_study.cpp.o"
+  "CMakeFiles/crawl_study.dir/crawl_study.cpp.o.d"
+  "crawl_study"
+  "crawl_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_study.dir/diffusion_study.cpp.o"
+  "CMakeFiles/diffusion_study.dir/diffusion_study.cpp.o.d"
+  "diffusion_study"
+  "diffusion_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_study.dir/geo_study.cpp.o"
+  "CMakeFiles/geo_study.dir/geo_study.cpp.o.d"
+  "geo_study"
+  "geo_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

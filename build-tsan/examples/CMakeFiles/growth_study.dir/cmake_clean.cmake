@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/growth_study.dir/growth_study.cpp.o"
+  "CMakeFiles/growth_study.dir/growth_study.cpp.o.d"
+  "growth_study"
+  "growth_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growth_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

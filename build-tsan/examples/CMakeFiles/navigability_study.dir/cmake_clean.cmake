@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigability_study.dir/navigability_study.cpp.o"
+  "CMakeFiles/navigability_study.dir/navigability_study.cpp.o.d"
+  "navigability_study"
+  "navigability_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigability_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

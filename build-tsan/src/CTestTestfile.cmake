@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("graph")
+subdirs("algo")
+subdirs("geo")
+subdirs("synth")
+subdirs("service")
+subdirs("crawler")
+subdirs("evolve")
+subdirs("core")
+subdirs("stream")
+subdirs("cli")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/anf.cpp" "src/algo/CMakeFiles/gplus_algo.dir/anf.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/anf.cpp.o.d"
+  "/root/repo/src/algo/assortativity.cpp" "src/algo/CMakeFiles/gplus_algo.dir/assortativity.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/assortativity.cpp.o.d"
+  "/root/repo/src/algo/betweenness.cpp" "src/algo/CMakeFiles/gplus_algo.dir/betweenness.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/betweenness.cpp.o.d"
+  "/root/repo/src/algo/bfs.cpp" "src/algo/CMakeFiles/gplus_algo.dir/bfs.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/bfs.cpp.o.d"
+  "/root/repo/src/algo/bowtie.cpp" "src/algo/CMakeFiles/gplus_algo.dir/bowtie.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/bowtie.cpp.o.d"
+  "/root/repo/src/algo/clustering.cpp" "src/algo/CMakeFiles/gplus_algo.dir/clustering.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/clustering.cpp.o.d"
+  "/root/repo/src/algo/communities.cpp" "src/algo/CMakeFiles/gplus_algo.dir/communities.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/communities.cpp.o.d"
+  "/root/repo/src/algo/degrees.cpp" "src/algo/CMakeFiles/gplus_algo.dir/degrees.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/degrees.cpp.o.d"
+  "/root/repo/src/algo/jaccard.cpp" "src/algo/CMakeFiles/gplus_algo.dir/jaccard.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/jaccard.cpp.o.d"
+  "/root/repo/src/algo/kcore.cpp" "src/algo/CMakeFiles/gplus_algo.dir/kcore.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/kcore.cpp.o.d"
+  "/root/repo/src/algo/pagerank.cpp" "src/algo/CMakeFiles/gplus_algo.dir/pagerank.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/pagerank.cpp.o.d"
+  "/root/repo/src/algo/reciprocity.cpp" "src/algo/CMakeFiles/gplus_algo.dir/reciprocity.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/reciprocity.cpp.o.d"
+  "/root/repo/src/algo/rewire.cpp" "src/algo/CMakeFiles/gplus_algo.dir/rewire.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/rewire.cpp.o.d"
+  "/root/repo/src/algo/robustness.cpp" "src/algo/CMakeFiles/gplus_algo.dir/robustness.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/robustness.cpp.o.d"
+  "/root/repo/src/algo/scc.cpp" "src/algo/CMakeFiles/gplus_algo.dir/scc.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/scc.cpp.o.d"
+  "/root/repo/src/algo/topk.cpp" "src/algo/CMakeFiles/gplus_algo.dir/topk.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/topk.cpp.o.d"
+  "/root/repo/src/algo/triangles.cpp" "src/algo/CMakeFiles/gplus_algo.dir/triangles.cpp.o" "gcc" "src/algo/CMakeFiles/gplus_algo.dir/triangles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/graph/CMakeFiles/gplus_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/gplus_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/gplus_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

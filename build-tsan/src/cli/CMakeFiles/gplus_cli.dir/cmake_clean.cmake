@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus_cli.dir/args.cpp.o"
+  "CMakeFiles/gplus_cli.dir/args.cpp.o.d"
+  "CMakeFiles/gplus_cli.dir/commands.cpp.o"
+  "CMakeFiles/gplus_cli.dir/commands.cpp.o.d"
+  "libgplus_cli.a"
+  "libgplus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/gplus_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/gplus_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/gplus_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/gplus_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/dataset_io.cpp" "src/core/CMakeFiles/gplus_core.dir/dataset_io.cpp.o" "gcc" "src/core/CMakeFiles/gplus_core.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/gplus_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/gplus_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/geo_analysis.cpp" "src/core/CMakeFiles/gplus_core.dir/geo_analysis.cpp.o" "gcc" "src/core/CMakeFiles/gplus_core.dir/geo_analysis.cpp.o.d"
+  "/root/repo/src/core/geo_routing.cpp" "src/core/CMakeFiles/gplus_core.dir/geo_routing.cpp.o" "gcc" "src/core/CMakeFiles/gplus_core.dir/geo_routing.cpp.o.d"
+  "/root/repo/src/core/hop_analysis.cpp" "src/core/CMakeFiles/gplus_core.dir/hop_analysis.cpp.o" "gcc" "src/core/CMakeFiles/gplus_core.dir/hop_analysis.cpp.o.d"
+  "/root/repo/src/core/reference.cpp" "src/core/CMakeFiles/gplus_core.dir/reference.cpp.o" "gcc" "src/core/CMakeFiles/gplus_core.dir/reference.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/gplus_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/gplus_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/gplus_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/gplus_core.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/synth/CMakeFiles/gplus_synth.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/algo/CMakeFiles/gplus_algo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/gplus_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/gplus_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/gplus_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/gplus_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

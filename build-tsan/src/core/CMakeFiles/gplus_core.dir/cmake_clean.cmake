@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus_core.dir/analysis.cpp.o"
+  "CMakeFiles/gplus_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/gplus_core.dir/dataset.cpp.o"
+  "CMakeFiles/gplus_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/gplus_core.dir/dataset_io.cpp.o"
+  "CMakeFiles/gplus_core.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/gplus_core.dir/export.cpp.o"
+  "CMakeFiles/gplus_core.dir/export.cpp.o.d"
+  "CMakeFiles/gplus_core.dir/geo_analysis.cpp.o"
+  "CMakeFiles/gplus_core.dir/geo_analysis.cpp.o.d"
+  "CMakeFiles/gplus_core.dir/geo_routing.cpp.o"
+  "CMakeFiles/gplus_core.dir/geo_routing.cpp.o.d"
+  "CMakeFiles/gplus_core.dir/hop_analysis.cpp.o"
+  "CMakeFiles/gplus_core.dir/hop_analysis.cpp.o.d"
+  "CMakeFiles/gplus_core.dir/reference.cpp.o"
+  "CMakeFiles/gplus_core.dir/reference.cpp.o.d"
+  "CMakeFiles/gplus_core.dir/report.cpp.o"
+  "CMakeFiles/gplus_core.dir/report.cpp.o.d"
+  "CMakeFiles/gplus_core.dir/table.cpp.o"
+  "CMakeFiles/gplus_core.dir/table.cpp.o.d"
+  "libgplus_core.a"
+  "libgplus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

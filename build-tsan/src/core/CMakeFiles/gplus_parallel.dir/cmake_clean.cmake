@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus_parallel.dir/parallel.cpp.o"
+  "CMakeFiles/gplus_parallel.dir/parallel.cpp.o.d"
+  "libgplus_parallel.a"
+  "libgplus_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus_crawler.dir/bias.cpp.o"
+  "CMakeFiles/gplus_crawler.dir/bias.cpp.o.d"
+  "CMakeFiles/gplus_crawler.dir/crawler.cpp.o"
+  "CMakeFiles/gplus_crawler.dir/crawler.cpp.o.d"
+  "CMakeFiles/gplus_crawler.dir/fleet.cpp.o"
+  "CMakeFiles/gplus_crawler.dir/fleet.cpp.o.d"
+  "CMakeFiles/gplus_crawler.dir/samplers.cpp.o"
+  "CMakeFiles/gplus_crawler.dir/samplers.cpp.o.d"
+  "libgplus_crawler.a"
+  "libgplus_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evolve/growth.cpp" "src/evolve/CMakeFiles/gplus_evolve.dir/growth.cpp.o" "gcc" "src/evolve/CMakeFiles/gplus_evolve.dir/growth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/algo/CMakeFiles/gplus_algo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/gplus_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/gplus_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/gplus_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus_evolve.dir/growth.cpp.o"
+  "CMakeFiles/gplus_evolve.dir/growth.cpp.o.d"
+  "libgplus_evolve.a"
+  "libgplus_evolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus_evolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus_geo.dir/coords.cpp.o"
+  "CMakeFiles/gplus_geo.dir/coords.cpp.o.d"
+  "CMakeFiles/gplus_geo.dir/countries.cpp.o"
+  "CMakeFiles/gplus_geo.dir/countries.cpp.o.d"
+  "CMakeFiles/gplus_geo.dir/world.cpp.o"
+  "CMakeFiles/gplus_geo.dir/world.cpp.o.d"
+  "libgplus_geo.a"
+  "libgplus_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

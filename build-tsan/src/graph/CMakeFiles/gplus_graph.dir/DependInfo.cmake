@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/gplus_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/gplus_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/gplus_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/gplus_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/edgelist_io.cpp" "src/graph/CMakeFiles/gplus_graph.dir/edgelist_io.cpp.o" "gcc" "src/graph/CMakeFiles/gplus_graph.dir/edgelist_io.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/gplus_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/gplus_graph.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/stats/CMakeFiles/gplus_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

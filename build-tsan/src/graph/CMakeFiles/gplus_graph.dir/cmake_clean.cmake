@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus_graph.dir/builder.cpp.o"
+  "CMakeFiles/gplus_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/gplus_graph.dir/digraph.cpp.o"
+  "CMakeFiles/gplus_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/gplus_graph.dir/edgelist_io.cpp.o"
+  "CMakeFiles/gplus_graph.dir/edgelist_io.cpp.o.d"
+  "CMakeFiles/gplus_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/gplus_graph.dir/subgraph.cpp.o.d"
+  "libgplus_graph.a"
+  "libgplus_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

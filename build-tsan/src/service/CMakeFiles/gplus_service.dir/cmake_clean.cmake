@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus_service.dir/service.cpp.o"
+  "CMakeFiles/gplus_service.dir/service.cpp.o.d"
+  "libgplus_service.a"
+  "libgplus_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/gplus_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/gplus_stats.dir/discrete.cpp.o"
+  "CMakeFiles/gplus_stats.dir/discrete.cpp.o.d"
+  "CMakeFiles/gplus_stats.dir/distribution.cpp.o"
+  "CMakeFiles/gplus_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/gplus_stats.dir/powerlaw_mle.cpp.o"
+  "CMakeFiles/gplus_stats.dir/powerlaw_mle.cpp.o.d"
+  "CMakeFiles/gplus_stats.dir/regression.cpp.o"
+  "CMakeFiles/gplus_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/gplus_stats.dir/rng.cpp.o"
+  "CMakeFiles/gplus_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/gplus_stats.dir/sampling.cpp.o"
+  "CMakeFiles/gplus_stats.dir/sampling.cpp.o.d"
+  "libgplus_stats.a"
+  "libgplus_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus_stream.dir/circles.cpp.o"
+  "CMakeFiles/gplus_stream.dir/circles.cpp.o.d"
+  "CMakeFiles/gplus_stream.dir/diffusion.cpp.o"
+  "CMakeFiles/gplus_stream.dir/diffusion.cpp.o.d"
+  "libgplus_stream.a"
+  "libgplus_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgplus_stream.a"
+)

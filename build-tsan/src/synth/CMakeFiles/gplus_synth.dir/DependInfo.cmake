@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/config.cpp" "src/synth/CMakeFiles/gplus_synth.dir/config.cpp.o" "gcc" "src/synth/CMakeFiles/gplus_synth.dir/config.cpp.o.d"
+  "/root/repo/src/synth/graph_gen.cpp" "src/synth/CMakeFiles/gplus_synth.dir/graph_gen.cpp.o" "gcc" "src/synth/CMakeFiles/gplus_synth.dir/graph_gen.cpp.o.d"
+  "/root/repo/src/synth/names.cpp" "src/synth/CMakeFiles/gplus_synth.dir/names.cpp.o" "gcc" "src/synth/CMakeFiles/gplus_synth.dir/names.cpp.o.d"
+  "/root/repo/src/synth/occupations.cpp" "src/synth/CMakeFiles/gplus_synth.dir/occupations.cpp.o" "gcc" "src/synth/CMakeFiles/gplus_synth.dir/occupations.cpp.o.d"
+  "/root/repo/src/synth/population.cpp" "src/synth/CMakeFiles/gplus_synth.dir/population.cpp.o" "gcc" "src/synth/CMakeFiles/gplus_synth.dir/population.cpp.o.d"
+  "/root/repo/src/synth/profile.cpp" "src/synth/CMakeFiles/gplus_synth.dir/profile.cpp.o" "gcc" "src/synth/CMakeFiles/gplus_synth.dir/profile.cpp.o.d"
+  "/root/repo/src/synth/profile_gen.cpp" "src/synth/CMakeFiles/gplus_synth.dir/profile_gen.cpp.o" "gcc" "src/synth/CMakeFiles/gplus_synth.dir/profile_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/graph/CMakeFiles/gplus_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/gplus_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/gplus_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

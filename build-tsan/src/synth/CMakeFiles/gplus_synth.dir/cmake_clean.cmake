@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus_synth.dir/config.cpp.o"
+  "CMakeFiles/gplus_synth.dir/config.cpp.o.d"
+  "CMakeFiles/gplus_synth.dir/graph_gen.cpp.o"
+  "CMakeFiles/gplus_synth.dir/graph_gen.cpp.o.d"
+  "CMakeFiles/gplus_synth.dir/names.cpp.o"
+  "CMakeFiles/gplus_synth.dir/names.cpp.o.d"
+  "CMakeFiles/gplus_synth.dir/occupations.cpp.o"
+  "CMakeFiles/gplus_synth.dir/occupations.cpp.o.d"
+  "CMakeFiles/gplus_synth.dir/population.cpp.o"
+  "CMakeFiles/gplus_synth.dir/population.cpp.o.d"
+  "CMakeFiles/gplus_synth.dir/profile.cpp.o"
+  "CMakeFiles/gplus_synth.dir/profile.cpp.o.d"
+  "CMakeFiles/gplus_synth.dir/profile_gen.cpp.o"
+  "CMakeFiles/gplus_synth.dir/profile_gen.cpp.o.d"
+  "libgplus_synth.a"
+  "libgplus_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assortativity.dir/test_assortativity.cpp.o"
+  "CMakeFiles/test_assortativity.dir/test_assortativity.cpp.o.d"
+  "test_assortativity"
+  "test_assortativity.pdb"
+  "test_assortativity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assortativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_betweenness_robustness.dir/test_betweenness_robustness.cpp.o"
+  "CMakeFiles/test_betweenness_robustness.dir/test_betweenness_robustness.cpp.o.d"
+  "test_betweenness_robustness"
+  "test_betweenness_robustness.pdb"
+  "test_betweenness_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_betweenness_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfs.dir/test_bfs.cpp.o"
+  "CMakeFiles/test_bfs.dir/test_bfs.cpp.o.d"
+  "test_bfs"
+  "test_bfs.pdb"
+  "test_bfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

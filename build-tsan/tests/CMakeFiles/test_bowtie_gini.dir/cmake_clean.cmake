@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bowtie_gini.dir/test_bowtie_gini.cpp.o"
+  "CMakeFiles/test_bowtie_gini.dir/test_bowtie_gini.cpp.o.d"
+  "test_bowtie_gini"
+  "test_bowtie_gini.pdb"
+  "test_bowtie_gini[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bowtie_gini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bowtie_gini.
+# This may be replaced when dependencies are built.

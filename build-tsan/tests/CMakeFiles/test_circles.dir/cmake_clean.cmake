@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circles.dir/test_circles.cpp.o"
+  "CMakeFiles/test_circles.dir/test_circles.cpp.o.d"
+  "test_circles"
+  "test_circles.pdb"
+  "test_circles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_degrees.dir/test_degrees.cpp.o"
+  "CMakeFiles/test_degrees.dir/test_degrees.cpp.o.d"
+  "test_degrees"
+  "test_degrees.pdb"
+  "test_degrees[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_degrees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

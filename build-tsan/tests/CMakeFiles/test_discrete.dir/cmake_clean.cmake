@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_discrete.dir/test_discrete.cpp.o"
+  "CMakeFiles/test_discrete.dir/test_discrete.cpp.o.d"
+  "test_discrete"
+  "test_discrete.pdb"
+  "test_discrete[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_discrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

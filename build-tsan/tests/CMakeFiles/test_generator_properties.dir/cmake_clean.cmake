@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generator_properties.dir/test_generator_properties.cpp.o"
+  "CMakeFiles/test_generator_properties.dir/test_generator_properties.cpp.o.d"
+  "test_generator_properties"
+  "test_generator_properties.pdb"
+  "test_generator_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generator_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

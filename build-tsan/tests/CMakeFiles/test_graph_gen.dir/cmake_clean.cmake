@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_gen.dir/test_graph_gen.cpp.o"
+  "CMakeFiles/test_graph_gen.dir/test_graph_gen.cpp.o.d"
+  "test_graph_gen"
+  "test_graph_gen.pdb"
+  "test_graph_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

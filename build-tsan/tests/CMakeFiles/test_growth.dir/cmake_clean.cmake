@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_growth.dir/test_growth.cpp.o"
+  "CMakeFiles/test_growth.dir/test_growth.cpp.o.d"
+  "test_growth"
+  "test_growth.pdb"
+  "test_growth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kcore_pagerank.dir/test_kcore_pagerank.cpp.o"
+  "CMakeFiles/test_kcore_pagerank.dir/test_kcore_pagerank.cpp.o.d"
+  "test_kcore_pagerank"
+  "test_kcore_pagerank.pdb"
+  "test_kcore_pagerank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kcore_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

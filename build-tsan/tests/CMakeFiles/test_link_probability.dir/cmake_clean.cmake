@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_probability.dir/test_link_probability.cpp.o"
+  "CMakeFiles/test_link_probability.dir/test_link_probability.cpp.o.d"
+  "test_link_probability"
+  "test_link_probability.pdb"
+  "test_link_probability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

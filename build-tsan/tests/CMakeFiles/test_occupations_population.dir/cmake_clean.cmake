@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occupations_population.dir/test_occupations_population.cpp.o"
+  "CMakeFiles/test_occupations_population.dir/test_occupations_population.cpp.o.d"
+  "test_occupations_population"
+  "test_occupations_population.pdb"
+  "test_occupations_population[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occupations_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

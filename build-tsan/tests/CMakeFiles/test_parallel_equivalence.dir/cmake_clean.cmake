@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_equivalence.dir/test_parallel_equivalence.cpp.o"
+  "CMakeFiles/test_parallel_equivalence.dir/test_parallel_equivalence.cpp.o.d"
+  "test_parallel_equivalence"
+  "test_parallel_equivalence.pdb"
+  "test_parallel_equivalence[1]_tests.cmake"
+  "test_parallel_equivalence[2]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

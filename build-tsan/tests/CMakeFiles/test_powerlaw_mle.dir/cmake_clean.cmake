@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powerlaw_mle.dir/test_powerlaw_mle.cpp.o"
+  "CMakeFiles/test_powerlaw_mle.dir/test_powerlaw_mle.cpp.o.d"
+  "test_powerlaw_mle"
+  "test_powerlaw_mle.pdb"
+  "test_powerlaw_mle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powerlaw_mle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

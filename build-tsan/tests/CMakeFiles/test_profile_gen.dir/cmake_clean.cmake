@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_gen.dir/test_profile_gen.cpp.o"
+  "CMakeFiles/test_profile_gen.dir/test_profile_gen.cpp.o.d"
+  "test_profile_gen"
+  "test_profile_gen.pdb"
+  "test_profile_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reciprocity.dir/test_reciprocity.cpp.o"
+  "CMakeFiles/test_reciprocity.dir/test_reciprocity.cpp.o.d"
+  "test_reciprocity"
+  "test_reciprocity.pdb"
+  "test_reciprocity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reciprocity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

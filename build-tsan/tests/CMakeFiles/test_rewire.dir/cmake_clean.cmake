@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewire.dir/test_rewire.cpp.o"
+  "CMakeFiles/test_rewire.dir/test_rewire.cpp.o.d"
+  "test_rewire"
+  "test_rewire.pdb"
+  "test_rewire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scc.dir/test_scc.cpp.o"
+  "CMakeFiles/test_scc.dir/test_scc.cpp.o.d"
+  "test_scc"
+  "test_scc.pdb"
+  "test_scc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topk_jaccard.dir/test_topk_jaccard.cpp.o"
+  "CMakeFiles/test_topk_jaccard.dir/test_topk_jaccard.cpp.o.d"
+  "test_topk_jaccard"
+  "test_topk_jaccard.pdb"
+  "test_topk_jaccard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topk_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triangles_anf.dir/test_triangles_anf.cpp.o"
+  "CMakeFiles/test_triangles_anf.dir/test_triangles_anf.cpp.o.d"
+  "test_triangles_anf"
+  "test_triangles_anf.pdb"
+  "test_triangles_anf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triangles_anf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplus.dir/gplus_main.cpp.o"
+  "CMakeFiles/gplus.dir/gplus_main.cpp.o.d"
+  "gplus"
+  "gplus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
