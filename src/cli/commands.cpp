@@ -140,17 +140,29 @@ int cmd_crawl(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_option("coverage", "1.0", "fraction of profiles to expand");
   parser.add_option("cap", "10000", "public circle-list cap");
   parser.add_option("machines", "11", "simulated crawl machines");
+  parser.add_option("fault-rate", "0.0",
+                    "total injected-fault rate (split across transient "
+                    "drops, rate limits and truncated pages)");
+  parser.add_option("checkpoint", "",
+                    "checkpoint file: resume from it when present, "
+                    "snapshot to it while crawling");
   if (!parse_or_usage(parser, args, out)) return 2;
 
   const auto dataset = core::load_dataset(parser.get("in"));
   service::ServiceConfig sconfig;
   sconfig.circle_list_cap =
       static_cast<std::uint32_t>(parser.get_u64("cap"));
+  const double fault_rate = parser.get_double("fault-rate");
+  sconfig.faults.transient_rate = fault_rate / 2.0;
+  sconfig.faults.rate_limit_rate = fault_rate / 4.0;
+  sconfig.faults.truncation_rate = fault_rate / 4.0;
+  sconfig.faults.slow_rate = fault_rate;
   service::SocialService svc(&dataset.graph(), dataset.profiles, sconfig);
 
   crawler::CrawlConfig config;
   config.seed_node = core::top_users(dataset, 1)[0].node;
   config.machines = parser.get_u64("machines");
+  config.checkpoint.path = parser.get("checkpoint");
   const double coverage = parser.get_double("coverage");
   if (coverage < 1.0) {
     config.max_profiles = static_cast<std::size_t>(
@@ -171,6 +183,21 @@ int cmd_crawl(const std::vector<std::string>& args, std::ostream& out) {
   table.add_row({"Edge recall", core::fmt_percent(bias.edge_recall, 1)});
   table.add_row({"Users over cap", core::fmt_count(lost.users_over_cap)});
   table.add_row({"Lost-edge fraction", core::fmt_percent(lost.lost_fraction, 2)});
+  if (fault_rate > 0.0 || !config.checkpoint.path.empty()) {
+    const auto& retry = crawl.stats.retry;
+    table.add_row({"Retries", core::fmt_count(retry.retries)});
+    table.add_row({"Transient failures", core::fmt_count(retry.transient)});
+    table.add_row({"Rate-limit responses", core::fmt_count(retry.rate_limited)});
+    table.add_row({"Truncated pages", core::fmt_count(retry.truncated)});
+    table.add_row({"Backoff seconds",
+                   core::fmt_double(retry.backoff_ms / 1'000.0, 1)});
+    table.add_row({"Fault-lost fraction",
+                   core::fmt_percent(lost.fault_lost_fraction, 2)});
+    table.add_row({"Resumed profiles",
+                   core::fmt_count(crawl.stats.resumed_profiles)});
+    table.add_row({"Checkpoints written",
+                   core::fmt_count(crawl.stats.checkpoints_written)});
+  }
   out << table.str();
   return 0;
 }

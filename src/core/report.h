@@ -23,6 +23,15 @@ struct ReportOptions {
   bool include_structure = true;
   /// Skip the geography sections.
   bool include_geography = true;
+  /// Skip the crawl-methodology section (§2.2: fetch/retry counters and
+  /// the lost-edge estimate, measured on a bounded crawl of the dataset
+  /// through a fault-injecting service).
+  bool include_crawl = true;
+  /// Profiles the report crawl expands (0 = everything reachable).
+  std::size_t crawl_profiles = 1'500;
+  /// Total fault rate of the report crawl's service, split across
+  /// transient drops, rate limits and mid-page truncation.
+  double crawl_fault_rate = 0.06;
 };
 
 /// Writes the markdown report.

@@ -1,0 +1,66 @@
+// Crawl checkpoint/resume (§2 methodology: surviving machine restarts).
+//
+// A 46-day crawl does not survive on uptime — it survives on resumable
+// state. The crawler and the fleet periodically snapshot their shared
+// frontier state (seen-order node list, crawled flags, collected edges,
+// counters) to a single binary file, written atomically (temp file +
+// rename) so a kill mid-write never corrupts the last good checkpoint.
+// Because BFS expansion order is a pure function of the service's data and
+// the frontier state, a crawl resumed from any profile boundary converges
+// to the bit-identical graph of an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crawler/retry.h"
+#include "graph/types.h"
+
+namespace gplus::crawler {
+
+/// Checkpointing knobs for a crawl run.
+struct CheckpointConfig {
+  /// Checkpoint file path; empty disables checkpointing entirely.
+  std::string path;
+  /// Snapshot the state every N expanded profiles (0 = only the final
+  /// state when the run ends).
+  std::size_t every_profiles = 2'000;
+  /// Load `path` at startup when it exists and continue from it.
+  bool resume = true;
+};
+
+/// Everything a killed crawl needs to continue: the dense-id frontier
+/// (original_id doubles as the BFS queue; queue_head splits expanded from
+/// pending), per-node flags, the raw edge buffer in discovery order, and
+/// the counters accumulated so far. Shared by the single-crawler and the
+/// fleet paths; fleet timing state is deliberately *not* here — timing
+/// restarts on resume, data does not.
+struct CrawlCheckpoint {
+  std::vector<graph::NodeId> original_id;
+  std::vector<std::uint8_t> crawled;
+  std::vector<std::uint8_t> degraded;  // had an abandoned fetch while expanding
+  std::uint64_t queue_head = 0;
+  std::vector<graph::Edge> edges;
+
+  std::uint64_t profiles_crawled = 0;
+  std::uint64_t edges_collected = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t hidden_list_users = 0;
+  std::uint64_t capped_users = 0;
+  RetryStats retry;
+  /// Simulated seconds already spent when the checkpoint was taken (the
+  /// fleet resumes its clock from here; the plain crawler stores 0).
+  double elapsed_seconds = 0.0;
+};
+
+/// Writes the checkpoint atomically; throws std::runtime_error on I/O
+/// failure.
+void save_checkpoint(const CrawlCheckpoint& checkpoint, const std::string& path);
+
+/// Loads a checkpoint; returns nullopt when the file does not exist and
+/// throws std::runtime_error on a malformed or truncated file.
+std::optional<CrawlCheckpoint> load_checkpoint(const std::string& path);
+
+}  // namespace gplus::crawler

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "crawler/frontier.h"
 #include "stats/expect.h"
 
 namespace gplus::crawler {
@@ -15,86 +16,80 @@ CrawlResult run_bfs_crawl(service::SocialService& service,
   GPLUS_EXPECT(config.seed_node < universe, "seed node out of range");
   GPLUS_EXPECT(config.machines > 0, "need at least one crawl machine");
 
-  constexpr NodeId kUnseen = std::numeric_limits<NodeId>::max();
-  std::vector<NodeId> new_id(universe, kUnseen);  // dense id by first sight
-
+  FrontierState state(universe);
   CrawlResult result;
-  auto see = [&](NodeId original) -> NodeId {
-    if (new_id[original] == kUnseen) {
-      new_id[original] = static_cast<NodeId>(result.original_id.size());
-      result.original_id.push_back(original);
-      result.crawled.push_back(0);
+  CrawlStats& stats = result.stats;
+
+  const bool checkpointing = !config.checkpoint.path.empty();
+  std::uint64_t base_requests = 0;  // carried over from a resumed run
+  if (checkpointing && config.checkpoint.resume) {
+    if (const auto cp = load_checkpoint(config.checkpoint.path)) {
+      state.restore(*cp);
+      base_requests = cp->requests;
+      stats.resumed_profiles = static_cast<std::size_t>(cp->profiles_crawled);
     }
-    return new_id[original];
+  }
+  if (state.original_id().empty()) state.see(config.seed_node);
+
+  const std::uint64_t requests_before = service.request_count();
+  const auto take_checkpoint = [&] {
+    const std::uint64_t requests =
+        base_requests + (service.request_count() - requests_before);
+    save_checkpoint(state.snapshot(requests, 0.0), config.checkpoint.path);
+    ++stats.checkpoints_written;
   };
 
-  // FIFO frontier over dense ids; every seen node enters exactly once, so a
-  // cursor into original_id doubles as the BFS queue.
-  std::size_t queue_head = 0;
-  see(config.seed_node);
-
-  graph::GraphBuilder edges;
-  CrawlStats& stats = result.stats;
-  stats.requests = 0;
-
-  stats::Rng latency_rng(config.seed);
-  double simulated_ms_serial = 0.0;
-  const std::uint64_t requests_before = service.request_count();
-
-  while (queue_head < result.original_id.size()) {
-    if (config.max_profiles != 0 && stats.profiles_crawled >= config.max_profiles) {
+  const std::uint64_t slow_before = state.retry().slow;
+  while (state.pending()) {
+    if (config.max_profiles != 0 &&
+        state.profiles_crawled() >= config.max_profiles) {
       break;
     }
-    const NodeId dense_u = static_cast<NodeId>(queue_head);
-    const NodeId u = result.original_id[queue_head++];
-    result.crawled[dense_u] = 1;
-    ++stats.profiles_crawled;
-
-    const service::ProfilePage page = service.fetch_profile(u);
-    if (!page.lists_public) {
-      ++stats.hidden_list_users;
-      continue;
+    state.expand_next(service, config.retry, config.bidirectional);
+    if (checkpointing && config.checkpoint.every_profiles != 0 &&
+        state.profiles_crawled() % config.checkpoint.every_profiles == 0) {
+      take_checkpoint();
     }
-
-    bool capped = false;
-    // Followees: edge u -> v.
-    {
-      const auto list =
-          service.fetch_full_list(u, service::ListKind::kInTheirCircles);
-      capped |= list.size() < page.in_their_circles_total;
-      for (NodeId v : list) {
-        edges.add_edge(dense_u, see(v));
-        ++stats.edges_collected;
-      }
-    }
-    // Followers: edge v -> u (the bidirectional half that recovers edges
-    // lost to other users' caps or privacy).
-    if (config.bidirectional) {
-      const auto list =
-          service.fetch_full_list(u, service::ListKind::kHaveInCircles);
-      capped |= list.size() < page.have_in_circles_total;
-      for (NodeId v : list) {
-        edges.add_edge(see(v), dense_u);
-        ++stats.edges_collected;
-      }
-    }
-    if (capped) ++stats.capped_users;
   }
+  if (checkpointing) take_checkpoint();
 
-  stats.requests = service.request_count() - requests_before;
-  for (std::uint64_t i = 0; i < stats.requests; ++i) {
+  stats.profiles_crawled = state.profiles_crawled();
+  stats.edges_collected = state.edges_collected();
+  stats.hidden_list_users = state.hidden_list_users();
+  stats.capped_users = state.capped_users();
+  stats.degraded_users = state.degraded_users();
+  stats.retry = state.retry();
+  stats.requests = base_requests + (service.request_count() - requests_before);
+  stats.boundary_nodes = state.original_id().size() - stats.profiles_crawled;
+
+  // Simulated wall-clock of *this run* (a resumed run restarts the clock):
+  // one latency draw per request, slow responses charged their multiplier,
+  // plus the backoff waits accumulated this run — all divided across the
+  // machine pool as before.
+  stats::Rng latency_rng(config.seed);
+  double simulated_ms_serial = 0.0;
+  const std::uint64_t run_requests = service.request_count() - requests_before;
+  for (std::uint64_t i = 0; i < run_requests; ++i) {
     simulated_ms_serial +=
         latency_rng.next_exponential(1.0 / config.mean_request_latency_ms);
   }
+  const std::uint64_t run_slow = state.retry().slow - slow_before;
+  simulated_ms_serial += static_cast<double>(run_slow) *
+                         (service.config().faults.slow_factor - 1.0) *
+                         config.mean_request_latency_ms;
+  simulated_ms_serial += state.retry().backoff_ms;
   stats.simulated_hours =
       simulated_ms_serial / static_cast<double>(config.machines) / 3.6e6;
-  stats.boundary_nodes = result.original_id.size() - stats.profiles_crawled;
 
   // Ensure isolated seen nodes (e.g. a hidden-list seed) are representable.
+  result.original_id = state.original_id();
+  result.crawled = std::move(state.crawled());
+  result.degraded = std::move(state.degraded());
   if (!result.original_id.empty()) {
-    edges.ensure_node(static_cast<NodeId>(result.original_id.size() - 1));
+    state.edges().ensure_node(
+        static_cast<NodeId>(result.original_id.size() - 1));
   }
-  result.graph = edges.build();
+  result.graph = state.edges().build();
   return result;
 }
 
@@ -105,18 +100,33 @@ LostEdgeEstimate estimate_lost_edges(service::SocialService& service,
   for (std::size_t dense = 0; dense < crawl.node_count(); ++dense) {
     if (!crawl.crawled[dense]) continue;
     const auto page = service.fetch_profile(crawl.original_id[dense]);
-    if (page.have_in_circles_total <= cap) continue;
-    ++est.users_over_cap;
-    est.displayed_total += page.have_in_circles_total;
-    est.collected_total += crawl.graph.in_degree(static_cast<NodeId>(dense));
+    const auto collected = crawl.graph.in_degree(static_cast<NodeId>(dense));
+    if (page.have_in_circles_total > cap) {
+      ++est.users_over_cap;
+      est.displayed_total += page.have_in_circles_total;
+      est.collected_total += collected;
+    } else if (crawl.degraded[dense]) {
+      // Below the cap but short on edges: the shortfall is fault loss
+      // (abandoned fetches), the §2.2 arithmetic applied to flakiness.
+      ++est.degraded_users;
+      est.fault_displayed_total += page.have_in_circles_total;
+      est.fault_collected_total += collected;
+    }
   }
-  const std::uint64_t missing = est.displayed_total > est.collected_total
-                                    ? est.displayed_total - est.collected_total
-                                    : 0;
+  const auto shortfall = [](std::uint64_t displayed, std::uint64_t collected) {
+    return displayed > collected ? displayed - collected : 0;
+  };
+  const std::uint64_t missing = shortfall(est.displayed_total, est.collected_total);
+  const std::uint64_t fault_missing =
+      shortfall(est.fault_displayed_total, est.fault_collected_total);
   const std::uint64_t total_edges = crawl.graph.edge_count();
   est.lost_fraction =
       total_edges == 0 ? 0.0
                        : static_cast<double>(missing) / static_cast<double>(total_edges);
+  est.fault_lost_fraction =
+      total_edges == 0 ? 0.0
+                       : static_cast<double>(fault_missing) /
+                             static_cast<double>(total_edges);
   return est;
 }
 

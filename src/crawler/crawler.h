@@ -7,11 +7,20 @@
 // machines) with a latency model converts request counts into crawl
 // wall-clock. The crawler never touches the ground-truth graph directly —
 // only through the service's fetch API.
+//
+// The service may inject faults (see service::FaultConfig); the crawler
+// classifies them, retries with capped exponential backoff + deterministic
+// jitter, honors Retry-After hints, and — when a checkpoint path is
+// configured — periodically snapshots frontier + visited + edge state so a
+// killed crawl resumes and converges to the bit-identical graph an
+// uninterrupted, fault-free crawl produces.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "crawler/checkpoint.h"
+#include "crawler/retry.h"
 #include "graph/builder.h"
 #include "graph/digraph.h"
 #include "service/service.h"
@@ -24,7 +33,7 @@ struct CrawlConfig {
   /// Profile to start from (the paper seeded with Mark Zuckerberg).
   graph::NodeId seed_node = 0;
   /// Stop after expanding this many profiles (0 = crawl everything
-  /// reachable).
+  /// reachable). Counts profiles restored from a checkpoint too.
   std::size_t max_profiles = 0;
   /// Follow the followers list (in-circles) as well as followees.
   bool bidirectional = true;
@@ -34,6 +43,10 @@ struct CrawlConfig {
   double mean_request_latency_ms = 150.0;
   /// Seed for the latency model.
   std::uint64_t seed = 11;
+  /// Error classification + backoff behaviour under injected faults.
+  RetryPolicy retry;
+  /// Checkpoint/resume behaviour (path empty = disabled).
+  CheckpointConfig checkpoint;
 };
 
 /// Crawl outcome statistics.
@@ -46,14 +59,25 @@ struct CrawlStats {
   std::size_t boundary_nodes = 0;
   /// Directed edges collected (before dedup).
   std::uint64_t edges_collected = 0;
-  /// Fetch requests issued.
+  /// Fetch requests issued (failed attempts included).
   std::uint64_t requests = 0;
-  /// Simulated wall-clock, hours, given the worker pool and latency model.
+  /// Simulated wall-clock, hours, given the worker pool, latency model,
+  /// slow responses and backoff waits.
   double simulated_hours = 0.0;
   /// Users whose lists were private.
   std::size_t hidden_list_users = 0;
   /// Users with at least one list truncated by the service cap.
   std::size_t capped_users = 0;
+  /// Fetch/retry accounting under injected faults.
+  RetryStats retry;
+  /// Users whose expansion lost data to an abandoned fetch (retry budget
+  /// exhausted) — the fault-induced analogue of the §2.2 cap loss.
+  std::size_t degraded_users = 0;
+  /// Checkpoints written during this run.
+  std::uint64_t checkpoints_written = 0;
+  /// Profiles that were already expanded in the checkpoint this run
+  /// resumed from (0 when starting fresh).
+  std::size_t resumed_profiles = 0;
 };
 
 /// Result of a crawl: the collected graph over the *seen* universe with
@@ -64,23 +88,34 @@ struct CrawlResult {
   std::vector<graph::NodeId> original_id;
   /// crawled[new_id]: the node was expanded (true) vs only seen (false).
   std::vector<std::uint8_t> crawled;
+  /// degraded[new_id]: expansion lost data to an abandoned fetch.
+  std::vector<std::uint8_t> degraded;
   CrawlStats stats;
 
   std::size_t node_count() const noexcept { return original_id.size(); }
 };
 
-/// Runs the BFS crawl against `service`.
+/// Runs the BFS crawl against `service`. With a checkpoint path configured
+/// and `checkpoint.resume` set, an existing checkpoint file is loaded and
+/// the crawl continues from it.
 CrawlResult run_bfs_crawl(service::SocialService& service, const CrawlConfig& config);
 
 /// §2.2's lost-edge estimate: for every crawled user whose displayed
 /// follower total exceeds the collected edges, accumulate the difference;
 /// the estimate is (sum of differences) / (collected edges + differences).
-/// The paper reports 1.6%.
+/// The paper reports 1.6%. Fault-degraded users are accounted separately:
+/// their loss is retry-budget exhaustion, not the cap.
 struct LostEdgeEstimate {
   std::uint64_t displayed_total = 0;  // followers shown on capped profiles
   std::uint64_t collected_total = 0;  // edges actually gathered for them
   std::uint64_t users_over_cap = 0;   // profiles with > cap followers
   double lost_fraction = 0.0;         // missing / all collected edges
+  /// Fault-induced loss: displayed-vs-collected shortfall of degraded
+  /// users below the cap (cap loss and fault loss never double-count).
+  std::uint64_t degraded_users = 0;
+  std::uint64_t fault_displayed_total = 0;
+  std::uint64_t fault_collected_total = 0;
+  double fault_lost_fraction = 0.0;
 };
 
 LostEdgeEstimate estimate_lost_edges(service::SocialService& service,

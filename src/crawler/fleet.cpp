@@ -1,9 +1,9 @@
 #include "crawler/fleet.h"
 
 #include <algorithm>
-#include <limits>
 #include <queue>
 
+#include "crawler/frontier.h"
 #include "stats/expect.h"
 #include "stats/rng.h"
 
@@ -22,54 +22,64 @@ FleetResult run_crawl_fleet(service::SocialService& service,
 
   FleetResult result;
   result.machines.assign(config.machines, {});
+  CrawlStats& crawl_stats = result.crawl.stats;
+
+  FrontierState state(universe);
+  const bool checkpointing = !config.checkpoint.path.empty();
+  std::uint64_t base_requests = 0;
+  double clock_start = 0.0;  // simulated time already spent before resume
+  if (checkpointing && config.checkpoint.resume) {
+    if (const auto cp = load_checkpoint(config.checkpoint.path)) {
+      state.restore(*cp);
+      base_requests = cp->requests;
+      clock_start = cp->elapsed_seconds;
+      crawl_stats.resumed_profiles =
+          static_cast<std::size_t>(cp->profiles_crawled);
+    }
+  }
+  if (state.original_id().empty()) state.see(config.seed_node);
 
   // Min-heap of machine free times: the shared frontier hands the next
   // profile to whichever machine frees up first.
   using Slot = std::pair<double, std::size_t>;  // (free_at, machine)
   std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
-  for (std::size_t m = 0; m < config.machines; ++m) free_at.push({0.0, m});
-
-  constexpr NodeId kUnseen = std::numeric_limits<NodeId>::max();
-  std::vector<NodeId> state(universe, kUnseen);
-  std::vector<NodeId> queue{config.seed_node};
-  state[config.seed_node] = 0;
-  std::size_t head = 0;
+  for (std::size_t m = 0; m < config.machines; ++m) {
+    free_at.push({clock_start, m});
+  }
 
   stats::Rng rng(config.seed);
   const double pacing = 1.0 / config.requests_per_second;
-  double makespan = 0.0;
+  const double slow_factor = service.config().faults.slow_factor;
+  double makespan = clock_start;
+  const std::uint64_t requests_before = service.request_count();
 
-  while (head < queue.size()) {
+  const auto take_checkpoint = [&] {
+    const std::uint64_t requests =
+        base_requests + (service.request_count() - requests_before);
+    save_checkpoint(state.snapshot(requests, makespan), config.checkpoint.path);
+    ++crawl_stats.checkpoints_written;
+  };
+
+  while (state.pending()) {
     if (config.max_profiles != 0 &&
-        result.profiles_crawled >= config.max_profiles) {
+        state.profiles_crawled() >= config.max_profiles) {
       break;
     }
-    const NodeId u = queue[head++];
-    ++result.profiles_crawled;
-
-    // Expand via the service (request accounting is the service's).
-    const auto before = service.request_count();
-    const auto page = service.fetch_profile(u);
-    std::vector<NodeId> discovered;
-    if (page.lists_public) {
-      auto outs = service.fetch_full_list(u, service::ListKind::kInTheirCircles);
-      auto ins = service.fetch_full_list(u, service::ListKind::kHaveInCircles);
-      discovered.reserve(outs.size() + ins.size());
-      discovered.insert(discovered.end(), outs.begin(), outs.end());
-      discovered.insert(discovered.end(), ins.begin(), ins.end());
-    }
-    const std::uint64_t unit_requests = service.request_count() - before;
-    result.requests += unit_requests;
-
-    for (NodeId v : discovered) {
-      if (state[v] == kUnseen) {
-        state[v] = 0;
-        queue.push_back(v);
-      }
-    }
+    // Expand via the service (request accounting is the service's; the
+    // retry deltas tell us what this unit cost on the wire).
+    const RetryStats before = state.retry();
+    const std::uint64_t service_before = service.request_count();
+    state.expand_next(service, config.retry, config.bidirectional);
+    const RetryStats& after = state.retry();
+    const std::uint64_t unit_requests = service.request_count() - service_before;
+    const std::uint64_t unit_slow = after.slow - before.slow;
+    const std::uint64_t unit_rate_limited =
+        after.rate_limited - before.rate_limited;
+    const double unit_waiting = (after.backoff_ms - before.backoff_ms) / 1'000.0;
 
     // Charge the work unit to the earliest-free machine: each request
-    // costs pacing (rate limit) plus a sampled latency.
+    // costs pacing (rate limit) plus a sampled latency; slow responses
+    // multiply their latency draw; backoff waits idle the machine.
     auto [free_time, machine] = free_at.top();
     free_at.pop();
     double unit_seconds = 0.0;
@@ -79,14 +89,28 @@ FleetResult run_crawl_fleet(service::SocialService& service,
         unit_seconds += rng.next_exponential(1.0 / config.mean_latency_seconds);
       }
     }
+    if (config.mean_latency_seconds > 0.0 && unit_slow > 0) {
+      unit_seconds += static_cast<double>(unit_slow) * (slow_factor - 1.0) *
+                      config.mean_latency_seconds;
+    }
     auto& stats = result.machines[machine];
     stats.requests += unit_requests;
     stats.busy_seconds += unit_seconds;
-    const double done_at = free_time + unit_seconds;
+    stats.waiting_seconds += unit_waiting;
+    stats.rate_limited += unit_rate_limited;
+    const double done_at = free_time + unit_seconds + unit_waiting;
     makespan = std::max(makespan, done_at);
     free_at.push({done_at, machine});
-  }
 
+    if (checkpointing && config.checkpoint.every_profiles != 0 &&
+        state.profiles_crawled() % config.checkpoint.every_profiles == 0) {
+      take_checkpoint();
+    }
+  }
+  if (checkpointing) take_checkpoint();
+
+  result.profiles_crawled = state.profiles_crawled();
+  result.requests = base_requests + (service.request_count() - requests_before);
   result.makespan_days = makespan / 86'400.0;
   if (makespan > 0.0) {
     double busy = 0.0;
@@ -106,6 +130,26 @@ FleetResult run_crawl_fleet(service::SocialService& service,
     result.profiles_by_day[d] =
         static_cast<std::size_t>(t * static_cast<double>(result.profiles_crawled));
   }
+
+  // The collected graph, identical in content to run_bfs_crawl's.
+  crawl_stats.profiles_crawled = state.profiles_crawled();
+  crawl_stats.edges_collected = state.edges_collected();
+  crawl_stats.hidden_list_users = state.hidden_list_users();
+  crawl_stats.capped_users = state.capped_users();
+  crawl_stats.degraded_users = state.degraded_users();
+  crawl_stats.retry = state.retry();
+  crawl_stats.requests = result.requests;
+  crawl_stats.boundary_nodes =
+      state.original_id().size() - crawl_stats.profiles_crawled;
+  crawl_stats.simulated_hours = (makespan - clock_start) / 3'600.0;
+  result.crawl.original_id = state.original_id();
+  result.crawl.crawled = std::move(state.crawled());
+  result.crawl.degraded = std::move(state.degraded());
+  if (!result.crawl.original_id.empty()) {
+    state.edges().ensure_node(
+        static_cast<NodeId>(result.crawl.original_id.size() - 1));
+  }
+  result.crawl.graph = state.edges().build();
   return result;
 }
 

@@ -8,11 +8,21 @@
 // a shared frontier, producing a makespan, per-machine utilization, and a
 // crawl timeline (profiles-per-day), so statements like "the crawl took
 // six weeks" become model outputs instead of inputs.
+//
+// Under injected faults each machine retries with backoff and honors the
+// service's Retry-After hints — waiting time is charged to the machine's
+// clock but not its busy share, so utilization degrades the way a real
+// throttled fleet's would. The fleet shares the crawler's checkpoint
+// format: a killed fleet resumes from the last snapshot and converges to
+// the bit-identical graph of an uninterrupted, fault-free crawl (the
+// collected graph is a function of frontier state and service data only,
+// never of the timing model).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "crawler/crawler.h"
 #include "service/service.h"
 
 namespace gplus::crawler {
@@ -27,33 +37,49 @@ struct FleetConfig {
   /// Mean service latency per request, seconds (adds to the rate cap).
   double mean_latency_seconds = 0.15;
   /// Stop after expanding this many profiles (0 = everything reachable).
+  /// Counts profiles restored from a checkpoint too.
   std::size_t max_profiles = 0;
+  /// Follow the followers list as well as followees.
+  bool bidirectional = true;
   std::uint64_t seed = 23;
+  /// Error classification + backoff behaviour under injected faults.
+  RetryPolicy retry;
+  /// Checkpoint/resume behaviour (path empty = disabled); the format is
+  /// shared with run_bfs_crawl.
+  CheckpointConfig checkpoint;
 };
 
 /// Per-machine accounting.
 struct MachineStats {
   std::uint64_t requests = 0;
   double busy_seconds = 0.0;
+  /// Time spent idle in backoff / Retry-After waits.
+  double waiting_seconds = 0.0;
+  /// Rate-limit responses this machine absorbed.
+  std::uint64_t rate_limited = 0;
 };
 
 /// Fleet outcome.
 struct FleetResult {
   std::size_t profiles_crawled = 0;
   std::uint64_t requests = 0;
-  /// Simulated wall-clock of the whole crawl, in days.
+  /// Simulated wall-clock of the whole crawl (resumed time included), days.
   double makespan_days = 0.0;
-  /// Mean busy share across machines (1 = perfectly saturated).
+  /// Mean busy share across machines (1 = perfectly saturated); waiting on
+  /// rate limits and backoff counts against it.
   double mean_utilization = 0.0;
   std::vector<MachineStats> machines;
   /// profiles_by_day[d] = cumulative profiles expanded by end of day d.
   std::vector<std::size_t> profiles_by_day;
+  /// The collected graph + per-node flags + fetch/retry stats, identical
+  /// in content to what run_bfs_crawl gathers from the same service.
+  CrawlResult crawl;
 };
 
 /// Runs the BFS crawl through the event-driven fleet. Work unit = one
-/// profile expansion (profile page + both list fetches); units are
-/// assigned to the earliest-free machine, which models a shared frontier
-/// with greedy work stealing.
+/// profile expansion (profile page + both list fetches, retries included);
+/// units are assigned to the earliest-free machine, which models a shared
+/// frontier with greedy work stealing.
 FleetResult run_crawl_fleet(service::SocialService& service,
                             const FleetConfig& config);
 

@@ -1,0 +1,136 @@
+#include "crawler/frontier.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "stats/expect.h"
+
+namespace gplus::crawler {
+
+using graph::NodeId;
+
+namespace {
+constexpr NodeId kUnseen = std::numeric_limits<NodeId>::max();
+}
+
+FrontierState::FrontierState(std::size_t universe)
+    : new_id_(universe, kUnseen) {}
+
+NodeId FrontierState::see(NodeId original) {
+  NodeId& slot = new_id_[original];
+  if (slot == kUnseen) {
+    slot = static_cast<NodeId>(original_id_.size());
+    original_id_.push_back(original);
+    crawled_.push_back(0);
+    degraded_.push_back(0);
+  }
+  return slot;
+}
+
+FrontierState::Expansion FrontierState::expand_next(
+    service::SocialService& service, const RetryPolicy& policy,
+    bool bidirectional) {
+  Expansion out;
+  const NodeId dense_u = static_cast<NodeId>(queue_head_);
+  const NodeId u = original_id_[queue_head_++];
+  crawled_[dense_u] = 1;
+  ++profiles_crawled_;
+
+  const service::ProfileFetch profile =
+      fetch_profile_with_retry(service, policy, u, retry_);
+  if (!profile.status.ok()) {
+    // Retry budget exhausted on the page itself: nothing about this user
+    // was learned. The node stays in the graph as a degraded expansion.
+    degraded_[dense_u] = 1;
+    ++degraded_users_;
+    out.degraded = true;
+    return out;
+  }
+  if (!profile.page.lists_public) {
+    ++hidden_list_users_;
+    out.hidden = true;
+    return out;
+  }
+
+  // Followees: edge u -> v.
+  {
+    const ListWithRetry list = fetch_full_list_with_retry(
+        service, policy, u, service::ListKind::kInTheirCircles, retry_);
+    out.capped |= list.capped;
+    out.degraded |= !list.complete;
+    for (NodeId v : list.users) {
+      edges_.add_edge(dense_u, see(v));
+      ++edges_collected_;
+    }
+  }
+  // Followers: edge v -> u (the bidirectional half that recovers edges
+  // lost to other users' caps or privacy).
+  if (bidirectional) {
+    const ListWithRetry list = fetch_full_list_with_retry(
+        service, policy, u, service::ListKind::kHaveInCircles, retry_);
+    out.capped |= list.capped;
+    out.degraded |= !list.complete;
+    for (NodeId v : list.users) {
+      edges_.add_edge(see(v), dense_u);
+      ++edges_collected_;
+    }
+  }
+  if (out.capped) ++capped_users_;
+  if (out.degraded) {
+    degraded_[dense_u] = 1;
+    ++degraded_users_;
+  }
+  return out;
+}
+
+void FrontierState::restore(const CrawlCheckpoint& checkpoint) {
+  const std::size_t universe = new_id_.size();
+  if (checkpoint.original_id.size() > universe ||
+      checkpoint.crawled.size() != checkpoint.original_id.size() ||
+      checkpoint.degraded.size() != checkpoint.original_id.size() ||
+      checkpoint.queue_head > checkpoint.original_id.size()) {
+    throw std::runtime_error("checkpoint: inconsistent with this service");
+  }
+  original_id_ = checkpoint.original_id;
+  crawled_ = checkpoint.crawled;
+  degraded_ = checkpoint.degraded;
+  queue_head_ = static_cast<std::size_t>(checkpoint.queue_head);
+  for (std::size_t dense = 0; dense < original_id_.size(); ++dense) {
+    const NodeId original = original_id_[dense];
+    if (original >= universe || new_id_[original] != kUnseen) {
+      throw std::runtime_error("checkpoint: inconsistent with this service");
+    }
+    new_id_[original] = static_cast<NodeId>(dense);
+  }
+  edges_.clear();
+  edges_.add_edges(checkpoint.edges);
+  profiles_crawled_ = static_cast<std::size_t>(checkpoint.profiles_crawled);
+  edges_collected_ = checkpoint.edges_collected;
+  hidden_list_users_ = static_cast<std::size_t>(checkpoint.hidden_list_users);
+  capped_users_ = static_cast<std::size_t>(checkpoint.capped_users);
+  retry_ = checkpoint.retry;
+  std::size_t degraded_users = 0;
+  for (std::uint8_t flag : degraded_) degraded_users += flag;
+  degraded_users_ = degraded_users;
+}
+
+CrawlCheckpoint FrontierState::snapshot(std::uint64_t requests,
+                                        double elapsed_seconds) const {
+  CrawlCheckpoint cp;
+  cp.original_id = original_id_;
+  cp.crawled = crawled_;
+  cp.degraded = degraded_;
+  cp.queue_head = queue_head_;
+  const auto buffered = edges_.buffered_edges();
+  cp.edges.assign(buffered.begin(), buffered.end());
+  cp.profiles_crawled = profiles_crawled_;
+  cp.edges_collected = edges_collected_;
+  cp.requests = requests;
+  cp.hidden_list_users = hidden_list_users_;
+  cp.capped_users = capped_users_;
+  cp.retry = retry_;
+  cp.elapsed_seconds = elapsed_seconds;
+  return cp;
+}
+
+}  // namespace gplus::crawler

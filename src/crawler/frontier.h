@@ -1,0 +1,87 @@
+// Shared crawl-frontier engine (internal to gplus_crawler).
+//
+// The single-machine BFS crawler and the event-driven fleet expand
+// profiles identically — fetch the page, fetch both circle lists with
+// retries, record edges, enqueue newcomers; they differ only in how time
+// is charged. This module owns that common core so checkpoint/resume and
+// fault handling behave bit-identically on both paths: the collected
+// graph is a pure function of the service's data and the frontier state,
+// never of the timing model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crawler/checkpoint.h"
+#include "crawler/retry.h"
+#include "graph/builder.h"
+#include "service/service.h"
+
+namespace gplus::crawler {
+
+/// Dense-id frontier + collected-edge state, resumable via CrawlCheckpoint.
+class FrontierState {
+ public:
+  /// `universe` = service user count; allocates the first-sight map.
+  explicit FrontierState(std::size_t universe);
+
+  /// Dense id of `original`, registering it on first sight (FIFO order:
+  /// original_id doubles as the BFS queue).
+  graph::NodeId see(graph::NodeId original);
+
+  /// True while unexpanded profiles remain.
+  bool pending() const noexcept { return queue_head_ < original_id_.size(); }
+  /// Dense id of the next profile to expand (valid while pending()).
+  graph::NodeId next_dense() const noexcept {
+    return static_cast<graph::NodeId>(queue_head_);
+  }
+
+  /// One unit of crawl work: expands the next frontier profile through the
+  /// service with retries, records edges and flags, advances the queue.
+  struct Expansion {
+    bool hidden = false;    // lists were private
+    bool capped = false;    // a list hit the service cap
+    bool degraded = false;  // an abandoned fetch lost data for this user
+  };
+  Expansion expand_next(service::SocialService& service,
+                        const RetryPolicy& policy, bool bidirectional);
+
+  /// Restores state from a checkpoint; throws std::runtime_error when the
+  /// checkpoint does not fit the universe.
+  void restore(const CrawlCheckpoint& checkpoint);
+
+  /// Snapshots the current state. `requests` is the cumulative request
+  /// count to persist; `elapsed_seconds` the cumulative simulated time.
+  CrawlCheckpoint snapshot(std::uint64_t requests, double elapsed_seconds) const;
+
+  // Accessors used by the two run loops.
+  const std::vector<graph::NodeId>& original_id() const noexcept { return original_id_; }
+  std::vector<graph::NodeId>& original_id() noexcept { return original_id_; }
+  std::vector<std::uint8_t>& crawled() noexcept { return crawled_; }
+  std::vector<std::uint8_t>& degraded() noexcept { return degraded_; }
+  const graph::GraphBuilder& edges() const noexcept { return edges_; }
+  graph::GraphBuilder& edges() noexcept { return edges_; }
+  std::size_t profiles_crawled() const noexcept { return profiles_crawled_; }
+  std::uint64_t edges_collected() const noexcept { return edges_collected_; }
+  std::size_t hidden_list_users() const noexcept { return hidden_list_users_; }
+  std::size_t capped_users() const noexcept { return capped_users_; }
+  std::size_t degraded_users() const noexcept { return degraded_users_; }
+  const RetryStats& retry() const noexcept { return retry_; }
+  RetryStats& retry() noexcept { return retry_; }
+
+ private:
+  std::vector<graph::NodeId> new_id_;  // universe-sized first-sight map
+  std::vector<graph::NodeId> original_id_;
+  std::vector<std::uint8_t> crawled_;
+  std::vector<std::uint8_t> degraded_;
+  std::size_t queue_head_ = 0;
+  graph::GraphBuilder edges_;
+  std::size_t profiles_crawled_ = 0;
+  std::uint64_t edges_collected_ = 0;
+  std::size_t hidden_list_users_ = 0;
+  std::size_t capped_users_ = 0;
+  std::size_t degraded_users_ = 0;
+  RetryStats retry_;
+};
+
+}  // namespace gplus::crawler

@@ -1,0 +1,132 @@
+#include "crawler/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace gplus::crawler {
+
+using graph::NodeId;
+
+RetryStats& RetryStats::operator+=(const RetryStats& other) noexcept {
+  attempts += other.attempts;
+  retries += other.retries;
+  transient += other.transient;
+  rate_limited += other.rate_limited;
+  truncated += other.truncated;
+  slow += other.slow;
+  abandoned += other.abandoned;
+  backoff_ms += other.backoff_ms;
+  return *this;
+}
+
+bool retryable(service::FetchError error) noexcept {
+  return error != service::FetchError::kNone;
+}
+
+std::uint64_t request_key(NodeId id, std::uint64_t endpoint,
+                          std::uint32_t offset) noexcept {
+  std::uint64_t state = (endpoint << 60) ^ (std::uint64_t{offset} << 32) ^ id;
+  return stats::splitmix64_next(state);
+}
+
+double backoff_delay_ms(const RetryPolicy& policy,
+                        const service::FetchStatus& status, std::uint64_t key,
+                        std::uint32_t attempt) noexcept {
+  double delay = policy.base_backoff_ms *
+                 std::pow(policy.backoff_multiplier, static_cast<double>(attempt));
+  delay = std::min(delay, policy.max_backoff_ms);
+  if (policy.jitter > 0.0) {
+    std::uint64_t state = policy.seed ^ key;
+    state ^= stats::splitmix64_next(state) + attempt;
+    const std::uint64_t h = stats::splitmix64_next(state);
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+    delay *= 1.0 - policy.jitter * unit;
+  }
+  // A rate limit is a contract, not a hint to halve: never retry earlier
+  // than the service asked.
+  return std::max(delay, static_cast<double>(status.retry_after_ms));
+}
+
+namespace {
+
+// Classifies one failed attempt into the counters.
+void count_fault(RetryStats& stats, const service::FetchStatus& status) {
+  switch (status.error) {
+    case service::FetchError::kTransient: ++stats.transient; break;
+    case service::FetchError::kRateLimited: ++stats.rate_limited; break;
+    case service::FetchError::kTruncated: ++stats.truncated; break;
+    case service::FetchError::kNone: break;
+  }
+}
+
+// Shared retry loop over either endpoint. `fetch(attempt)` issues one
+// attempt and returns its FetchStatus; the loop owns the accounting.
+template <typename Result, typename Fetch>
+Result retry_loop(const RetryPolicy& policy, std::uint64_t key, Fetch&& fetch,
+                  RetryStats& stats) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    Result result = fetch(attempt);
+    ++stats.attempts;
+    if (attempt > 0) ++stats.retries;
+    if (result.status.latency_factor > 1.0) ++stats.slow;
+    if (result.status.ok()) return result;
+    count_fault(stats, result.status);
+    if (attempt >= policy.max_retries) {
+      ++stats.abandoned;
+      return result;
+    }
+    stats.backoff_ms += backoff_delay_ms(policy, result.status, key, attempt);
+  }
+}
+
+}  // namespace
+
+service::ProfileFetch fetch_profile_with_retry(service::SocialService& service,
+                                               const RetryPolicy& policy,
+                                               NodeId id, RetryStats& stats) {
+  const std::uint64_t key = request_key(id, /*endpoint=*/0, 0);
+  return retry_loop<service::ProfileFetch>(
+      policy, key,
+      [&](std::uint32_t attempt) { return service.try_fetch_profile(id, attempt); },
+      stats);
+}
+
+service::ListFetch fetch_list_with_retry(service::SocialService& service,
+                                         const RetryPolicy& policy, NodeId id,
+                                         service::ListKind kind,
+                                         std::uint32_t offset,
+                                         RetryStats& stats) {
+  const std::uint64_t endpoint = 1 + static_cast<std::uint64_t>(kind);
+  const std::uint64_t key = request_key(id, endpoint, offset);
+  return retry_loop<service::ListFetch>(
+      policy, key,
+      [&](std::uint32_t attempt) {
+        return service.try_fetch_list(id, kind, offset, attempt);
+      },
+      stats);
+}
+
+ListWithRetry fetch_full_list_with_retry(service::SocialService& service,
+                                         const RetryPolicy& policy, NodeId id,
+                                         service::ListKind kind,
+                                         RetryStats& stats) {
+  ListWithRetry out;
+  std::uint32_t offset = 0;
+  while (true) {
+    service::ListFetch fetch =
+        fetch_list_with_retry(service, policy, id, kind, offset, stats);
+    if (!fetch.status.ok()) {
+      out.complete = false;  // page abandoned: the tail of this list is lost
+      return out;
+    }
+    out.capped |= fetch.page.capped;
+    out.users.insert(out.users.end(), fetch.page.users.begin(),
+                     fetch.page.users.end());
+    if (!fetch.page.has_more) return out;
+    offset += service.config().page_size;
+  }
+}
+
+}  // namespace gplus::crawler

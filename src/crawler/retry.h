@@ -1,0 +1,99 @@
+// Retry/backoff policy for crawling a flaky service (§2 operating reality).
+//
+// The paper's 46-day crawl survived rate limits, dropped connections and
+// truncated pages because the crawlers retried; this module makes that
+// explicit. Errors from the service's `try_fetch_*` channel are classified
+// and retried with capped exponential backoff plus deterministic jitter —
+// the jitter is a pure hash of (policy seed, request key, attempt), never
+// shared mutable RNG state, so a killed-and-resumed crawl replays the
+// exact same delays and a fleet's machines never need to synchronize.
+#pragma once
+
+#include <cstdint>
+
+#include "service/service.h"
+
+namespace gplus::crawler {
+
+/// Backoff/retry knobs.
+struct RetryPolicy {
+  /// Retries per logical request after the first attempt; a request is
+  /// *abandoned* (data lost, accounted) once they are exhausted. Keep at
+  /// least FaultConfig::max_faults_per_request to guarantee convergence.
+  std::uint32_t max_retries = 32;
+  /// First backoff delay, milliseconds.
+  double base_backoff_ms = 100.0;
+  /// Backoff growth per retry (capped).
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling, milliseconds.
+  double max_backoff_ms = 60'000.0;
+  /// Fraction of each delay that is jittered: the delay is scaled by a
+  /// deterministic factor in [1 - jitter, 1].
+  double jitter = 0.5;
+  /// Seed of the jitter hash.
+  std::uint64_t seed = 77;
+};
+
+/// Retry accounting, aggregated over many requests.
+struct RetryStats {
+  std::uint64_t attempts = 0;        // fetch attempts issued, failures included
+  std::uint64_t retries = 0;         // attempts beyond the first
+  std::uint64_t transient = 0;       // faults seen, by kind
+  std::uint64_t rate_limited = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t slow = 0;            // slow (but successful) responses
+  std::uint64_t abandoned = 0;       // requests given up after max_retries
+  double backoff_ms = 0.0;           // total time spent backing off
+
+  RetryStats& operator+=(const RetryStats& other) noexcept;
+};
+
+/// True when the error is worth retrying (everything but success).
+bool retryable(service::FetchError error) noexcept;
+
+/// Stable identity of a logical request, for jitter hashing: profile
+/// fetches use offset 0 and a distinct endpoint tag.
+std::uint64_t request_key(graph::NodeId id, std::uint64_t endpoint,
+                          std::uint32_t offset) noexcept;
+
+/// Delay before retry number `attempt` (0-based: the delay after the
+/// first failed attempt has attempt == 0). Deterministic: capped
+/// exponential growth scaled by hashed jitter, floored at the service's
+/// Retry-After hint when one was given.
+double backoff_delay_ms(const RetryPolicy& policy,
+                        const service::FetchStatus& status, std::uint64_t key,
+                        std::uint32_t attempt) noexcept;
+
+/// Fetches a profile with retries. Returns the final attempt's result
+/// (status.ok() == false means the request was abandoned) and accumulates
+/// counters + backoff time into `stats`.
+service::ProfileFetch fetch_profile_with_retry(service::SocialService& service,
+                                               const RetryPolicy& policy,
+                                               graph::NodeId id,
+                                               RetryStats& stats);
+
+/// Fetches one clean list page with retries (a truncated page is retried,
+/// never consumed). Abandonment semantics as above.
+service::ListFetch fetch_list_with_retry(service::SocialService& service,
+                                         const RetryPolicy& policy,
+                                         graph::NodeId id,
+                                         service::ListKind kind,
+                                         std::uint32_t offset,
+                                         RetryStats& stats);
+
+/// Paginates a full list with per-page retries. When a page is abandoned
+/// the pagination stops and `complete` is false: every entry gathered so
+/// far is returned, the rest is lost — the §2.2 accounting charges it.
+struct ListWithRetry {
+  std::vector<graph::NodeId> users;
+  bool complete = true;
+  bool capped = false;
+};
+
+ListWithRetry fetch_full_list_with_retry(service::SocialService& service,
+                                         const RetryPolicy& policy,
+                                         graph::NodeId id,
+                                         service::ListKind kind,
+                                         RetryStats& stats);
+
+}  // namespace gplus::crawler

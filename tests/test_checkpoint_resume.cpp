@@ -1,0 +1,347 @@
+// Checkpoint/resume coverage (§2 methodology: surviving machine
+// restarts): snapshots round-trip exactly, corrupt files are rejected,
+// and a crawl killed at any profile boundary resumes to the bit-identical
+// graph of an uninterrupted, fault-free run.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "crawler/checkpoint.h"
+#include "crawler/crawler.h"
+#include "crawler/fleet.h"
+#include "graph/builder.h"
+#include "service/service.h"
+
+namespace gplus::crawler {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+// Per-process scratch dir: the .threads1 ctest variant runs concurrently
+// in its own process, so paths must not collide across processes.
+std::filesystem::path scratch_dir() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("gplus_checkpoint_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string scratch_file(const std::string& name) {
+  return (scratch_dir() / name).string();
+}
+
+struct Fixture {
+  graph::DiGraph graph;
+  std::vector<synth::Profile> profiles;
+
+  Fixture() {
+    GraphBuilder b;
+    for (NodeId u = 0; u < 300; ++u) {
+      b.add_reciprocal_edge(u, (u + 1) % 300);
+      b.add_reciprocal_edge(u, (u + 13) % 300);
+      b.add_edge(u, 300);
+    }
+    graph = b.build();
+    profiles.assign(graph.node_count(), synth::Profile{});
+  }
+
+  service::SocialService service(service::ServiceConfig config = {}) {
+    return service::SocialService(&graph, profiles, config);
+  }
+};
+
+service::FaultConfig modest_faults() {
+  service::FaultConfig f;
+  f.transient_rate = 0.10;
+  f.rate_limit_rate = 0.05;
+  f.truncation_rate = 0.05;
+  f.slow_rate = 0.10;
+  return f;
+}
+
+void expect_identical_crawl(const CrawlResult& a, const CrawlResult& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.original_id, b.original_id);
+  EXPECT_EQ(a.crawled, b.crawled);
+  ASSERT_EQ(a.graph.node_count(), b.graph.node_count());
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  for (NodeId u = 0; u < a.graph.node_count(); ++u) {
+    const auto an = a.graph.out_neighbors(u);
+    const auto bn = b.graph.out_neighbors(u);
+    ASSERT_EQ(an.size(), bn.size()) << "node " << u;
+    EXPECT_TRUE(std::equal(an.begin(), an.end(), bn.begin())) << "node " << u;
+  }
+}
+
+TEST(Checkpoint, SaveLoadRoundTripsEveryField) {
+  CrawlCheckpoint cp;
+  cp.original_id = {5, 2, 9, 14};
+  cp.crawled = {1, 1, 0, 0};
+  cp.degraded = {0, 1, 0, 0};
+  cp.queue_head = 2;
+  cp.edges = {{0, 1}, {1, 2}, {3, 0}};
+  cp.profiles_crawled = 2;
+  cp.edges_collected = 3;
+  cp.requests = 17;
+  cp.hidden_list_users = 1;
+  cp.capped_users = 1;
+  cp.retry.attempts = 23;
+  cp.retry.retries = 6;
+  cp.retry.transient = 3;
+  cp.retry.rate_limited = 2;
+  cp.retry.truncated = 1;
+  cp.retry.slow = 4;
+  cp.retry.abandoned = 1;
+  cp.retry.backoff_ms = 1234.5;
+  cp.elapsed_seconds = 98.25;
+
+  const auto path = scratch_file("roundtrip.ckpt");
+  save_checkpoint(cp, path);
+  const auto loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->original_id, cp.original_id);
+  EXPECT_EQ(loaded->crawled, cp.crawled);
+  EXPECT_EQ(loaded->degraded, cp.degraded);
+  EXPECT_EQ(loaded->queue_head, cp.queue_head);
+  EXPECT_EQ(loaded->edges, cp.edges);
+  EXPECT_EQ(loaded->profiles_crawled, cp.profiles_crawled);
+  EXPECT_EQ(loaded->edges_collected, cp.edges_collected);
+  EXPECT_EQ(loaded->requests, cp.requests);
+  EXPECT_EQ(loaded->hidden_list_users, cp.hidden_list_users);
+  EXPECT_EQ(loaded->capped_users, cp.capped_users);
+  EXPECT_EQ(loaded->retry.attempts, cp.retry.attempts);
+  EXPECT_EQ(loaded->retry.retries, cp.retry.retries);
+  EXPECT_EQ(loaded->retry.transient, cp.retry.transient);
+  EXPECT_EQ(loaded->retry.rate_limited, cp.retry.rate_limited);
+  EXPECT_EQ(loaded->retry.truncated, cp.retry.truncated);
+  EXPECT_EQ(loaded->retry.slow, cp.retry.slow);
+  EXPECT_EQ(loaded->retry.abandoned, cp.retry.abandoned);
+  EXPECT_DOUBLE_EQ(loaded->retry.backoff_ms, cp.retry.backoff_ms);
+  EXPECT_DOUBLE_EQ(loaded->elapsed_seconds, cp.elapsed_seconds);
+}
+
+TEST(Checkpoint, MissingFileIsNotAnError) {
+  EXPECT_FALSE(load_checkpoint(scratch_file("never_written.ckpt")).has_value());
+}
+
+TEST(Checkpoint, RejectsCorruptFiles) {
+  const auto bad_magic = scratch_file("bad_magic.ckpt");
+  {
+    std::ofstream out(bad_magic, std::ios::binary);
+    out << "NOTGPLUSDATA____________";
+  }
+  EXPECT_THROW(load_checkpoint(bad_magic), std::runtime_error);
+
+  // Truncate a valid checkpoint mid-stream.
+  CrawlCheckpoint cp;
+  cp.original_id = {1, 2, 3};
+  cp.crawled = {1, 0, 0};
+  cp.degraded = {0, 0, 0};
+  cp.queue_head = 1;
+  const auto path = scratch_file("truncated.ckpt");
+  save_checkpoint(cp, path);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+}
+
+TEST(Checkpoint, AtomicWriteLeavesNoTempFile) {
+  CrawlCheckpoint cp;
+  cp.original_id = {1};
+  cp.crawled = {0};
+  cp.degraded = {0};
+  const auto path = scratch_file("atomic.ckpt");
+  save_checkpoint(cp, path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(CheckpointResume, KilledCrawlResumesToBitIdenticalGraph) {
+  Fixture fx;
+  // Reference: one uninterrupted fault-free crawl, no checkpointing.
+  auto reference_svc = fx.service();
+  CrawlConfig reference_config;
+  reference_config.seed_node = 0;
+  const auto reference = run_bfs_crawl(reference_svc, reference_config);
+
+  // "Kill" the crawl by budget after 60 profiles, checkpointing; then
+  // resume from the file with the budget lifted — under faults both times.
+  service::ServiceConfig faulty;
+  faulty.faults = modest_faults();
+  const auto path = scratch_file("kill_resume.ckpt");
+  std::filesystem::remove(path);
+
+  CrawlConfig config;
+  config.seed_node = 0;
+  config.checkpoint.path = path;
+  config.max_profiles = 60;
+  auto first_svc = fx.service(faulty);
+  const auto first = run_bfs_crawl(first_svc, config);
+  EXPECT_EQ(first.stats.profiles_crawled, 60u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+
+  config.max_profiles = 0;
+  auto second_svc = fx.service(faulty);
+  const auto resumed = run_bfs_crawl(second_svc, config);
+  EXPECT_EQ(resumed.stats.resumed_profiles, 60u);
+  EXPECT_EQ(resumed.stats.profiles_crawled, reference.stats.profiles_crawled);
+  expect_identical_crawl(reference, resumed);
+  // Cumulative counters survive the restart.
+  EXPECT_GT(resumed.stats.requests, first.stats.requests);
+}
+
+TEST(CheckpointResume, ResumeAfterEveryKillPointMatches) {
+  Fixture fx;
+  auto reference_svc = fx.service();
+  CrawlConfig reference_config;
+  reference_config.seed_node = 7;
+  const auto reference = run_bfs_crawl(reference_svc, reference_config);
+
+  service::ServiceConfig faulty;
+  faulty.faults = modest_faults();
+  for (std::size_t kill_at : {1u, 13u, 150u, 299u}) {
+    const auto path = scratch_file("kill_at.ckpt");
+    std::filesystem::remove(path);
+    CrawlConfig config;
+    config.seed_node = 7;
+    config.checkpoint.path = path;
+    config.max_profiles = kill_at;
+    auto first_svc = fx.service(faulty);
+    run_bfs_crawl(first_svc, config);
+
+    config.max_profiles = 0;
+    auto second_svc = fx.service(faulty);
+    const auto resumed = run_bfs_crawl(second_svc, config);
+    expect_identical_crawl(reference, resumed);
+  }
+}
+
+TEST(CheckpointResume, PeriodicCheckpointsAreWritten) {
+  Fixture fx;
+  auto svc = fx.service();
+  const auto path = scratch_file("periodic.ckpt");
+  std::filesystem::remove(path);
+  CrawlConfig config;
+  config.seed_node = 0;
+  config.checkpoint.path = path;
+  config.checkpoint.every_profiles = 50;
+  const auto crawl = run_bfs_crawl(svc, config);
+  // 301 profiles / every 50 = 6 periodic snapshots + the final one.
+  EXPECT_EQ(crawl.stats.checkpoints_written, 7u);
+  const auto cp = load_checkpoint(path);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->profiles_crawled, crawl.stats.profiles_crawled);
+  EXPECT_EQ(cp->queue_head, cp->original_id.size());
+}
+
+TEST(CheckpointResume, ResumeOfFinishedCrawlIsANoOp) {
+  Fixture fx;
+  const auto path = scratch_file("finished.ckpt");
+  std::filesystem::remove(path);
+  CrawlConfig config;
+  config.seed_node = 0;
+  config.checkpoint.path = path;
+  auto svc = fx.service();
+  const auto first = run_bfs_crawl(svc, config);
+
+  auto again_svc = fx.service();
+  const auto again = run_bfs_crawl(again_svc, config);
+  EXPECT_EQ(again.stats.resumed_profiles, first.stats.profiles_crawled);
+  // No frontier left: the resumed run issues zero requests.
+  EXPECT_EQ(again_svc.request_count(), 0u);
+  expect_identical_crawl(first, again);
+}
+
+TEST(CheckpointResume, DisabledResumeStartsFresh) {
+  Fixture fx;
+  const auto path = scratch_file("no_resume.ckpt");
+  std::filesystem::remove(path);
+  CrawlConfig config;
+  config.seed_node = 0;
+  config.max_profiles = 10;
+  config.checkpoint.path = path;
+  auto svc = fx.service();
+  run_bfs_crawl(svc, config);
+
+  config.checkpoint.resume = false;
+  auto fresh_svc = fx.service();
+  const auto fresh = run_bfs_crawl(fresh_svc, config);
+  EXPECT_EQ(fresh.stats.resumed_profiles, 0u);
+  EXPECT_EQ(fresh.stats.profiles_crawled, 10u);
+}
+
+TEST(CheckpointResume, CheckpointFromDifferentServiceIsRejected) {
+  Fixture fx;
+  CrawlCheckpoint cp;
+  cp.original_id = {9'999};  // out of this universe
+  cp.crawled = {0};
+  cp.degraded = {0};
+  const auto path = scratch_file("alien.ckpt");
+  save_checkpoint(cp, path);
+  CrawlConfig config;
+  config.seed_node = 0;
+  config.checkpoint.path = path;
+  auto svc = fx.service();
+  EXPECT_THROW(run_bfs_crawl(svc, config), std::runtime_error);
+}
+
+TEST(CheckpointResume, KilledFleetResumesToBitIdenticalGraph) {
+  Fixture fx;
+  auto reference_svc = fx.service();
+  CrawlConfig reference_config;
+  reference_config.seed_node = 0;
+  const auto reference = run_bfs_crawl(reference_svc, reference_config);
+
+  service::ServiceConfig faulty;
+  faulty.faults = modest_faults();
+  const auto path = scratch_file("fleet_resume.ckpt");
+  std::filesystem::remove(path);
+
+  FleetConfig config;
+  config.seed_node = 0;
+  config.checkpoint.path = path;
+  config.max_profiles = 80;
+  auto first_svc = fx.service(faulty);
+  const auto first = run_crawl_fleet(first_svc, config);
+  EXPECT_EQ(first.profiles_crawled, 80u);
+
+  config.max_profiles = 0;
+  auto second_svc = fx.service(faulty);
+  const auto resumed = run_crawl_fleet(second_svc, config);
+  expect_identical_crawl(reference, resumed.crawl);
+  EXPECT_EQ(resumed.crawl.stats.resumed_profiles, 80u);
+  // The resumed clock starts where the killed fleet stopped.
+  EXPECT_GT(resumed.makespan_days, first.makespan_days);
+}
+
+TEST(CheckpointResume, FleetAndCrawlerShareTheCheckpointFormat) {
+  Fixture fx;
+  const auto path = scratch_file("cross_format.ckpt");
+  std::filesystem::remove(path);
+  // Fleet writes the checkpoint...
+  FleetConfig fleet_config;
+  fleet_config.seed_node = 0;
+  fleet_config.checkpoint.path = path;
+  fleet_config.max_profiles = 40;
+  auto fleet_svc = fx.service();
+  run_crawl_fleet(fleet_svc, fleet_config);
+
+  // ...and the single-machine crawler finishes the crawl from it.
+  CrawlConfig crawl_config;
+  crawl_config.seed_node = 0;
+  crawl_config.checkpoint.path = path;
+  auto crawl_svc = fx.service();
+  const auto resumed = run_bfs_crawl(crawl_svc, crawl_config);
+
+  auto reference_svc = fx.service();
+  CrawlConfig reference_config;
+  reference_config.seed_node = 0;
+  const auto reference = run_bfs_crawl(reference_svc, reference_config);
+  expect_identical_crawl(reference, resumed);
+}
+
+}  // namespace
+}  // namespace gplus::crawler

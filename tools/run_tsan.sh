@@ -1,15 +1,17 @@
 #!/usr/bin/env sh
 # Builds the parallel-runtime test binaries under ThreadSanitizer and runs
-# them. Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+# them. Usage: tools/run_tsan.sh [build-dir]
 #
 # TSan catches the races a serial-equivalence test cannot: unsynchronized
 # pool state, kernels writing overlapping slots, etc. The same script works
 # for the other sanitizers via GPLUS_SANITIZE=address|undefined.
 set -eu
 
-BUILD_DIR="${1:-build-tsan}"
 SANITIZER="${GPLUS_SANITIZE:-thread}"
 SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+# Default to an absolute path inside the repo so the build lands under the
+# gitignored build*/ pattern no matter where the script is invoked from.
+BUILD_DIR="${1:-$SRC_DIR/build-$SANITIZER}"
 TARGETS="test_parallel test_parallel_equivalence test_bfs"
 
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DGPLUS_SANITIZE="$SANITIZER" \
