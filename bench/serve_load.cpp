@@ -1,0 +1,81 @@
+// Closed-loop load harness for the query-serving subsystem.
+//
+// Builds a snapshot of the standard seeded dataset, then drives the
+// batched query server with the seeded Zipf-over-in-degree client mixes
+// (§3.1's α≈1.3 celebrity skew) and reports throughput, p50/p95/p99
+// service latency, cache statistics and the response-stream checksum —
+// the checksum is identical at every GPLUS_THREADS value, which is the
+// determinism contract this harness exists to demonstrate.
+//
+// Scale with GPLUS_SCALE / GPLUS_SEED (bench_common.h); request count
+// with GPLUS_REQUESTS (default 1M per mix). The final section offers the
+// queue past capacity and shows bounded, explicit rejection.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/parallel.h"
+#include "serve/snapshot.h"
+#include "serve/workload.h"
+
+namespace {
+
+using namespace gplus;
+
+void run_mix(const serve::SnapshotView& view, const char* name,
+             const serve::WorkloadMix& mix, std::uint64_t requests) {
+  serve::ServerConfig config;
+  serve::QueryServer server(&view, config);
+  serve::WorkloadConfig workload;
+  workload.mix = mix;
+  workload.requests = requests;
+  const auto report = serve::run_closed_loop(server, workload);
+  std::printf(
+      "%-15s %9.0f q/s  p50 %6.2fus  p95 %6.2fus  p99 %6.2fus  "
+      "hit %5.1f%%  rejected %llu  checksum %016llx\n",
+      name, report.qps, report.p50_us, report.p95_us, report.p99_us,
+      100.0 * report.server.cache.hit_rate(),
+      static_cast<unsigned long long>(report.rejected),
+      static_cast<unsigned long long>(report.checksum));
+}
+
+void overload_demo(const serve::SnapshotView& view) {
+  serve::ServerConfig config;
+  config.queue_capacity = 64;
+  serve::QueryServer server(&view, config);
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    serve::Request q;
+    q.type = serve::RequestType::kDegree;
+    q.user = i % static_cast<std::uint32_t>(view.node_count());
+    (server.submit(q) == serve::ServeStatus::kOk) ? ++accepted : ++rejected;
+  }
+  std::printf(
+      "overload: offered 1000 to a %zu-slot queue -> accepted %llu, "
+      "rejected %llu (bounded, explicit)\n",
+      server.queue_capacity(), static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(rejected));
+}
+
+}  // namespace
+
+int main() {
+  using namespace gplus;
+  bench::banner("serve_load",
+                "closed-loop query serving over the immutable snapshot");
+  const core::Dataset& dataset = bench::dataset();
+  const auto snapshot = serve::build_snapshot(dataset);
+  const serve::SnapshotView view(snapshot.bytes());
+  std::printf("snapshot: %zu bytes, %zu workers\n\n", snapshot.size(),
+              core::thread_count());
+
+  const std::uint64_t requests = bench::env_or("GPLUS_REQUESTS", 1'000'000);
+  run_mix(view, "degree-profile", serve::WorkloadMix::degree_profile(), requests);
+  run_mix(view, "read", serve::WorkloadMix::read(), requests);
+  run_mix(view, "mixed", serve::WorkloadMix::mixed(), requests);
+  run_mix(view, "path", serve::WorkloadMix::path(), requests / 10);
+  std::printf("\n");
+  overload_demo(view);
+  return 0;
+}

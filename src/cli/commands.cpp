@@ -1,7 +1,10 @@
 #include "cli/commands.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <fstream>
+#include <string_view>
 
 #include "algo/degrees.h"
 #include "cli/args.h"
@@ -13,7 +16,10 @@
 #include "core/export.h"
 #include "core/report.h"
 #include "crawler/crawler.h"
+#include "geo/countries.h"
 #include "graph/edgelist_io.h"
+#include "serve/snapshot.h"
+#include "serve/workload.h"
 #include "service/service.h"
 
 namespace gplus::cli {
@@ -263,35 +269,198 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
-int run_command(const std::vector<std::string>& args, std::ostream& out) {
-  const std::string usage =
-      "usage: gplus <command> [options]\n\n"
-      "commands:\n"
-      "  generate  build a calibrated synthetic Google+ dataset\n"
-      "  analyze   structural + attribute summary of a dataset\n"
-      "  top       top users by in-degree (Table 1 style)\n"
-      "  crawl     simulate the paper's BFS crawl against the dataset\n"
-      "  export    dump the edge list for other graph tools\n"
-      "  report    full markdown reproduction report\n"
+int cmd_snapshot(const std::vector<std::string>& args, std::ostream& out) {
+  ArgParser parser("gplus snapshot",
+                   "build a serving snapshot from a dataset, or inspect one");
+  parser.add_option("in", "gplus.dataset", "input dataset file");
+  parser.add_option("out", "gplus.snap", "output snapshot file");
+  parser.add_option("inspect", "",
+                    "snapshot file to inspect instead of building");
+  parser.add_flag("no-country-index", "omit the located-users-by-country index");
+  add_threads_option(parser);
+  if (!parse_or_usage(parser, args, out)) return 2;
+  apply_threads_option(parser);
+
+  if (!parser.get("inspect").empty()) {
+    const auto snapshot = serve::load_snapshot(parser.get("inspect"));
+    const serve::SnapshotView view(snapshot.bytes());
+    std::uint64_t reciprocal = 0;
+    for (std::uint64_t e = 0; e < view.edge_count(); ++e) {
+      if (view.edge_reciprocal(e)) ++reciprocal;
+    }
+    std::uint64_t located = 0;
+    if (view.has_country_index()) {
+      for (std::uint16_t c = 0; c < geo::country_count(); ++c) {
+        located += view.country_users(c).size();
+      }
+    }
+    core::TextTable table({"Field", "Value"});
+    table.add_row({"File", parser.get("inspect")});
+    table.add_row({"Bytes", core::fmt_count(view.bytes().size())});
+    table.add_row({"Version", std::to_string(serve::kSnapshotVersion)});
+    table.add_row({"Nodes", core::fmt_count(view.node_count())});
+    table.add_row({"Edges", core::fmt_count(view.edge_count())});
+    table.add_row({"Reciprocity",
+                   core::fmt_percent(view.edge_count() == 0
+                                         ? 0.0
+                                         : static_cast<double>(reciprocal) /
+                                               static_cast<double>(view.edge_count()))});
+    table.add_row({"Country index", view.has_country_index() ? "yes" : "no"});
+    if (view.has_country_index()) {
+      table.add_row({"Located users", core::fmt_count(located)});
+    }
+    out << table.str();
+    return 0;
+  }
+
+  const auto dataset = core::load_dataset(parser.get("in"));
+  serve::SnapshotOptions options;
+  options.country_index = !parser.get_flag("no-country-index");
+  const auto snapshot = serve::build_snapshot(dataset, options);
+  serve::save_snapshot(snapshot, parser.get("out"));
+  out << "wrote " << parser.get("out") << ": "
+      << core::fmt_count(snapshot.size()) << " bytes, "
+      << core::fmt_count(dataset.user_count()) << " users, "
+      << core::fmt_count(dataset.graph().edge_count()) << " edges\n";
+  return 0;
+}
+
+int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
+  ArgParser parser("gplus serve-bench",
+                   "closed-loop load harness against the query server");
+  parser.add_option("in", "",
+                    "dataset or snapshot file (empty: generate "
+                    "--nodes/--seed in memory)");
+  parser.add_option("nodes", "100000", "users to generate when --in is empty");
+  parser.add_option("seed", "42", "dataset seed when --in is empty");
+  parser.add_option("requests", "1000000", "total requests to serve");
+  parser.add_option("clients", "256", "closed-loop clients (1 in flight each)");
+  parser.add_option("workload-seed", "1", "request-stream seed");
+  parser.add_option("mix", "degree-profile",
+                    "request mix: degree-profile, read, path or mixed");
+  parser.add_option("zipf", "1.3", "Zipf exponent over the in-degree ranking");
+  parser.add_option("queue", "4096", "bounded request-queue capacity");
+  parser.add_option("cache", "65536", "result-cache entries (0 disables)");
+  parser.add_option("cache-shards", "16", "result-cache shards");
+  parser.add_flag("no-latency", "skip per-request latency measurement");
+  add_threads_option(parser);
+  if (!parse_or_usage(parser, args, out)) return 2;
+  apply_threads_option(parser);
+
+  // --in accepts either a snapshot (served as-is, the build-once path) or
+  // a dataset (snapshotted in memory first); sniff the 8-byte magic.
+  serve::SnapshotBuffer snapshot = [&] {
+    const std::string& in = parser.get("in");
+    if (in.empty()) {
+      return serve::build_snapshot(core::make_standard_dataset(
+          parser.get_u64("nodes"), parser.get_u64("seed")));
+    }
+    std::ifstream probe(in, std::ios::binary);
+    char magic[8] = {};
+    probe.read(magic, sizeof magic);
+    if (probe.gcount() == sizeof magic &&
+        std::string_view(magic, sizeof magic) == "GPSNAP01") {
+      return serve::load_snapshot(in);
+    }
+    return serve::build_snapshot(core::load_dataset(in));
+  }();
+  const serve::SnapshotView view(snapshot.bytes());
+
+  serve::ServerConfig sconfig;
+  sconfig.queue_capacity = parser.get_u64("queue");
+  sconfig.cache_capacity = parser.get_u64("cache");
+  sconfig.cache_shards = parser.get_u64("cache-shards");
+  serve::QueryServer server(&view, sconfig);
+
+  serve::WorkloadConfig wconfig;
+  wconfig.seed = parser.get_u64("workload-seed");
+  wconfig.clients = parser.get_u64("clients");
+  wconfig.requests = parser.get_u64("requests");
+  wconfig.zipf_exponent = parser.get_double("zipf");
+  wconfig.mix = serve::WorkloadMix::by_name(parser.get("mix"));
+  wconfig.measure_latency = !parser.get_flag("no-latency");
+  const auto report = serve::run_closed_loop(server, wconfig);
+
+  char checksum[32];
+  std::snprintf(checksum, sizeof checksum, "%016llx",
+                static_cast<unsigned long long>(report.checksum));
+  core::TextTable table({"Metric", "Value"});
+  table.add_row({"Snapshot bytes", core::fmt_count(snapshot.size())});
+  table.add_row({"Workers", std::to_string(core::thread_count())});
+  table.add_row({"Requests served", core::fmt_count(report.served)});
+  table.add_row({"Rejected (overload)", core::fmt_count(report.rejected)});
+  table.add_row({"Elapsed s", core::fmt_double(report.elapsed_s, 3)});
+  table.add_row({"Throughput q/s", core::fmt_count(
+                     static_cast<std::uint64_t>(report.qps))});
+  if (wconfig.measure_latency) {
+    table.add_row({"p50 us", core::fmt_double(report.p50_us, 2)});
+    table.add_row({"p95 us", core::fmt_double(report.p95_us, 2)});
+    table.add_row({"p99 us", core::fmt_double(report.p99_us, 2)});
+  }
+  table.add_row({"Response MB", core::fmt_double(
+                     static_cast<double>(report.response_bytes) / 1e6, 1)});
+  table.add_row({"Cache hits", core::fmt_count(report.server.cache.hits)});
+  table.add_row({"Cache misses", core::fmt_count(report.server.cache.misses)});
+  table.add_row({"Cache evictions",
+                 core::fmt_count(report.server.cache.evictions)});
+  table.add_row({"Cache hit rate",
+                 core::fmt_percent(report.server.cache.hit_rate())});
+  table.add_row({"Response checksum", checksum});
+  out << table.str();
+  return 0;
+}
+
+namespace {
+
+constexpr Command kCommands[] = {
+    {"generate", "build a calibrated synthetic Google+ dataset", cmd_generate},
+    {"analyze", "structural + attribute summary of a dataset", cmd_analyze},
+    {"top", "top users by in-degree (Table 1 style)", cmd_top},
+    {"crawl", "simulate the paper's BFS crawl against the dataset", cmd_crawl},
+    {"export", "dump the edge list for other graph tools", cmd_export},
+    {"report", "full markdown reproduction report", cmd_report},
+    {"snapshot", "build or inspect an immutable serving snapshot", cmd_snapshot},
+    {"serve-bench", "closed-loop query-serving load harness", cmd_serve_bench},
+};
+
+// Usage text generated from the command table, so help and dispatch can
+// never disagree.
+std::string usage_text() {
+  std::size_t width = 0;
+  for (const auto& c : kCommands) width = std::max(width, c.name.size());
+  std::string usage = "usage: gplus <command> [options]\n\ncommands:\n";
+  for (const auto& c : kCommands) {
+    usage += "  ";
+    usage += c.name;
+    usage.append(width - c.name.size() + 2, ' ');
+    usage += c.summary;
+    usage += "\n";
+  }
+  usage +=
       "\nrun `gplus <command> --help` semantics: any parse error prints the\n"
       "command's options.\n";
+  return usage;
+}
+
+}  // namespace
+
+std::span<const Command> commands() noexcept { return kCommands; }
+
+int run_command(const std::vector<std::string>& args, std::ostream& out) {
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
-    out << usage;
+    out << usage_text();
     return args.empty() ? 2 : 0;
   }
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   try {
-    if (args[0] == "generate") return cmd_generate(rest, out);
-    if (args[0] == "analyze") return cmd_analyze(rest, out);
-    if (args[0] == "top") return cmd_top(rest, out);
-    if (args[0] == "crawl") return cmd_crawl(rest, out);
-    if (args[0] == "export") return cmd_export(rest, out);
-    if (args[0] == "report") return cmd_report(rest, out);
+    for (const auto& command : kCommands) {
+      if (args[0] == command.name) return command.run(rest, out);
+    }
   } catch (const std::exception& error) {
     out << "error: " << error.what() << "\n";
     return 1;
   }
-  out << "error: unknown command: " << args[0] << "\n\n" << usage;
+  out << "error: unknown command: " << args[0] << "\n\n" << usage_text();
   return 2;
 }
 

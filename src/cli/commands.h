@@ -2,11 +2,20 @@
 //
 // Each command takes raw argument strings and an output stream so the
 // test suite can drive it in-process; the `gplus` binary is a thin
-// dispatcher around run_command().
+// dispatcher around run_command(). The dispatcher and its usage text are
+// both generated from one command table (`commands()`), so adding a
+// command means adding one table row — the help text can never drift from
+// the dispatch again.
+//
+// Commands: generate, analyze, top, crawl, export, report (batch
+// pipeline), plus snapshot (build/inspect serving snapshots) and
+// serve-bench (closed-loop load harness against the query server).
 #pragma once
 
 #include <ostream>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace gplus::cli {
@@ -29,8 +38,25 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out);
 /// Exports the dataset's edge list (text or binary).
 int cmd_export(const std::vector<std::string>& args, std::ostream& out);
 
-/// Dispatches `gplus <command> ...`; prints usage on unknown commands.
-/// Returns the process exit code.
+/// Builds a serving snapshot from a dataset, or inspects an existing one.
+int cmd_snapshot(const std::vector<std::string>& args, std::ostream& out);
+
+/// Runs the closed-loop query-serving load harness and reports
+/// throughput, latency percentiles and cache statistics.
+int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out);
+
+/// One dispatch-table row: name, one-line summary, entry point.
+struct Command {
+  std::string_view name;
+  std::string_view summary;
+  int (*run)(const std::vector<std::string>&, std::ostream&);
+};
+
+/// The full command table, in help order.
+std::span<const Command> commands() noexcept;
+
+/// Dispatches `gplus <command> ...`; prints usage (generated from the
+/// command table) on unknown commands. Returns the process exit code.
 int run_command(const std::vector<std::string>& args, std::ostream& out);
 
 }  // namespace gplus::cli

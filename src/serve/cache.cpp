@@ -1,0 +1,65 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+
+namespace gplus::serve {
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity),
+      shards_(std::max<std::size_t>(1, shards)) {
+  per_shard_ = (capacity_ + shards_.size() - 1) / shards_.size();
+  for (auto& shard : shards_) {
+    shard.index.reserve(per_shard_ + 1);
+  }
+}
+
+bool ShardedLruCache::lookup(std::uint64_t key, std::vector<std::uint8_t>& out) {
+  Shard& shard = shard_for(key);
+  const auto hit = shard.index.find(key);
+  if (hit == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
+  out.assign(hit->second->payload.begin(), hit->second->payload.end());
+  return true;
+}
+
+void ShardedLruCache::insert(std::uint64_t key,
+                             const std::vector<std::uint8_t>& payload) {
+  if (capacity_ == 0) return;
+  Shard& shard = shard_for(key);
+  if (const auto present = shard.index.find(key); present != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, present->second);
+    present->second->payload = payload;
+    return;
+  }
+  shard.lru.push_front(Entry{key, payload});
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > per_shard_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheStats ShardedLruCache::stats() const noexcept {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.entries += shard.lru.size();
+  }
+  return total;
+}
+
+void ShardedLruCache::clear() {
+  for (auto& shard : shards_) {
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace gplus::serve

@@ -1,0 +1,260 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "stats/rng.h"
+
+namespace gplus::serve {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+std::string_view request_type_name(RequestType type) noexcept {
+  switch (type) {
+    case RequestType::kGetProfile: return "get-profile";
+    case RequestType::kGetOutCircle: return "get-out-circle";
+    case RequestType::kGetInCircle: return "get-in-circle";
+    case RequestType::kReciprocity: return "reciprocity";
+    case RequestType::kDegree: return "degree";
+    case RequestType::kShortestPath: return "shortest-path";
+    case RequestType::kTopK: return "top-k";
+  }
+  return "?";
+}
+
+std::string_view serve_status_name(ServeStatus status) noexcept {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kInvalidNode: return "invalid-node";
+    case ServeStatus::kInvalidRequest: return "invalid-request";
+    case ServeStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+std::uint64_t request_key(const Request& request) noexcept {
+  std::uint64_t state = (static_cast<std::uint64_t>(request.type) << 56) ^
+                        (static_cast<std::uint64_t>(request.user) << 24) ^
+                        request.target;
+  std::uint64_t mixed = stats::splitmix64_next(state);
+  state ^= (static_cast<std::uint64_t>(request.offset) << 32) | request.limit;
+  return mixed ^ stats::splitmix64_next(state);
+}
+
+RequestEngine::RequestEngine(const SnapshotView* snapshot, EngineConfig config)
+    : snapshot_(snapshot), config_(config) {
+  // Bounded selection of the top-`topk_cap` users by in-degree (ties by
+  // ascending id), built once at engine construction.
+  const std::size_t n = snapshot_->node_count();
+  const std::size_t k = config_.topk_cap;
+  auto weaker = [](const std::pair<graph::NodeId, std::uint64_t>& a,
+                   const std::pair<graph::NodeId, std::uint64_t>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  topk_.reserve(k + 1);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    topk_.emplace_back(u, snapshot_->in_degree(u));
+    std::push_heap(topk_.begin(), topk_.end(), weaker);
+    if (topk_.size() > k) {
+      std::pop_heap(topk_.begin(), topk_.end(), weaker);
+      topk_.pop_back();
+    }
+  }
+  std::sort(topk_.begin(), topk_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+}
+
+void RequestEngine::execute(const Request& request, Response& response) const {
+  response.status = ServeStatus::kOk;
+  response.payload.clear();
+  const std::size_t n = snapshot_->node_count();
+  switch (request.type) {
+    case RequestType::kGetProfile:
+      if (request.user >= n) break;
+      get_profile(request.user, response);
+      return;
+    case RequestType::kGetOutCircle:
+      if (request.user >= n) break;
+      get_circle(request, /*out_list=*/true, response);
+      return;
+    case RequestType::kGetInCircle:
+      if (request.user >= n) break;
+      get_circle(request, /*out_list=*/false, response);
+      return;
+    case RequestType::kReciprocity:
+      if (request.user >= n) break;
+      reciprocity(request.user, response);
+      return;
+    case RequestType::kDegree:
+      if (request.user >= n) break;
+      degree(request.user, response);
+      return;
+    case RequestType::kShortestPath:
+      if (request.user >= n || request.target >= n) break;
+      shortest_path(request.user, request.target, response);
+      return;
+    case RequestType::kTopK:
+      top_k(request.limit, response);
+      return;
+    default:
+      response.status = ServeStatus::kInvalidRequest;
+      return;
+  }
+  response.status = ServeStatus::kInvalidNode;
+}
+
+// Payload: user u32, shared u32, gender u8, relationship u8, occupation u8,
+// flags u8, country u16, pad u16, in_degree u64, out_degree u64.
+void RequestEngine::get_profile(graph::NodeId u, Response& r) const {
+  const PackedProfile& p = snapshot_->profile(u);
+  put_u32(r.payload, u);
+  put_u32(r.payload, p.shared_bits);
+  put_u8(r.payload, p.gender);
+  put_u8(r.payload, p.relationship);
+  put_u8(r.payload, p.occupation);
+  put_u8(r.payload, p.flags);
+  put_u16(r.payload, p.country);
+  put_u16(r.payload, 0);
+  put_u64(r.payload, snapshot_->in_degree(u));
+  put_u64(r.payload, snapshot_->out_degree(u));
+}
+
+// Payload: total u64 (displayed list total, uncapped — the §2.2 estimator
+// input), count u32, has_more u8, capped u8, pad u16, count × u32 ids.
+// Entries at or beyond `circle_cap` are unobtainable, mirroring the
+// service: offset past the visible window yields an empty page.
+void RequestEngine::get_circle(const Request& q, bool out_list,
+                               Response& r) const {
+  if (q.limit > config_.max_page) {
+    r.status = ServeStatus::kInvalidRequest;
+    return;
+  }
+  const auto list = out_list ? snapshot_->out_neighbors(q.user)
+                             : snapshot_->in_neighbors(q.user);
+  const std::uint64_t total = list.size();
+  const std::uint64_t visible = std::min<std::uint64_t>(total, config_.circle_cap);
+  const std::uint32_t limit = q.limit == 0 ? config_.max_page : q.limit;
+  const std::uint64_t begin = std::min<std::uint64_t>(q.offset, visible);
+  const std::uint64_t end = std::min<std::uint64_t>(begin + limit, visible);
+  put_u64(r.payload, total);
+  put_u32(r.payload, static_cast<std::uint32_t>(end - begin));
+  put_u8(r.payload, end < visible ? 1 : 0);
+  put_u8(r.payload, total > visible ? 1 : 0);
+  put_u16(r.payload, 0);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    put_u32(r.payload, list[i]);
+  }
+}
+
+// Payload: out_degree u64, reciprocal u64.
+void RequestEngine::reciprocity(graph::NodeId u, Response& r) const {
+  put_u64(r.payload, snapshot_->out_degree(u));
+  put_u64(r.payload, snapshot_->reciprocal_out_degree(u));
+}
+
+// Payload: in_degree u64, out_degree u64.
+void RequestEngine::degree(graph::NodeId u, Response& r) const {
+  put_u64(r.payload, snapshot_->in_degree(u));
+  put_u64(r.payload, snapshot_->out_degree(u));
+}
+
+// Payload: distance u32 (kPathUnreachable when no path within bounds),
+// expanded u64 (nodes settled — deterministic, part of the wire contract).
+//
+// Bidirectional BFS: a forward frontier over out-edges from `u` and a
+// backward frontier over in-edges from `v`, always expanding the smaller
+// side. Frontiers expand level-synchronously in sorted adjacency order, so
+// the expansion count (and thus the payload) is thread-count independent.
+void RequestEngine::shortest_path(graph::NodeId u, graph::NodeId v,
+                                  Response& r) const {
+  if (u == v) {
+    put_u32(r.payload, 0);
+    put_u64(r.payload, 1);
+    return;
+  }
+  std::unordered_map<graph::NodeId, std::uint32_t> fwd{{u, 0}};
+  std::unordered_map<graph::NodeId, std::uint32_t> bwd{{v, 0}};
+  std::vector<graph::NodeId> fwd_frontier{u};
+  std::vector<graph::NodeId> bwd_frontier{v};
+  std::vector<graph::NodeId> next;
+  std::uint32_t fwd_depth = 0;
+  std::uint32_t bwd_depth = 0;
+  std::uint64_t expanded = 2;
+  std::uint32_t best = kPathUnreachable;
+
+  while (!fwd_frontier.empty() && !bwd_frontier.empty() &&
+         fwd_depth + bwd_depth < config_.path_max_hops &&
+         expanded < config_.path_node_budget) {
+    const bool forward = fwd_frontier.size() <= bwd_frontier.size();
+    auto& frontier = forward ? fwd_frontier : bwd_frontier;
+    auto& mine = forward ? fwd : bwd;
+    auto& other = forward ? bwd : fwd;
+    const std::uint32_t depth = (forward ? fwd_depth : bwd_depth) + 1;
+    next.clear();
+    for (const graph::NodeId x : frontier) {
+      const auto neighbors =
+          forward ? snapshot_->out_neighbors(x) : snapshot_->in_neighbors(x);
+      for (const graph::NodeId y : neighbors) {
+        if (!mine.emplace(y, depth).second) continue;
+        ++expanded;
+        if (const auto hit = other.find(y); hit != other.end()) {
+          best = std::min(best, depth + hit->second);
+        }
+        next.push_back(y);
+        if (expanded >= config_.path_node_budget) break;
+      }
+      if (expanded >= config_.path_node_budget) break;
+    }
+    frontier.swap(next);
+    (forward ? fwd_depth : bwd_depth) = depth;
+    // A meeting at this level is optimal once both frontiers completed
+    // the levels that could still shorten it.
+    if (best != kPathUnreachable && best <= fwd_depth + bwd_depth) break;
+  }
+  put_u32(r.payload, best);
+  put_u64(r.payload, expanded);
+}
+
+// Payload: count u32, count × (node u32, in_degree u64).
+void RequestEngine::top_k(std::uint32_t limit, Response& r) const {
+  const std::uint32_t k = limit == 0 ? config_.topk_cap : limit;
+  if (k > config_.topk_cap) {
+    r.status = ServeStatus::kInvalidRequest;
+    return;
+  }
+  const std::uint32_t count =
+      std::min<std::uint32_t>(k, static_cast<std::uint32_t>(topk_.size()));
+  put_u32(r.payload, count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    put_u32(r.payload, topk_[i].first);
+    put_u64(r.payload, topk_[i].second);
+  }
+}
+
+}  // namespace gplus::serve

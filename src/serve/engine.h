@@ -1,0 +1,123 @@
+// Request engine: the typed query API served over a snapshot.
+//
+// Each request type mirrors a measurement the paper (or the follow-up
+// crawls in PAPERS.md) makes per profile: attribute lookups (§3.1–3.2),
+// circle adjacency with the service's 10k cap (§2.2), reciprocity (§3.3.2),
+// degrees (§3.3.1), bounded shortest-path probes (Table 4) and celebrity
+// top-k (Table 1). Execution is a pure function of (request, snapshot,
+// engine config): no hidden state, so requests may run on any thread in
+// any order and still produce identical responses — the property the
+// batched server exploits for its determinism guarantee.
+//
+// Responses carry a little-endian encoded payload (`Response::payload`)
+// rather than rich structs: concatenating encoded responses in request
+// order yields the byte-identical response stream the load harness
+// checksums at every worker count.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.h"
+#include "serve/snapshot.h"
+
+namespace gplus::serve {
+
+/// Query kinds (wire-stable ids; append only).
+enum class RequestType : std::uint8_t {
+  kGetProfile = 0,   // packed profile + both degrees
+  kGetOutCircle,     // one page of "in user's circles" (out-neighbors)
+  kGetInCircle,      // one page of "have user in circles" (in-neighbors)
+  kReciprocity,      // out-degree + reciprocal-edge count
+  kDegree,           // in/out degree pair
+  kShortestPath,     // bounded bidirectional BFS user -> target
+  kTopK,             // global top-k users by in-degree
+};
+inline constexpr std::size_t kRequestTypeCount = 7;
+
+/// Display name ("get-profile", ...).
+std::string_view request_type_name(RequestType type) noexcept;
+
+/// One query. `target` is the ShortestPath destination; `offset`/`limit`
+/// page the circle lists and bound TopK.
+struct Request {
+  RequestType type = RequestType::kGetProfile;
+  graph::NodeId user = 0;
+  graph::NodeId target = 0;
+  std::uint32_t offset = 0;
+  std::uint32_t limit = 0;
+};
+
+/// Per-request outcome, FetchStatus-style: an explicit error channel
+/// instead of silent failure. kRejected is produced at submit time by the
+/// server's bounded queue, never by the engine.
+enum class ServeStatus : std::uint8_t {
+  kOk = 0,
+  kInvalidNode,     // user/target id out of range
+  kInvalidRequest,  // unknown type or malformed paging
+  kRejected,        // bounded queue full — retry later
+};
+
+/// Display name ("ok", "invalid-node", ...).
+std::string_view serve_status_name(ServeStatus status) noexcept;
+
+/// Response: status + encoded payload (empty unless kOk). Payload layouts
+/// are documented in DESIGN.md §9; all integers little-endian.
+struct Response {
+  ServeStatus status = ServeStatus::kOk;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Distance sentinel for unreachable / budget-exhausted path probes.
+inline constexpr std::uint32_t kPathUnreachable = 0xFFFFFFFF;
+
+/// Engine knobs (the service-mirroring caps live here, not in the
+/// snapshot, so one snapshot can back differently-configured servers).
+struct EngineConfig {
+  /// Circle entries beyond this are unobtainable (the §2.2 10k cap).
+  std::uint32_t circle_cap = 10'000;
+  /// Largest circle page per request.
+  std::uint32_t max_page = 1'000;
+  /// ShortestPath gives up beyond this many hops.
+  std::uint32_t path_max_hops = 10;
+  /// ShortestPath gives up after expanding this many nodes.
+  std::uint64_t path_node_budget = 100'000;
+  /// Largest TopK list served.
+  std::uint32_t topk_cap = 100;
+};
+
+/// Stateless-per-request executor. Holds the snapshot view plus a
+/// precomputed top-`topk_cap` in-degree ranking (built once, immutable).
+/// Thread-safe: `execute` only reads.
+class RequestEngine {
+ public:
+  /// `snapshot` must outlive the engine.
+  RequestEngine(const SnapshotView* snapshot, EngineConfig config = {});
+
+  /// Executes one request. Appends nothing on error; `response.payload`
+  /// is reused (cleared, capacity kept) for allocation-free hot paths.
+  void execute(const Request& request, Response& response) const;
+
+  const EngineConfig& config() const noexcept { return config_; }
+  const SnapshotView& snapshot() const noexcept { return *snapshot_; }
+
+ private:
+  void get_profile(graph::NodeId u, Response& r) const;
+  void get_circle(const Request& q, bool out_list, Response& r) const;
+  void reciprocity(graph::NodeId u, Response& r) const;
+  void degree(graph::NodeId u, Response& r) const;
+  void shortest_path(graph::NodeId u, graph::NodeId v, Response& r) const;
+  void top_k(std::uint32_t limit, Response& r) const;
+
+  const SnapshotView* snapshot_;
+  EngineConfig config_;
+  /// Precomputed (node, in_degree) ranking, descending degree, ties by
+  /// ascending id — the Table 1 ordering.
+  std::vector<std::pair<graph::NodeId, std::uint64_t>> topk_;
+};
+
+/// 64-bit cache/dedup key of a request (splitmix64-mixed fields).
+std::uint64_t request_key(const Request& request) noexcept;
+
+}  // namespace gplus::serve

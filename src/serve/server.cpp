@@ -1,0 +1,92 @@
+#include "serve/server.h"
+
+#include <chrono>
+
+#include "core/parallel.h"
+
+namespace gplus::serve {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const SnapshotView* snapshot, ServerConfig config)
+    : config_(config),
+      engine_(snapshot, config.engine),
+      cache_(config.cache_capacity, config.cache_shards) {
+  queue_.reserve(config_.queue_capacity);
+}
+
+ServeStatus QueryServer::submit(const Request& request) {
+  if (queue_.size() >= config_.queue_capacity) {
+    ++stats_.rejected;
+    return ServeStatus::kRejected;
+  }
+  queue_.push_back(request);
+  ++stats_.accepted;
+  return ServeStatus::kOk;
+}
+
+void QueryServer::drain(std::vector<Response>& responses,
+                        std::vector<std::uint64_t>* latency_ns) {
+  const std::size_t batch = queue_.size();
+  responses.resize(batch);
+  if (latency_ns != nullptr) latency_ns->assign(batch, 0);
+  if (batch == 0) return;
+
+  // Phase 1 (coordinator, request order): cache probes. Hits answer from
+  // the cached payload; misses queue for the parallel pass.
+  miss_index_.clear();
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Request& q = queue_[i];
+    ++stats_.per_type[static_cast<std::size_t>(q.type) % kRequestTypeCount];
+    if (cacheable(q.type)) {
+      const std::uint64_t start = latency_ns != nullptr ? now_ns() : 0;
+      if (cache_.lookup(request_key(q), responses[i].payload)) {
+        responses[i].status = ServeStatus::kOk;
+        if (latency_ns != nullptr) (*latency_ns)[i] = now_ns() - start;
+        continue;
+      }
+    }
+    miss_index_.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Phase 2 (parallel): execute the misses. Pure per-slot writes on the
+  // static chunk grid — payloads are lane-count independent.
+  core::parallel_for(
+      miss_index_.size(), config_.batch_grain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) {
+          const std::uint32_t i = miss_index_[j];
+          const std::uint64_t start = latency_ns != nullptr ? now_ns() : 0;
+          engine_.execute(queue_[i], responses[i]);
+          if (latency_ns != nullptr) (*latency_ns)[i] = now_ns() - start;
+        }
+      });
+
+  // Phase 3 (coordinator, request order): fill the cache from the misses.
+  for (const std::uint32_t i : miss_index_) {
+    const Request& q = queue_[i];
+    if (cacheable(q.type) && responses[i].status == ServeStatus::kOk) {
+      cache_.insert(request_key(q), responses[i].payload);
+    }
+  }
+
+  stats_.served += batch;
+  queue_.clear();
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats s = stats_;
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace gplus::serve

@@ -1,0 +1,98 @@
+// Batched query server: bounded admission queue + deterministic parallel
+// execution over the shared worker pool.
+//
+// Shape: clients `submit()` requests into a bounded queue; a full queue
+// rejects explicitly (`ServeStatus::kRejected`) — overload is a visible,
+// counted signal, never a silent drop and never an unbounded buffer. A
+// `drain()` call then serves everything queued:
+//
+//   1. coordinator pass, request order: probe the result cache; hits are
+//      answered immediately, misses collected;
+//   2. parallel pass: misses execute on the `core/parallel` chunk grid —
+//      engine execution is pure, each worker writes only its own response
+//      slot, so payloads are identical at any lane count;
+//   3. coordinator pass, request order: cacheable miss results are
+//      inserted into the LRU.
+//
+// Because every cache mutation happens on the coordinator in request
+// order, response payloads AND final cache/counter state are bit-identical
+// under GPLUS_THREADS=1 and GPLUS_THREADS=64 — the serving-layer extension
+// of the runtime's determinism contract (DESIGN.md §7, §9).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/engine.h"
+
+namespace gplus::serve {
+
+/// Server knobs.
+struct ServerConfig {
+  /// Bounded admission queue: submits past this are rejected.
+  std::size_t queue_capacity = 4096;
+  /// Result-cache entries (0 disables) and shards.
+  std::size_t cache_capacity = 1 << 16;
+  std::size_t cache_shards = 16;
+  /// Parallel grain: requests per chunk in the drain's miss pass.
+  std::size_t batch_grain = 64;
+  EngineConfig engine;
+};
+
+/// Lifetime counters.
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t served = 0;
+  std::array<std::uint64_t, kRequestTypeCount> per_type{};
+  CacheStats cache;
+};
+
+/// One server over one snapshot. Submit/drain are coordinator-thread
+/// operations (not internally synchronized); the parallelism lives inside
+/// drain(), on the shared pool.
+class QueryServer {
+ public:
+  /// `snapshot` must outlive the server.
+  QueryServer(const SnapshotView* snapshot, ServerConfig config = {});
+
+  /// Admits one request, or rejects it when the queue is full. The only
+  /// non-kOk value returned here is kRejected.
+  ServeStatus submit(const Request& request);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::size_t queue_capacity() const noexcept { return config_.queue_capacity; }
+
+  /// Serves every queued request; `responses[i]` answers the i-th accepted
+  /// request since the last drain. Response objects are reused across
+  /// drains (capacity kept) for allocation-free steady state. When
+  /// `latency_ns` is non-null it receives one per-request service time
+  /// (cache probe for hits, engine execution for misses; excludes queueing
+  /// — wall-clock, NOT deterministic, unlike the payloads).
+  void drain(std::vector<Response>& responses,
+             std::vector<std::uint64_t>* latency_ns = nullptr);
+
+  /// Lifetime counters (cache stats snapshotted at call time).
+  ServerStats stats() const;
+
+  const ServerConfig& config() const noexcept { return config_; }
+  const RequestEngine& engine() const noexcept { return engine_; }
+
+ private:
+  static bool cacheable(RequestType type) noexcept {
+    return type == RequestType::kGetProfile ||
+           type == RequestType::kShortestPath;
+  }
+
+  ServerConfig config_;
+  RequestEngine engine_;
+  ShardedLruCache cache_;
+  std::vector<Request> queue_;
+  ServerStats stats_;
+  // Drain scratch, reused across batches.
+  std::vector<std::uint32_t> miss_index_;
+};
+
+}  // namespace gplus::serve

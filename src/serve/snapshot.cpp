@@ -1,0 +1,337 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/parallel.h"
+#include "geo/countries.h"
+
+namespace gplus::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'P', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr std::size_t kHeaderBytes = 112;
+constexpr std::size_t kChecksumOffset = 104;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("snapshot: " + what);
+}
+
+std::uint64_t fnv1a64(const std::byte* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::size_t pad8(std::size_t bytes) { return (bytes + 7) & ~std::size_t{7}; }
+
+void store_u32(std::byte* at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    at[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void store_u64(std::byte* at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    at[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint32_t load_u32(const std::byte* at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(at[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t load_u64(const std::byte* at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(at[i]) << (8 * i);
+  }
+  return v;
+}
+
+// The view reinterprets sections in place, which is only correct on a
+// little-endian host; big-endian would need a byte-swapping copy at open.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot in-place views require a little-endian host");
+
+PackedProfile pack_profile(const synth::Profile& p) {
+  PackedProfile out;
+  out.gender = static_cast<std::uint8_t>(p.gender);
+  out.relationship = static_cast<std::uint8_t>(p.relationship);
+  out.occupation = static_cast<std::uint8_t>(p.occupation);
+  out.flags = static_cast<std::uint8_t>((p.celebrity ? 1U : 0U) |
+                                        (p.is_located() ? 2U : 0U) |
+                                        (p.is_tel_user() ? 4U : 0U));
+  out.country = p.country;
+  out.shared_bits = p.shared.bits();
+  return out;
+}
+
+}  // namespace
+
+SnapshotBuffer build_snapshot(const core::Dataset& dataset,
+                              const SnapshotOptions& options) {
+  const graph::DiGraph& g = dataset.graph();
+  const std::size_t n = g.node_count();
+  const std::size_t m = g.edge_count();
+  if (dataset.profiles.size() != n) fail("profile count != node count");
+
+  const std::size_t countries = options.country_index ? geo::country_count() : 0;
+
+  // Section offsets (header first, every section 8-byte aligned).
+  std::size_t at = kHeaderBytes;
+  const std::size_t off_out_offsets = at;
+  at += (n + 1) * 8;
+  const std::size_t off_out_targets = at;
+  at += pad8(m * 4);
+  const std::size_t off_in_offsets = at;
+  at += (n + 1) * 8;
+  const std::size_t off_in_targets = at;
+  at += pad8(m * 4);
+  const std::size_t off_recip = at;
+  const std::size_t recip_words = (m + 63) / 64;
+  at += recip_words * 8;
+  const std::size_t off_profiles = at;
+  at += pad8(n * sizeof(PackedProfile));
+  std::size_t off_country_offsets = 0;
+  std::size_t off_country_nodes = 0;
+  std::vector<std::vector<graph::NodeId>> by_country;
+  std::size_t located_total = 0;
+  if (options.country_index) {
+    by_country.resize(countries);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const auto& p = dataset.profiles[u];
+      if (p.is_located() && p.country < countries) {
+        by_country[p.country].push_back(u);
+        ++located_total;
+      }
+    }
+    off_country_offsets = at;
+    at += (countries + 1) * 8;
+    off_country_nodes = at;
+    at += pad8(located_total * 4);
+  }
+  const std::size_t total = at;
+
+  SnapshotBuffer buffer(std::vector<std::uint64_t>((total + 7) / 8, 0), total);
+  std::byte* base = buffer.data();
+
+  // Header.
+  std::memcpy(base, kMagic, sizeof kMagic);
+  store_u32(base + 8, kSnapshotVersion);
+  store_u32(base + 12, options.country_index ? kSnapshotFlagCountryIndex : 0);
+  store_u64(base + 16, n);
+  store_u64(base + 24, m);
+  store_u64(base + 32, off_out_offsets);
+  store_u64(base + 40, off_out_targets);
+  store_u64(base + 48, off_in_offsets);
+  store_u64(base + 56, off_in_targets);
+  store_u64(base + 64, off_recip);
+  store_u64(base + 72, off_profiles);
+  store_u64(base + 80, off_country_offsets);
+  store_u64(base + 88, off_country_nodes);
+  store_u64(base + 96, total);
+  store_u64(base + kChecksumOffset, fnv1a64(base, kChecksumOffset));
+
+  // Adjacency in CSR form, copied from the DiGraph spans. Offsets are
+  // prefix sums (serial); targets copy in parallel, disjoint per node.
+  auto* out_offsets = reinterpret_cast<std::uint64_t*>(base + off_out_offsets);
+  auto* in_offsets = reinterpret_cast<std::uint64_t*>(base + off_in_offsets);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    out_offsets[u + 1] = out_offsets[u] + g.out_degree(u);
+    in_offsets[u + 1] = in_offsets[u] + g.in_degree(u);
+  }
+  auto* out_targets = reinterpret_cast<graph::NodeId*>(base + off_out_targets);
+  auto* in_targets = reinterpret_cast<graph::NodeId*>(base + off_in_targets);
+  auto* profiles = reinterpret_cast<PackedProfile*>(base + off_profiles);
+  core::parallel_for(n, 4096, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      const auto id = static_cast<graph::NodeId>(u);
+      const auto out = g.out_neighbors(id);
+      std::copy(out.begin(), out.end(), out_targets + out_offsets[u]);
+      const auto in = g.in_neighbors(id);
+      std::copy(in.begin(), in.end(), in_targets + in_offsets[u]);
+      profiles[u] = pack_profile(dataset.profiles[u]);
+    }
+  });
+
+  // Reciprocal bitmap: a parallel per-edge byte pass (disjoint writes),
+  // then a serial bit-packing sweep — deterministic at any thread count.
+  std::vector<std::uint8_t> recip_bytes(m, 0);
+  core::parallel_for(n, 1024, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      const auto id = static_cast<graph::NodeId>(u);
+      const auto out = g.out_neighbors(id);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (g.has_edge(out[i], id)) recip_bytes[out_offsets[u] + i] = 1;
+      }
+    }
+  });
+  auto* recip = reinterpret_cast<std::uint64_t*>(base + off_recip);
+  for (std::size_t e = 0; e < m; ++e) {
+    if (recip_bytes[e]) recip[e >> 6] |= std::uint64_t{1} << (e & 63);
+  }
+
+  if (options.country_index) {
+    auto* coffsets = reinterpret_cast<std::uint64_t*>(base + off_country_offsets);
+    auto* cnodes = reinterpret_cast<graph::NodeId*>(base + off_country_nodes);
+    std::size_t written = 0;
+    for (std::size_t c = 0; c < countries; ++c) {
+      coffsets[c] = written;
+      std::copy(by_country[c].begin(), by_country[c].end(), cnodes + written);
+      written += by_country[c].size();
+    }
+    coffsets[countries] = written;
+  }
+  return buffer;
+}
+
+SnapshotView::SnapshotView(std::span<const std::byte> bytes) : bytes_(bytes) {
+  if (bytes.size() < kHeaderBytes) fail("truncated header");
+  const std::byte* base = bytes.data();
+  if (std::memcmp(base, kMagic, sizeof kMagic) != 0) {
+    fail("bad magic (not a gplus snapshot)");
+  }
+  const std::uint32_t version = load_u32(base + 8);
+  if (version != kSnapshotVersion) {
+    fail("unsupported version " + std::to_string(version) + " (reader knows " +
+         std::to_string(kSnapshotVersion) + ")");
+  }
+  if (load_u64(base + kChecksumOffset) != fnv1a64(base, kChecksumOffset)) {
+    fail("corrupt header (checksum mismatch)");
+  }
+  const std::uint32_t flags = load_u32(base + 12);
+  nodes_ = load_u64(base + 16);
+  edges_ = load_u64(base + 24);
+  const std::uint64_t total = load_u64(base + 96);
+  if (total != bytes.size()) {
+    fail("size mismatch: header says " + std::to_string(total) + " bytes, got " +
+         std::to_string(bytes.size()));
+  }
+  if (reinterpret_cast<std::uintptr_t>(base) % 8 != 0) {
+    fail("buffer not 8-byte aligned");
+  }
+
+  // Every section must be aligned and lie inside the buffer.
+  auto section = [&](std::size_t header_at, std::size_t length,
+                     const char* name) -> const std::byte* {
+    const std::uint64_t off = load_u64(base + header_at);
+    if (off % 8 != 0) fail(std::string(name) + " section misaligned");
+    if (off < kHeaderBytes || off + length > total) {
+      fail(std::string(name) + " section out of bounds");
+    }
+    return base + off;
+  };
+  out_offsets_ = reinterpret_cast<const std::uint64_t*>(
+      section(32, (nodes_ + 1) * 8, "out_offsets"));
+  out_targets_ = reinterpret_cast<const graph::NodeId*>(
+      section(40, pad8(edges_ * 4), "out_targets"));
+  in_offsets_ = reinterpret_cast<const std::uint64_t*>(
+      section(48, (nodes_ + 1) * 8, "in_offsets"));
+  in_targets_ = reinterpret_cast<const graph::NodeId*>(
+      section(56, pad8(edges_ * 4), "in_targets"));
+  recip_ = reinterpret_cast<const std::uint64_t*>(
+      section(64, (edges_ + 63) / 64 * 8, "recip"));
+  profiles_ = reinterpret_cast<const PackedProfile*>(
+      section(72, pad8(nodes_ * sizeof(PackedProfile)), "profiles"));
+  if (out_offsets_[0] != 0 || out_offsets_[nodes_] != edges_) {
+    fail("out_offsets inconsistent with edge count");
+  }
+  if (in_offsets_[0] != 0 || in_offsets_[nodes_] != edges_) {
+    fail("in_offsets inconsistent with edge count");
+  }
+  if (flags & kSnapshotFlagCountryIndex) {
+    country_count_ = geo::country_count();
+    country_offsets_ = reinterpret_cast<const std::uint64_t*>(
+        section(80, (country_count_ + 1) * 8, "country_offsets"));
+    const std::uint64_t located = country_offsets_[country_count_];
+    country_nodes_ = reinterpret_cast<const graph::NodeId*>(
+        section(88, pad8(located * 4), "country_nodes"));
+  }
+}
+
+bool SnapshotView::has_out_edge(graph::NodeId u, graph::NodeId v) const noexcept {
+  const auto out = out_neighbors(u);
+  return std::binary_search(out.begin(), out.end(), v);
+}
+
+std::uint64_t SnapshotView::reciprocal_out_degree(graph::NodeId u) const noexcept {
+  const std::uint64_t begin = out_offsets_[u];
+  const std::uint64_t end = out_offsets_[u + 1];
+  if (begin == end) return 0;
+  std::uint64_t count = 0;
+  std::uint64_t w = begin >> 6;
+  const std::uint64_t last = (end - 1) >> 6;
+  for (; w <= last; ++w) {
+    std::uint64_t word = recip_[w];
+    if (w == begin >> 6) word &= ~std::uint64_t{0} << (begin & 63);
+    if (w == last && (end & 63) != 0) {
+      word &= (std::uint64_t{1} << (end & 63)) - 1;
+    }
+    count += static_cast<std::uint64_t>(std::popcount(word));
+  }
+  return count;
+}
+
+std::span<const graph::NodeId> SnapshotView::country_users(
+    std::uint16_t country) const noexcept {
+  if (country_offsets_ == nullptr || country >= country_count_) return {};
+  return {country_nodes_ + country_offsets_[country],
+          static_cast<std::size_t>(country_offsets_[country + 1] -
+                                   country_offsets_[country])};
+}
+
+void write_snapshot(const SnapshotBuffer& snapshot, std::ostream& out) {
+  const auto bytes = snapshot.bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) fail("write failed");
+}
+
+SnapshotBuffer read_snapshot(std::istream& in) {
+  std::array<char, kHeaderBytes> header;
+  in.read(header.data(), kHeaderBytes);
+  if (!in) fail("truncated header");
+  if (std::memcmp(header.data(), kMagic, sizeof kMagic) != 0) {
+    fail("bad magic (not a gplus snapshot)");
+  }
+  const std::uint64_t total =
+      load_u64(reinterpret_cast<const std::byte*>(header.data()) + 96);
+  if (total < kHeaderBytes) fail("corrupt header (impossible size)");
+  SnapshotBuffer buffer(std::vector<std::uint64_t>((total + 7) / 8, 0), total);
+  std::memcpy(buffer.data(), header.data(), kHeaderBytes);
+  in.read(reinterpret_cast<char*>(buffer.data()) + kHeaderBytes,
+          static_cast<std::streamsize>(total - kHeaderBytes));
+  if (!in) fail("truncated stream");
+  SnapshotView view(buffer.bytes());  // full header/section validation
+  (void)view;
+  return buffer;
+}
+
+void save_snapshot(const SnapshotBuffer& snapshot,
+                   const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open for writing: " + path.string());
+  write_snapshot(snapshot, out);
+}
+
+SnapshotBuffer load_snapshot(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open for reading: " + path.string());
+  return read_snapshot(in);
+}
+
+}  // namespace gplus::serve

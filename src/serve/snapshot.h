@@ -1,0 +1,183 @@
+// Immutable serving snapshot: the query layer's on-disk / in-memory format.
+//
+// The batch pipeline (generate → analyze) works on the mutable builder
+// structures in `core::Dataset`; the serving path must not. A snapshot is
+// one contiguous little-endian byte buffer holding everything the request
+// engine reads — CSR out/in adjacency, a reciprocal-edge bitmap, packed
+// per-user profile records and an optional country index — so a server
+// opens it in O(1) as a read-only view (`SnapshotView`) with zero parsing
+// and zero pointer chasing beyond the header.
+//
+// Layout (all integers little-endian; every section 8-byte aligned):
+//
+//   offset  size  field
+//        0     8  magic "GPSNAP01"
+//        8     4  version (currently 1)
+//       12     4  flags (bit 0: country index present)
+//       16     8  node_count n
+//       24     8  edge_count m
+//       32     8  offset of out_offsets   ((n+1) × u64)
+//       40     8  offset of out_targets   (m × u32, padded to 8)
+//       48     8  offset of in_offsets    ((n+1) × u64)
+//       56     8  offset of in_targets    (m × u32, padded to 8)
+//       64     8  offset of recip bitmap  (ceil(m/64) × u64)
+//       72     8  offset of profiles      (n × 16-byte PackedProfile)
+//       80     8  offset of country_offsets ((country_count+1) × u64, or 0)
+//       88     8  offset of country_nodes (located users by country, or 0)
+//       96     8  total_bytes (must equal the buffer size)
+//      104     8  header checksum (FNV-1a over bytes [0, 104))
+//
+// Version policy: readers reject any version they do not know; additive
+// changes (new trailing sections, new flag bits) bump the version and keep
+// old offsets stable so a vN reader can refuse — never misread — a vN+1
+// file. Bit e of the reciprocal bitmap is set when out-edge e (global CSR
+// index) has its reverse edge present.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "core/dataset.h"
+#include "graph/types.h"
+
+namespace gplus::serve {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotFlagCountryIndex = 1U << 0;
+
+/// Fixed 16-byte per-user record: the publicly servable profile view.
+struct PackedProfile {
+  std::uint8_t gender = 0;
+  std::uint8_t relationship = 0;
+  std::uint8_t occupation = 0;
+  /// bit 0: celebrity, bit 1: located (§4 cohort), bit 2: tel-user (§3.2).
+  std::uint8_t flags = 0;
+  std::uint16_t country = 0xFFFF;
+  std::uint16_t reserved0 = 0;
+  std::uint32_t shared_bits = 0;
+  std::uint32_t reserved1 = 0;
+
+  bool celebrity() const noexcept { return (flags & 1U) != 0; }
+  bool located() const noexcept { return (flags & 2U) != 0; }
+  bool tel_user() const noexcept { return (flags & 4U) != 0; }
+
+  friend bool operator==(const PackedProfile&, const PackedProfile&) = default;
+};
+static_assert(sizeof(PackedProfile) == 16);
+
+/// Snapshot build knobs.
+struct SnapshotOptions {
+  /// Emit the located-users-by-country index section.
+  bool country_index = true;
+};
+
+/// Owns snapshot bytes with 8-byte alignment (backed by u64 storage so the
+/// view may reinterpret aligned sections in place).
+class SnapshotBuffer {
+ public:
+  SnapshotBuffer() = default;
+  explicit SnapshotBuffer(std::vector<std::uint64_t> words, std::size_t bytes)
+      : words_(std::move(words)), bytes_(bytes) {}
+
+  std::span<const std::byte> bytes() const noexcept {
+    return {reinterpret_cast<const std::byte*>(words_.data()), bytes_};
+  }
+  std::size_t size() const noexcept { return bytes_; }
+  bool empty() const noexcept { return bytes_ == 0; }
+
+  /// Mutable raw access for the builder/loader only.
+  std::byte* data() noexcept {
+    return reinterpret_cast<std::byte*>(words_.data());
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bytes_ = 0;
+};
+
+/// Serializes a dataset into the snapshot format. Deterministic: the same
+/// dataset and options produce byte-identical buffers at any thread count.
+SnapshotBuffer build_snapshot(const core::Dataset& dataset,
+                              const SnapshotOptions& options = {});
+
+/// Read-only, O(1)-open view over a snapshot buffer. Validates the header
+/// (magic, version, checksum, section bounds) on construction and throws
+/// std::runtime_error with a specific message on any defect; accessors
+/// afterwards are unchecked loads into the buffer. The buffer must outlive
+/// the view.
+class SnapshotView {
+ public:
+  explicit SnapshotView(std::span<const std::byte> bytes);
+
+  std::size_t node_count() const noexcept { return nodes_; }
+  std::size_t edge_count() const noexcept { return edges_; }
+  bool has_country_index() const noexcept { return country_offsets_ != nullptr; }
+
+  std::span<const graph::NodeId> out_neighbors(graph::NodeId u) const noexcept {
+    return {out_targets_ + out_offsets_[u],
+            static_cast<std::size_t>(out_offsets_[u + 1] - out_offsets_[u])};
+  }
+  std::span<const graph::NodeId> in_neighbors(graph::NodeId u) const noexcept {
+    return {in_targets_ + in_offsets_[u],
+            static_cast<std::size_t>(in_offsets_[u + 1] - in_offsets_[u])};
+  }
+  std::uint64_t out_degree(graph::NodeId u) const noexcept {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  std::uint64_t in_degree(graph::NodeId u) const noexcept {
+    return in_offsets_[u + 1] - in_offsets_[u];
+  }
+
+  /// True when u -> v exists. O(log out_degree(u)).
+  bool has_out_edge(graph::NodeId u, graph::NodeId v) const noexcept;
+
+  /// Number of u's out-edges whose reverse edge exists (popcount over the
+  /// reciprocal bitmap range of u).
+  std::uint64_t reciprocal_out_degree(graph::NodeId u) const noexcept;
+
+  /// True when out-edge index e (global CSR position) is reciprocal.
+  bool edge_reciprocal(std::uint64_t e) const noexcept {
+    return (recip_[e >> 6] >> (e & 63)) & 1U;
+  }
+
+  const PackedProfile& profile(graph::NodeId u) const noexcept {
+    return profiles_[u];
+  }
+
+  /// Located users of one country, ascending id. Empty when the index
+  /// section is absent or the country id is out of range.
+  std::span<const graph::NodeId> country_users(std::uint16_t country) const noexcept;
+
+  std::span<const std::byte> bytes() const noexcept { return bytes_; }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t nodes_ = 0;
+  std::size_t edges_ = 0;
+  const std::uint64_t* out_offsets_ = nullptr;
+  const graph::NodeId* out_targets_ = nullptr;
+  const std::uint64_t* in_offsets_ = nullptr;
+  const graph::NodeId* in_targets_ = nullptr;
+  const std::uint64_t* recip_ = nullptr;
+  const PackedProfile* profiles_ = nullptr;
+  const std::uint64_t* country_offsets_ = nullptr;  // country_count+1 entries
+  const graph::NodeId* country_nodes_ = nullptr;
+  std::size_t country_count_ = 0;
+};
+
+/// Stream / file serialization of the raw snapshot bytes. Loading validates
+/// by opening a SnapshotView over the result; all failures throw
+/// std::runtime_error ("snapshot: ..." messages, same discipline as
+/// core/dataset_io).
+void write_snapshot(const SnapshotBuffer& snapshot, std::ostream& out);
+SnapshotBuffer read_snapshot(std::istream& in);
+void save_snapshot(const SnapshotBuffer& snapshot,
+                   const std::filesystem::path& path);
+SnapshotBuffer load_snapshot(const std::filesystem::path& path);
+
+}  // namespace gplus::serve

@@ -186,6 +186,117 @@ TEST_F(CliPipelineTest, G_ReportRendersMarkdown) {
   EXPECT_NE(text.find("IT share"), std::string::npos);
 }
 
+TEST_F(CliPipelineTest, H_SnapshotBuildAndInspect) {
+  const auto snap =
+      std::filesystem::temp_directory_path() / "gplus_cli_test.snap";
+  std::ostringstream out;
+  EXPECT_EQ(run_command({"snapshot", "--in", dataset_path().string(), "--out",
+                         snap.string()},
+                        out),
+            0)
+      << out.str();
+  EXPECT_TRUE(std::filesystem::exists(snap));
+  EXPECT_NE(out.str().find("3,000 users"), std::string::npos);
+
+  std::ostringstream inspect;
+  EXPECT_EQ(run_command({"snapshot", "--inspect", snap.string()}, inspect), 0)
+      << inspect.str();
+  EXPECT_NE(inspect.str().find("Nodes"), std::string::npos);
+  EXPECT_NE(inspect.str().find("Reciprocity"), std::string::npos);
+  EXPECT_NE(inspect.str().find("Country index"), std::string::npos);
+  std::filesystem::remove(snap);
+}
+
+TEST_F(CliPipelineTest, I_ServeBenchReportsThroughput) {
+  std::ostringstream out;
+  const int rc = run_command(
+      {"serve-bench", "--in", dataset_path().string(), "--requests", "20000",
+       "--clients", "16", "--mix", "mixed"},
+      out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("Throughput q/s"), std::string::npos);
+  EXPECT_NE(out.str().find("p99 us"), std::string::npos);
+  EXPECT_NE(out.str().find("Cache hit rate"), std::string::npos);
+  EXPECT_NE(out.str().find("Response checksum"), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, J_ServeBenchAcceptsSnapshotFile) {
+  // --in sniffs the magic: a pre-built snapshot is served as-is and must
+  // answer the same seeded workload with the same checksum as the dataset.
+  const auto snap =
+      std::filesystem::temp_directory_path() / "gplus_cli_serve.snap";
+  std::ostringstream build;
+  ASSERT_EQ(run_command({"snapshot", "--in", dataset_path().string(), "--out",
+                         snap.string()},
+                        build),
+            0)
+      << build.str();
+
+  const std::vector<std::string> tail = {"--requests", "5000", "--clients",
+                                         "8",          "--mix", "read"};
+  auto bench = [&](const std::string& in) {
+    std::vector<std::string> args = {"serve-bench", "--in", in};
+    args.insert(args.end(), tail.begin(), tail.end());
+    std::ostringstream out;
+    EXPECT_EQ(run_command(args, out), 0) << out.str();
+    const std::string text = out.str();
+    const auto pos = text.find("Response checksum");
+    EXPECT_NE(pos, std::string::npos);
+    return text.substr(pos);
+  };
+  EXPECT_EQ(bench(snap.string()), bench(dataset_path().string()));
+  std::filesystem::remove(snap);
+}
+
+TEST(Cli, SnapshotErrorPaths) {
+  std::ostringstream missing;
+  EXPECT_EQ(run_command({"snapshot", "--in", "/no/such/file.ds"}, missing), 1);
+  EXPECT_NE(missing.str().find("error"), std::string::npos);
+
+  std::ostringstream inspect_missing;
+  EXPECT_EQ(
+      run_command({"snapshot", "--inspect", "/no/such/file.snap"}, inspect_missing),
+      1);
+  EXPECT_NE(inspect_missing.str().find("snapshot"), std::string::npos);
+
+  std::ostringstream bad_option;
+  EXPECT_EQ(run_command({"snapshot", "--bogus"}, bad_option), 2);
+  EXPECT_NE(bad_option.str().find("unknown option"), std::string::npos);
+  EXPECT_NE(bad_option.str().find("--inspect"), std::string::npos);
+}
+
+TEST(Cli, ServeBenchErrorPaths) {
+  std::ostringstream bad_mix;
+  EXPECT_EQ(run_command({"serve-bench", "--mix", "bogus", "--nodes", "500",
+                         "--requests", "10"},
+                        bad_mix),
+            1);
+  EXPECT_NE(bad_mix.str().find("unknown workload mix"), std::string::npos);
+
+  std::ostringstream bad_option;
+  EXPECT_EQ(run_command({"serve-bench", "--frobnicate"}, bad_option), 2);
+  EXPECT_NE(bad_option.str().find("unknown option"), std::string::npos);
+  EXPECT_NE(bad_option.str().find("--clients"), std::string::npos);
+
+  std::ostringstream missing;
+  EXPECT_EQ(run_command({"serve-bench", "--in", "/no/such/file.ds"}, missing), 1);
+  EXPECT_NE(missing.str().find("error"), std::string::npos);
+}
+
+TEST(Cli, CommandTableDrivesDispatchAndHelp) {
+  // Every table row dispatches and appears in the generated usage text.
+  std::ostringstream help;
+  EXPECT_EQ(run_command({"help"}, help), 0);
+  for (const auto& command : commands()) {
+    EXPECT_NE(help.str().find(std::string(command.name)), std::string::npos)
+        << command.name;
+    EXPECT_NE(help.str().find(std::string(command.summary)), std::string::npos)
+        << command.name;
+  }
+  EXPECT_NE(help.str().find("serve-bench"), std::string::npos);
+  EXPECT_NE(help.str().find("snapshot"), std::string::npos);
+}
+
 TEST(Cli, UnknownCommandAndHelp) {
   std::ostringstream out;
   EXPECT_EQ(run_command({"frobnicate"}, out), 2);

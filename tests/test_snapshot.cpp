@@ -1,0 +1,236 @@
+// Serving-snapshot format tests: round-trip fidelity against the source
+// Dataset/DiGraph, plus the dataset_io-style hardening gauntlet (bad
+// magic, truncation, corrupt header, unknown version, rogue sections).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "core/dataset.h"
+#include "core/parallel.h"
+#include "geo/countries.h"
+#include "serve/snapshot.h"
+
+namespace gplus::serve {
+namespace {
+
+// Local FNV-1a mirror of the header checksum, so tests can re-seal a
+// deliberately patched header (changing anything else must still fail).
+std::uint64_t fnv1a64(const std::byte* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Copies snapshot bytes into a mutable, 8-byte-aligned vector.
+std::vector<std::uint64_t> mutable_copy(const SnapshotBuffer& snapshot) {
+  std::vector<std::uint64_t> words((snapshot.size() + 7) / 8, 0);
+  std::memcpy(words.data(), snapshot.bytes().data(), snapshot.size());
+  return words;
+}
+
+std::span<const std::byte> as_bytes(const std::vector<std::uint64_t>& words,
+                                    std::size_t size) {
+  return {reinterpret_cast<const std::byte*>(words.data()), size};
+}
+
+void reseal_header(std::vector<std::uint64_t>& words) {
+  auto* bytes = reinterpret_cast<std::byte*>(words.data());
+  const std::uint64_t checksum = fnv1a64(bytes, 104);
+  std::memcpy(bytes + 104, &checksum, 8);
+}
+
+class SnapshotRoundTrip : public ::testing::Test {
+ protected:
+  static const core::Dataset& dataset() {
+    static const core::Dataset instance = core::make_standard_dataset(3000, 11);
+    return instance;
+  }
+  static const SnapshotBuffer& snapshot() {
+    static const SnapshotBuffer instance = build_snapshot(dataset());
+    return instance;
+  }
+};
+
+TEST_F(SnapshotRoundTrip, AdjacencyMatchesGraph) {
+  const SnapshotView view(snapshot().bytes());
+  const auto& g = dataset().graph();
+  ASSERT_EQ(view.node_count(), g.node_count());
+  ASSERT_EQ(view.edge_count(), g.edge_count());
+  for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+    const auto out = g.out_neighbors(u);
+    const auto got_out = view.out_neighbors(u);
+    ASSERT_EQ(got_out.size(), out.size()) << u;
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), got_out.begin())) << u;
+    const auto in = g.in_neighbors(u);
+    const auto got_in = view.in_neighbors(u);
+    ASSERT_EQ(got_in.size(), in.size()) << u;
+    EXPECT_TRUE(std::equal(in.begin(), in.end(), got_in.begin())) << u;
+    EXPECT_EQ(view.out_degree(u), g.out_degree(u));
+    EXPECT_EQ(view.in_degree(u), g.in_degree(u));
+  }
+}
+
+TEST_F(SnapshotRoundTrip, ReciprocalBitmapMatchesGraph) {
+  const SnapshotView view(snapshot().bytes());
+  const auto& g = dataset().graph();
+  std::uint64_t e = 0;
+  for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+    std::uint64_t reciprocal = 0;
+    for (const graph::NodeId v : g.out_neighbors(u)) {
+      const bool expect = g.has_edge(v, u);
+      EXPECT_EQ(view.edge_reciprocal(e), expect) << u << "->" << v;
+      reciprocal += expect ? 1 : 0;
+      ++e;
+    }
+    EXPECT_EQ(view.reciprocal_out_degree(u), reciprocal) << u;
+  }
+}
+
+TEST_F(SnapshotRoundTrip, ProfilesAndCountryIndexMatchDataset) {
+  const SnapshotView view(snapshot().bytes());
+  ASSERT_TRUE(view.has_country_index());
+  std::size_t located = 0;
+  for (graph::NodeId u = 0; u < view.node_count(); ++u) {
+    const auto& want = dataset().profiles[u];
+    const PackedProfile& got = view.profile(u);
+    EXPECT_EQ(got.gender, static_cast<std::uint8_t>(want.gender));
+    EXPECT_EQ(got.relationship, static_cast<std::uint8_t>(want.relationship));
+    EXPECT_EQ(got.occupation, static_cast<std::uint8_t>(want.occupation));
+    EXPECT_EQ(got.country, want.country);
+    EXPECT_EQ(got.shared_bits, want.shared.bits());
+    EXPECT_EQ(got.celebrity(), want.celebrity);
+    EXPECT_EQ(got.located(), want.is_located());
+    EXPECT_EQ(got.tel_user(), want.is_tel_user());
+    if (want.is_located()) ++located;
+  }
+  std::size_t indexed = 0;
+  for (std::uint16_t c = 0; c < geo::country_count(); ++c) {
+    const auto users = view.country_users(c);
+    indexed += users.size();
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      EXPECT_EQ(dataset().profiles[users[i]].country, c);
+      EXPECT_TRUE(dataset().profiles[users[i]].is_located());
+      if (i > 0) EXPECT_LT(users[i - 1], users[i]);
+    }
+  }
+  EXPECT_EQ(indexed, located);
+}
+
+TEST_F(SnapshotRoundTrip, StreamAndFileRoundTripBitIdentical) {
+  std::ostringstream out;
+  write_snapshot(snapshot(), out);
+  std::istringstream in(out.str());
+  const SnapshotBuffer loaded = read_snapshot(in);
+  ASSERT_EQ(loaded.size(), snapshot().size());
+  EXPECT_EQ(std::memcmp(loaded.bytes().data(), snapshot().bytes().data(),
+                        snapshot().size()),
+            0);
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "gplus_snapshot_test.snap";
+  save_snapshot(snapshot(), path);
+  const SnapshotBuffer from_file = load_snapshot(path);
+  EXPECT_EQ(from_file.size(), snapshot().size());
+  EXPECT_EQ(std::memcmp(from_file.bytes().data(), snapshot().bytes().data(),
+                        snapshot().size()),
+            0);
+  std::filesystem::remove(path);
+}
+
+TEST_F(SnapshotRoundTrip, OmittingCountryIndexShrinksAndStillValidates) {
+  SnapshotOptions options;
+  options.country_index = false;
+  const SnapshotBuffer lean = build_snapshot(dataset(), options);
+  EXPECT_LT(lean.size(), snapshot().size());
+  const SnapshotView view(lean.bytes());
+  EXPECT_FALSE(view.has_country_index());
+  EXPECT_TRUE(view.country_users(0).empty());
+  EXPECT_EQ(view.node_count(), dataset().graph().node_count());
+}
+
+TEST_F(SnapshotRoundTrip, RejectsBadMagic) {
+  auto words = mutable_copy(snapshot());
+  reinterpret_cast<char*>(words.data())[0] = 'X';
+  EXPECT_THROW(
+      { SnapshotView view(as_bytes(words, snapshot().size())); },
+      std::runtime_error);
+}
+
+TEST_F(SnapshotRoundTrip, RejectsCorruptHeader) {
+  auto words = mutable_copy(snapshot());
+  // Flip one node-count byte without resealing: checksum must catch it.
+  reinterpret_cast<std::uint8_t*>(words.data())[16] ^= 0xFF;
+  try {
+    SnapshotView view(as_bytes(words, snapshot().size()));
+    FAIL() << "corrupt header accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST_F(SnapshotRoundTrip, RejectsUnknownVersion) {
+  auto words = mutable_copy(snapshot());
+  auto* bytes = reinterpret_cast<std::uint8_t*>(words.data());
+  bytes[8] = 99;  // version field
+  reseal_header(words);
+  try {
+    SnapshotView view(as_bytes(words, snapshot().size()));
+    FAIL() << "unknown version accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(SnapshotRoundTrip, RejectsRogueSectionOffset) {
+  auto words = mutable_copy(snapshot());
+  auto* bytes = reinterpret_cast<std::byte*>(words.data());
+  const std::uint64_t huge = snapshot().size() + 1024;
+  std::memcpy(bytes + 32, &huge, 8);  // out_offsets section offset
+  reseal_header(words);
+  try {
+    SnapshotView view(as_bytes(words, snapshot().size()));
+    FAIL() << "rogue section accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("out of bounds"), std::string::npos);
+  }
+}
+
+TEST_F(SnapshotRoundTrip, RejectsTruncation) {
+  // View over a truncated span: size mismatch.
+  EXPECT_THROW(
+      { SnapshotView view(snapshot().bytes().subspan(0, snapshot().size() - 8)); },
+      std::runtime_error);
+  // Stream cut mid-body: truncated stream.
+  std::ostringstream out;
+  write_snapshot(snapshot(), out);
+  const std::string full = out.str();
+  std::istringstream cut_body(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_snapshot(cut_body), std::runtime_error);
+  // Stream cut mid-header.
+  std::istringstream cut_header(full.substr(0, 40));
+  EXPECT_THROW(read_snapshot(cut_header), std::runtime_error);
+  // Not a snapshot at all.
+  std::istringstream garbage("definitely not a snapshot file .......");
+  EXPECT_THROW(read_snapshot(garbage), std::runtime_error);
+}
+
+TEST(SnapshotBuild, DeterministicAcrossThreadCounts) {
+  const core::Dataset dataset = core::make_standard_dataset(1500, 3);
+  core::set_thread_count(1);
+  const SnapshotBuffer serial = build_snapshot(dataset);
+  core::set_thread_count(4);
+  const SnapshotBuffer parallel = build_snapshot(dataset);
+  core::set_thread_count(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(std::memcmp(serial.bytes().data(), parallel.bytes().data(),
+                        serial.size()),
+            0);
+}
+
+}  // namespace
+}  // namespace gplus::serve
