@@ -1,0 +1,150 @@
+// Seeded kill/swap/overload storm against the resilient serving stack.
+//
+// The storm script (src/serve/resilience.h): serve snapshot A under
+// injected engine faults, forced slowdown deadlines and queue pressure;
+// attempt a doomed install of snapshot B (forced canary failure → must
+// roll back to A); hot-swap to B for real; kill the active snapshot (a
+// degraded stretch served from the stale cache); roll back; keep serving.
+//
+// The run *asserts* the resilience invariants rather than just printing
+// numbers — this binary exits nonzero when any is violated:
+//   1. every admitted request reaches exactly one terminal status, and
+//      offered == accepted + rejected (no silent drops);
+//   2. the storm-worn server answers a fixed probe set byte-identically
+//      to a fresh server over the same final generation (post-storm state
+//      equals a storm-free run's);
+//   3. the whole storm — response stream, counters, cache state — is
+//      bit-identical between GPLUS_THREADS=1 and GPLUS_THREADS=N.
+//
+// `--smoke` shrinks the dataset and round count for the CI matrix.
+// Scale with GPLUS_SCALE / GPLUS_SEED / GPLUS_ROUNDS.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.h"
+#include "core/parallel.h"
+#include "serve/resilience.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using namespace gplus;
+
+void print_report(const char* label, const serve::StormReport& report) {
+  std::printf(
+      "%-10s offered %llu  accepted %llu  rejected %llu  responses %llu  "
+      "checksum %016llx  epoch %llu\n",
+      label, static_cast<unsigned long long>(report.offered),
+      static_cast<unsigned long long>(report.accepted),
+      static_cast<unsigned long long>(report.rejected),
+      static_cast<unsigned long long>(report.responses),
+      static_cast<unsigned long long>(report.checksum),
+      static_cast<unsigned long long>(report.final_epoch));
+  std::printf("           by status:");
+  for (std::size_t s = 0; s < serve::kServeStatusCount; ++s) {
+    if (report.by_status[s] == 0) continue;
+    std::printf(" %s=%llu",
+                std::string(serve::serve_status_name(
+                                static_cast<serve::ServeStatus>(s)))
+                    .c_str(),
+                static_cast<unsigned long long>(report.by_status[s]));
+  }
+  std::printf("\n           stale served %llu  deadline exceeded %llu  "
+              "shed %llu  probe %016llx (fresh %016llx)\n",
+              static_cast<unsigned long long>(report.server.stale_served),
+              static_cast<unsigned long long>(report.server.deadline_exceeded),
+              static_cast<unsigned long long>(report.server.shed),
+              static_cast<unsigned long long>(report.post_probe_checksum),
+              static_cast<unsigned long long>(report.fresh_probe_checksum));
+}
+
+bool equal_state(const serve::StormReport& a, const serve::StormReport& b) {
+  return a.checksum == b.checksum && a.by_status == b.by_status &&
+         a.offered == b.offered && a.accepted == b.accepted &&
+         a.rejected == b.rejected && a.final_epoch == b.final_epoch &&
+         a.post_probe_checksum == b.post_probe_checksum &&
+         a.server.cache.hits == b.server.cache.hits &&
+         a.server.cache.stale_hits == b.server.cache.stale_hits &&
+         a.server.cache.misses == b.server.cache.misses &&
+         a.server.cache.evictions == b.server.cache.evictions &&
+         a.server.cache.entries == b.server.cache.entries &&
+         a.server.shed == b.server.shed &&
+         a.server.deadline_exceeded == b.server.deadline_exceeded &&
+         a.server.fault_injected == b.server.fault_injected &&
+         a.server.stale_served == b.server.stale_served &&
+         a.server.unavailable == b.server.unavailable;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gplus;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::banner("serve_chaos",
+                "kill/swap/overload storm against the resilient server");
+
+  const std::size_t nodes = smoke ? 5'000 : bench::scale();
+  const std::uint64_t seed = bench::seed();
+  const auto dataset_a = core::make_standard_dataset(nodes, seed);
+  const auto dataset_b = core::make_standard_dataset(nodes, seed + 1);
+  const auto primary = serve::build_snapshot(dataset_a);
+  const auto candidate = serve::build_snapshot(dataset_b);
+  std::printf("snapshots: %zu nodes each, %zu + %zu bytes, %zu workers%s\n\n",
+              nodes, primary.size(), candidate.size(), core::thread_count(),
+              smoke ? " (smoke)" : "");
+
+  serve::StormConfig config;
+  config.seed = seed;
+  config.clients = 64;
+  config.rounds = bench::env_or("GPLUS_ROUNDS", smoke ? 160 : 800);
+  config.probes = 512;
+  config.chaos.fault_rate = 0.01;
+  config.chaos.slow_rate = 0.05;
+  config.chaos.slow_budget = 16;
+  config.chaos.pressure_rate = 0.15;
+  config.chaos.pressure_capacity = 24;
+  config.server.queue_capacity = 48;  // below clients: real overload
+  config.server.cache_capacity = 1 << 12;
+
+  const auto storm = serve::run_chaos_storm(primary, candidate, config);
+  print_report("storm", storm);
+
+  // Determinism leg: the identical storm at one lane.
+  const std::size_t lanes = core::thread_count();
+  core::set_thread_count(1);
+  const auto serial = serve::run_chaos_storm(primary, candidate, config);
+  core::set_thread_count(0);
+  print_report("serial", serial);
+
+  int failures = 0;
+  for (const std::string& violation : storm.violations) {
+    std::printf("VIOLATION (storm): %s\n", violation.c_str());
+    ++failures;
+  }
+  for (const std::string& violation : serial.violations) {
+    std::printf("VIOLATION (serial): %s\n", violation.c_str());
+    ++failures;
+  }
+  if (!storm.forced_rollback_fired) {
+    std::printf("VIOLATION: forced-canary rollback never fired\n");
+    ++failures;
+  }
+  if (!equal_state(storm, serial)) {
+    std::printf("VIOLATION: storm state differs between %zu lanes and 1\n",
+                lanes);
+    ++failures;
+  }
+
+  if (failures == 0) {
+    std::printf("\nall invariants held: one terminal status per request, "
+                "no silent drops, state bit-identical at 1 and %zu lanes\n",
+                lanes);
+    return 0;
+  }
+  std::printf("\n%d invariant violation(s)\n", failures);
+  return 1;
+}

@@ -277,6 +277,9 @@ int cmd_snapshot(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_option("inspect", "",
                     "snapshot file to inspect instead of building");
   parser.add_flag("no-country-index", "omit the located-users-by-country index");
+  parser.add_option("format-version", "2",
+                    "snapshot format to emit: 2 (section digests) or 1 "
+                    "(legacy GPSNAP01)");
   add_threads_option(parser);
   if (!parse_or_usage(parser, args, out)) return 2;
   apply_threads_option(parser);
@@ -297,7 +300,9 @@ int cmd_snapshot(const std::vector<std::string>& args, std::ostream& out) {
     core::TextTable table({"Field", "Value"});
     table.add_row({"File", parser.get("inspect")});
     table.add_row({"Bytes", core::fmt_count(view.bytes().size())});
-    table.add_row({"Version", std::to_string(serve::kSnapshotVersion)});
+    table.add_row({"Version", std::to_string(view.version())});
+    table.add_row({"Section digests",
+                   view.has_section_digests() ? "yes" : "no"});
     table.add_row({"Nodes", core::fmt_count(view.node_count())});
     table.add_row({"Edges", core::fmt_count(view.edge_count())});
     table.add_row({"Reciprocity",
@@ -316,6 +321,7 @@ int cmd_snapshot(const std::vector<std::string>& args, std::ostream& out) {
   const auto dataset = core::load_dataset(parser.get("in"));
   serve::SnapshotOptions options;
   options.country_index = !parser.get_flag("no-country-index");
+  options.version = static_cast<std::uint32_t>(parser.get_u64("format-version"));
   const auto snapshot = serve::build_snapshot(dataset, options);
   serve::save_snapshot(snapshot, parser.get("out"));
   out << "wrote " << parser.get("out") << ": "
@@ -342,13 +348,20 @@ int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_option("queue", "4096", "bounded request-queue capacity");
   parser.add_option("cache", "65536", "result-cache entries (0 disables)");
   parser.add_option("cache-shards", "16", "result-cache shards");
+  parser.add_option("deadline", "0",
+                    "per-request virtual-cost budget (0 = unlimited; "
+                    "deterministic units, see DESIGN.md §10)");
   parser.add_flag("no-latency", "skip per-request latency measurement");
   add_threads_option(parser);
   if (!parse_or_usage(parser, args, out)) return 2;
   apply_threads_option(parser);
 
   // --in accepts either a snapshot (served as-is, the build-once path) or
-  // a dataset (snapshotted in memory first); sniff the 8-byte magic.
+  // a dataset (snapshotted in memory first). `sniff_snapshot_magic`
+  // recognizes every snapshot version and is short-read safe: a file
+  // shorter than the magic (let alone the 112-byte header) is simply "not
+  // a snapshot", and if it then fails to parse as a dataset the loader's
+  // error names the real problem instead of serving garbage.
   serve::SnapshotBuffer snapshot = [&] {
     const std::string& in = parser.get("in");
     if (in.empty()) {
@@ -356,10 +369,10 @@ int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
           parser.get_u64("nodes"), parser.get_u64("seed")));
     }
     std::ifstream probe(in, std::ios::binary);
-    char magic[8] = {};
-    probe.read(magic, sizeof magic);
-    if (probe.gcount() == sizeof magic &&
-        std::string_view(magic, sizeof magic) == "GPSNAP01") {
+    if (!probe.is_open()) {
+      throw std::runtime_error("serve-bench: cannot open " + in);
+    }
+    if (serve::sniff_snapshot_magic(probe)) {
       return serve::load_snapshot(in);
     }
     return serve::build_snapshot(core::load_dataset(in));
@@ -370,6 +383,8 @@ int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
   sconfig.queue_capacity = parser.get_u64("queue");
   sconfig.cache_capacity = parser.get_u64("cache");
   sconfig.cache_shards = parser.get_u64("cache-shards");
+  sconfig.default_cost_budget.fill(
+      static_cast<std::uint32_t>(parser.get_u64("deadline")));
   serve::QueryServer server(&view, sconfig);
 
   serve::WorkloadConfig wconfig;
@@ -399,6 +414,8 @@ int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
   }
   table.add_row({"Response MB", core::fmt_double(
                      static_cast<double>(report.response_bytes) / 1e6, 1)});
+  table.add_row({"Deadline exceeded",
+                 core::fmt_count(report.server.deadline_exceeded)});
   table.add_row({"Cache hits", core::fmt_count(report.server.cache.hits)});
   table.add_row({"Cache misses", core::fmt_count(report.server.cache.misses)});
   table.add_row({"Cache evictions",

@@ -13,14 +13,15 @@ ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards)
   }
 }
 
-bool ShardedLruCache::lookup(std::uint64_t key, std::vector<std::uint8_t>& out) {
+bool ShardedLruCache::lookup(std::uint64_t key, std::vector<std::uint8_t>& out,
+                             bool stale) {
   Shard& shard = shard_for(key);
   const auto hit = shard.index.find(key);
   if (hit == shard.index.end()) {
     ++shard.misses;
     return false;
   }
-  ++shard.hits;
+  ++(stale ? shard.stale_hits : shard.hits);
   shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
   out.assign(hit->second->payload.begin(), hit->second->payload.end());
   return true;
@@ -48,6 +49,7 @@ CacheStats ShardedLruCache::stats() const noexcept {
   CacheStats total;
   for (const auto& shard : shards_) {
     total.hits += shard.hits;
+    total.stale_hits += shard.stale_hits;
     total.misses += shard.misses;
     total.evictions += shard.evictions;
     total.entries += shard.lru.size();
@@ -59,6 +61,10 @@ void ShardedLruCache::clear() {
   for (auto& shard : shards_) {
     shard.lru.clear();
     shard.index.clear();
+    shard.hits = 0;
+    shard.stale_hits = 0;
+    shard.misses = 0;
+    shard.evictions = 0;
   }
 }
 

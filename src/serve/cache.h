@@ -20,16 +20,21 @@
 
 namespace gplus::serve {
 
-/// Aggregated cache counters.
+/// Aggregated cache counters. `stale_hits` counts hits served while the
+/// server was degraded (no live snapshot): those answers may lag the graph,
+/// so they are tallied separately from fresh `hits`.
 struct CacheStats {
   std::uint64_t hits = 0;
+  std::uint64_t stale_hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t entries = 0;
 
   double hit_rate() const noexcept {
-    const std::uint64_t probes = hits + misses;
-    return probes == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(probes);
+    const std::uint64_t probes = hits + stale_hits + misses;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(hits + stale_hits) /
+                             static_cast<double>(probes);
   }
 };
 
@@ -42,8 +47,10 @@ class ShardedLruCache {
   ShardedLruCache(std::size_t capacity, std::size_t shards);
 
   /// Looks the key up; on hit promotes it to most-recent and copies the
-  /// payload into `out` (cleared first). Counts a hit or miss.
-  bool lookup(std::uint64_t key, std::vector<std::uint8_t>& out);
+  /// payload into `out` (cleared first). Counts a hit (or, when `stale` —
+  /// a degraded-mode probe — a stale_hit) or a miss.
+  bool lookup(std::uint64_t key, std::vector<std::uint8_t>& out,
+              bool stale = false);
 
   /// Inserts (or refreshes) the payload, evicting the least-recent entry
   /// of the shard when over capacity. No-op when capacity is 0.
@@ -55,7 +62,9 @@ class ShardedLruCache {
   std::size_t shard_count() const noexcept { return shards_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
 
-  /// Drops every entry; counters are kept (they describe the lifetime).
+  /// Drops every entry AND resets every shard's counters: after clear()
+  /// the cache is indistinguishable from a freshly constructed one, which
+  /// is what makes post-hot-swap state comparable across runs.
   void clear();
 
  private:
@@ -67,6 +76,7 @@ class ShardedLruCache {
     std::list<Entry> lru;  // front = most recent
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
     std::uint64_t hits = 0;
+    std::uint64_t stale_hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
   };

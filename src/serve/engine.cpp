@@ -50,6 +50,20 @@ std::string_view serve_status_name(ServeStatus status) noexcept {
     case ServeStatus::kInvalidNode: return "invalid-node";
     case ServeStatus::kInvalidRequest: return "invalid-request";
     case ServeStatus::kRejected: return "rejected";
+    case ServeStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case ServeStatus::kShed: return "shed";
+    case ServeStatus::kStaleCache: return "stale-cache";
+    case ServeStatus::kUnavailable: return "unavailable";
+    case ServeStatus::kFaultInjected: return "fault-injected";
+  }
+  return "?";
+}
+
+std::string_view priority_name(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kLow: return "low";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
   }
   return "?";
 }
@@ -92,41 +106,57 @@ RequestEngine::RequestEngine(const SnapshotView* snapshot, EngineConfig config)
 
 void RequestEngine::execute(const Request& request, Response& response) const {
   response.status = ServeStatus::kOk;
+  response.flags = 0;
   response.payload.clear();
+  // The virtual clock: 1 unit to dispatch, more charged by the expensive
+  // loops below. Deterministic in (request, snapshot) only.
+  Meter meter;
+  if (request.cost_budget != 0) meter.budget = request.cost_budget;
+  meter.charge(1);
+  response.cost = 0;
   const std::size_t n = snapshot_->node_count();
   switch (request.type) {
     case RequestType::kGetProfile:
       if (request.user >= n) break;
       get_profile(request.user, response);
+      response.cost = meter.spent;
       return;
     case RequestType::kGetOutCircle:
       if (request.user >= n) break;
-      get_circle(request, /*out_list=*/true, response);
+      get_circle(request, /*out_list=*/true, response, meter);
+      response.cost = meter.spent;
       return;
     case RequestType::kGetInCircle:
       if (request.user >= n) break;
-      get_circle(request, /*out_list=*/false, response);
+      get_circle(request, /*out_list=*/false, response, meter);
+      response.cost = meter.spent;
       return;
     case RequestType::kReciprocity:
       if (request.user >= n) break;
       reciprocity(request.user, response);
+      response.cost = meter.spent;
       return;
     case RequestType::kDegree:
       if (request.user >= n) break;
       degree(request.user, response);
+      response.cost = meter.spent;
       return;
     case RequestType::kShortestPath:
       if (request.user >= n || request.target >= n) break;
-      shortest_path(request.user, request.target, response);
+      shortest_path(request.user, request.target, response, meter);
+      response.cost = meter.spent;
       return;
     case RequestType::kTopK:
-      top_k(request.limit, response);
+      top_k(request.limit, response, meter);
+      response.cost = meter.spent;
       return;
     default:
       response.status = ServeStatus::kInvalidRequest;
+      response.cost = meter.spent;
       return;
   }
   response.status = ServeStatus::kInvalidNode;
+  response.cost = meter.spent;
 }
 
 // Payload: user u32, shared u32, gender u8, relationship u8, occupation u8,
@@ -149,8 +179,8 @@ void RequestEngine::get_profile(graph::NodeId u, Response& r) const {
 // input), count u32, has_more u8, capped u8, pad u16, count × u32 ids.
 // Entries at or beyond `circle_cap` are unobtainable, mirroring the
 // service: offset past the visible window yields an empty page.
-void RequestEngine::get_circle(const Request& q, bool out_list,
-                               Response& r) const {
+void RequestEngine::get_circle(const Request& q, bool out_list, Response& r,
+                               Meter& meter) const {
   if (q.limit > config_.max_page) {
     r.status = ServeStatus::kInvalidRequest;
     return;
@@ -167,8 +197,22 @@ void RequestEngine::get_circle(const Request& q, bool out_list,
   put_u8(r.payload, end < visible ? 1 : 0);
   put_u8(r.payload, total > visible ? 1 : 0);
   put_u16(r.payload, 0);
+  // 1 cost unit per entry emitted; a deadline mid-page keeps the entries
+  // that fit, patches the count/has_more fields, and flags the partial.
+  std::uint64_t emitted = 0;
   for (std::uint64_t i = begin; i < end; ++i) {
+    if (!meter.charge(1)) {
+      r.status = ServeStatus::kDeadlineExceeded;
+      r.flags |= kResponsePartial;
+      r.payload[8] = static_cast<std::uint8_t>(emitted);
+      r.payload[9] = static_cast<std::uint8_t>(emitted >> 8);
+      r.payload[10] = static_cast<std::uint8_t>(emitted >> 16);
+      r.payload[11] = static_cast<std::uint8_t>(emitted >> 24);
+      r.payload[12] = 1;  // entries remain past the aborted point
+      return;
+    }
     put_u32(r.payload, list[i]);
+    ++emitted;
   }
 }
 
@@ -192,8 +236,9 @@ void RequestEngine::degree(graph::NodeId u, Response& r) const {
 // side. Frontiers expand level-synchronously in sorted adjacency order, so
 // the expansion count (and thus the payload) is thread-count independent.
 void RequestEngine::shortest_path(graph::NodeId u, graph::NodeId v,
-                                  Response& r) const {
+                                  Response& r, Meter& meter) const {
   if (u == v) {
+    meter.charge(1);
     put_u32(r.payload, 0);
     put_u64(r.payload, 1);
     return;
@@ -207,8 +252,12 @@ void RequestEngine::shortest_path(graph::NodeId u, graph::NodeId v,
   std::uint32_t bwd_depth = 0;
   std::uint64_t expanded = 2;
   std::uint32_t best = kPathUnreachable;
+  // 1 cost unit per node settled (the two roots, then each discovery).
+  // Deadline exhaustion aborts the expansion exactly like the node budget,
+  // reporting best-so-far distance — but flagged partial.
+  bool deadline = !meter.charge(2);
 
-  while (!fwd_frontier.empty() && !bwd_frontier.empty() &&
+  while (!deadline && !fwd_frontier.empty() && !bwd_frontier.empty() &&
          fwd_depth + bwd_depth < config_.path_max_hops &&
          expanded < config_.path_node_budget) {
     const bool forward = fwd_frontier.size() <= bwd_frontier.size();
@@ -223,13 +272,14 @@ void RequestEngine::shortest_path(graph::NodeId u, graph::NodeId v,
       for (const graph::NodeId y : neighbors) {
         if (!mine.emplace(y, depth).second) continue;
         ++expanded;
+        if (!meter.charge(1)) deadline = true;
         if (const auto hit = other.find(y); hit != other.end()) {
           best = std::min(best, depth + hit->second);
         }
         next.push_back(y);
-        if (expanded >= config_.path_node_budget) break;
+        if (deadline || expanded >= config_.path_node_budget) break;
       }
-      if (expanded >= config_.path_node_budget) break;
+      if (deadline || expanded >= config_.path_node_budget) break;
     }
     frontier.swap(next);
     (forward ? fwd_depth : bwd_depth) = depth;
@@ -237,12 +287,17 @@ void RequestEngine::shortest_path(graph::NodeId u, graph::NodeId v,
     // the levels that could still shorten it.
     if (best != kPathUnreachable && best <= fwd_depth + bwd_depth) break;
   }
+  if (deadline) {
+    r.status = ServeStatus::kDeadlineExceeded;
+    r.flags |= kResponsePartial;
+  }
   put_u32(r.payload, best);
   put_u64(r.payload, expanded);
 }
 
 // Payload: count u32, count × (node u32, in_degree u64).
-void RequestEngine::top_k(std::uint32_t limit, Response& r) const {
+void RequestEngine::top_k(std::uint32_t limit, Response& r,
+                          Meter& meter) const {
   const std::uint32_t k = limit == 0 ? config_.topk_cap : limit;
   if (k > config_.topk_cap) {
     r.status = ServeStatus::kInvalidRequest;
@@ -252,6 +307,15 @@ void RequestEngine::top_k(std::uint32_t limit, Response& r) const {
       std::min<std::uint32_t>(k, static_cast<std::uint32_t>(topk_.size()));
   put_u32(r.payload, count);
   for (std::uint32_t i = 0; i < count; ++i) {
+    if (!meter.charge(1)) {
+      r.status = ServeStatus::kDeadlineExceeded;
+      r.flags |= kResponsePartial;
+      r.payload[0] = static_cast<std::uint8_t>(i);
+      r.payload[1] = static_cast<std::uint8_t>(i >> 8);
+      r.payload[2] = static_cast<std::uint8_t>(i >> 16);
+      r.payload[3] = static_cast<std::uint8_t>(i >> 24);
+      return;
+    }
     put_u32(r.payload, topk_[i].first);
     put_u64(r.payload, topk_[i].second);
   }

@@ -39,34 +39,68 @@ inline constexpr std::size_t kRequestTypeCount = 7;
 /// Display name ("get-profile", ...).
 std::string_view request_type_name(RequestType type) noexcept;
 
+/// Request priority classes for load shedding: under queue pressure the
+/// server sheds the lowest class first (DESIGN.md §10). Wire-stable ids.
+enum class Priority : std::uint8_t {
+  kLow = 0,     // background / best-effort (batch refresh, prefetch)
+  kNormal = 1,  // interactive default
+  kHigh = 2,    // latency-critical (never shed in favor of lower classes)
+};
+inline constexpr std::size_t kPriorityCount = 3;
+
+/// Display name ("low", "normal", "high").
+std::string_view priority_name(Priority priority) noexcept;
+
 /// One query. `target` is the ShortestPath destination; `offset`/`limit`
-/// page the circle lists and bound TopK.
+/// page the circle lists and bound TopK. `priority` steers load shedding;
+/// `cost_budget` is the per-request deadline in deterministic virtual cost
+/// units (0 = unlimited): a pure function of (request, snapshot), never of
+/// wall-clock, so deadline outcomes are bit-identical at any GPLUS_THREADS.
 struct Request {
   RequestType type = RequestType::kGetProfile;
   graph::NodeId user = 0;
   graph::NodeId target = 0;
   std::uint32_t offset = 0;
   std::uint32_t limit = 0;
+  Priority priority = Priority::kNormal;
+  std::uint32_t cost_budget = 0;
 };
 
 /// Per-request outcome, FetchStatus-style: an explicit error channel
 /// instead of silent failure. kRejected is produced at submit time by the
-/// server's bounded queue, never by the engine.
+/// server's bounded queue, never by the engine; kShed/kStaleCache/
+/// kUnavailable/kFaultInjected are produced by the serving layer at drain
+/// time (DESIGN.md §10). Wire-stable ids; append only.
 enum class ServeStatus : std::uint8_t {
   kOk = 0,
-  kInvalidNode,     // user/target id out of range
-  kInvalidRequest,  // unknown type or malformed paging
-  kRejected,        // bounded queue full — retry later
+  kInvalidNode,        // user/target id out of range
+  kInvalidRequest,     // unknown type or malformed paging
+  kRejected,           // bounded queue full — retry later
+  kDeadlineExceeded,   // virtual-cost budget exhausted; payload is partial
+  kShed,               // dropped from the queue for a higher-priority admit
+  kStaleCache,         // degraded mode: answered from cache, may be stale
+  kUnavailable,        // no snapshot bound and no cached answer
+  kFaultInjected,      // chaos schedule failed this execution
 };
+inline constexpr std::size_t kServeStatusCount = 9;
 
 /// Display name ("ok", "invalid-node", ...).
 std::string_view serve_status_name(ServeStatus status) noexcept;
 
-/// Response: status + encoded payload (empty unless kOk). Payload layouts
-/// are documented in DESIGN.md §9; all integers little-endian.
+/// Response flag bits.
+inline constexpr std::uint8_t kResponsePartial = 1U << 0;
+
+/// Response: status + encoded payload (empty unless kOk or a partial
+/// kDeadlineExceeded). Payload layouts are documented in DESIGN.md §9;
+/// all integers little-endian. `cost` is the deterministic virtual cost
+/// the execution spent (0 for cache hits and unexecuted requests).
 struct Response {
   ServeStatus status = ServeStatus::kOk;
+  std::uint8_t flags = 0;
   std::vector<std::uint8_t> payload;
+  std::uint64_t cost = 0;
+
+  bool partial() const noexcept { return (flags & kResponsePartial) != 0; }
 };
 
 /// Distance sentinel for unreachable / budget-exhausted path probes.
@@ -90,8 +124,28 @@ struct EngineConfig {
 /// Stateless-per-request executor. Holds the snapshot view plus a
 /// precomputed top-`topk_cap` in-degree ranking (built once, immutable).
 /// Thread-safe: `execute` only reads.
+///
+/// Deadline model: execution meters deterministic virtual cost — 1 unit
+/// to dispatch any request, plus 1 unit per circle/top-k entry emitted
+/// and 1 unit per BFS node settled. When a request carries a non-zero
+/// `cost_budget` and the meter would pass it, the expensive loop aborts:
+/// status kDeadlineExceeded, the partial flag set, and whatever payload
+/// was built so far kept (circle/top-k pages patch their counts; path
+/// probes report best-so-far distance). Cheap O(1) requests cost exactly
+/// 1 and therefore always beat any positive deadline.
 class RequestEngine {
  public:
+  /// Virtual-cost meter for one execution.
+  struct Meter {
+    std::uint64_t budget = ~std::uint64_t{0};
+    std::uint64_t spent = 0;
+    /// Charges `units`; false once the budget is passed.
+    bool charge(std::uint64_t units) noexcept {
+      spent += units;
+      return spent <= budget;
+    }
+  };
+
   /// `snapshot` must outlive the engine.
   RequestEngine(const SnapshotView* snapshot, EngineConfig config = {});
 
@@ -104,11 +158,13 @@ class RequestEngine {
 
  private:
   void get_profile(graph::NodeId u, Response& r) const;
-  void get_circle(const Request& q, bool out_list, Response& r) const;
+  void get_circle(const Request& q, bool out_list, Response& r,
+                  Meter& meter) const;
   void reciprocity(graph::NodeId u, Response& r) const;
   void degree(graph::NodeId u, Response& r) const;
-  void shortest_path(graph::NodeId u, graph::NodeId v, Response& r) const;
-  void top_k(std::uint32_t limit, Response& r) const;
+  void shortest_path(graph::NodeId u, graph::NodeId v, Response& r,
+                     Meter& meter) const;
+  void top_k(std::uint32_t limit, Response& r, Meter& meter) const;
 
   const SnapshotView* snapshot_;
   EngineConfig config_;
@@ -118,6 +174,9 @@ class RequestEngine {
 };
 
 /// 64-bit cache/dedup key of a request (splitmix64-mixed fields).
+/// Priority and cost budget are deliberately excluded: they shape *how*
+/// a request runs, not *what* it asks, so all deadline/priority variants
+/// of the same logical query share one cache slot.
 std::uint64_t request_key(const Request& request) noexcept;
 
 }  // namespace gplus::serve

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "core/parallel.h"
@@ -19,19 +20,61 @@ std::uint64_t now_ns() {
 
 QueryServer::QueryServer(const SnapshotView* snapshot, ServerConfig config)
     : config_(config),
-      engine_(snapshot, config.engine),
       cache_(config.cache_capacity, config.cache_shards) {
+  if (snapshot != nullptr) engine_.emplace(snapshot, config_.engine);
   queue_.reserve(config_.queue_capacity);
 }
 
-ServeStatus QueryServer::submit(const Request& request) {
-  if (queue_.size() >= config_.queue_capacity) {
-    ++stats_.rejected;
-    return ServeStatus::kRejected;
+std::size_t QueryServer::find_victim(Priority incoming) const noexcept {
+  int lowest = static_cast<int>(incoming);
+  for (const Pending& p : queue_) {
+    if (p.shed) continue;
+    lowest = std::min(lowest, static_cast<int>(p.request.priority));
   }
-  queue_.push_back(request);
+  if (lowest >= static_cast<int>(incoming)) return queue_.size();
+  for (std::size_t i = queue_.size(); i-- > 0;) {
+    const Pending& p = queue_[i];
+    if (!p.shed && static_cast<int>(p.request.priority) == lowest) return i;
+  }
+  return queue_.size();
+}
+
+ServeStatus QueryServer::submit(const Request& request, bool inject_fault) {
+  Request admitted = request;
+  const auto cls = static_cast<std::size_t>(admitted.priority) % kPriorityCount;
+  if (admitted.cost_budget == 0) {
+    admitted.cost_budget = config_.default_cost_budget[cls];
+  }
+  if (live_ >= effective_capacity()) {
+    // Full: shed the most recent queued request of the lowest class
+    // strictly below this one, or reject when nothing outranked is queued.
+    const std::size_t victim = find_victim(admitted.priority);
+    if (victim == queue_.size()) {
+      ++stats_.rejected;
+      ++stats_.rejected_by_class[cls];
+      return ServeStatus::kRejected;
+    }
+    Pending& loser = queue_[victim];
+    loser.shed = 1;
+    --live_;
+    ++stats_.shed;
+    ++stats_.shed_by_class[static_cast<std::size_t>(loser.request.priority) %
+                           kPriorityCount];
+  }
+  queue_.push_back(
+      Pending{admitted, 0, static_cast<std::uint8_t>(inject_fault ? 1 : 0)});
+  ++live_;
   ++stats_.accepted;
+  ++stats_.admitted_by_class[cls];
   return ServeStatus::kOk;
+}
+
+void QueryServer::rebind(const SnapshotView* snapshot) {
+  if (snapshot == nullptr) {
+    engine_.reset();
+    return;
+  }
+  engine_.emplace(snapshot, config_.engine);
 }
 
 void QueryServer::drain(std::vector<Response>& responses,
@@ -41,19 +84,44 @@ void QueryServer::drain(std::vector<Response>& responses,
   if (latency_ns != nullptr) latency_ns->assign(batch, 0);
   if (batch == 0) return;
 
-  // Phase 1 (coordinator, request order): cache probes. Hits answer from
-  // the cached payload; misses queue for the parallel pass.
+  const bool degraded = !engine_.has_value();
+
+  // Phase 1 (coordinator, request order): terminal answers for shed and
+  // fault-marked requests, cache probes for the rest. Hits answer from the
+  // cached payload (kStaleCache while degraded); misses queue for the
+  // parallel pass — or, degraded, answer kUnavailable on the spot.
   miss_index_.clear();
   for (std::size_t i = 0; i < batch; ++i) {
-    const Request& q = queue_[i];
-    ++stats_.per_type[static_cast<std::size_t>(q.type) % kRequestTypeCount];
-    if (cacheable(q.type)) {
+    const Pending& p = queue_[i];
+    Response& r = responses[i];
+    r.status = ServeStatus::kOk;
+    r.flags = 0;
+    r.cost = 0;
+    r.payload.clear();
+    ++stats_.per_type[static_cast<std::size_t>(p.request.type) %
+                      kRequestTypeCount];
+    if (p.shed) {
+      r.status = ServeStatus::kShed;
+      continue;
+    }
+    if (p.fault) {
+      r.status = ServeStatus::kFaultInjected;
+      ++stats_.fault_injected;
+      continue;
+    }
+    if (cacheable(p.request.type)) {
       const std::uint64_t start = latency_ns != nullptr ? now_ns() : 0;
-      if (cache_.lookup(request_key(q), responses[i].payload)) {
-        responses[i].status = ServeStatus::kOk;
+      if (cache_.lookup(request_key(p.request), r.payload, degraded)) {
+        r.status = degraded ? ServeStatus::kStaleCache : ServeStatus::kOk;
+        if (degraded) ++stats_.stale_served;
         if (latency_ns != nullptr) (*latency_ns)[i] = now_ns() - start;
         continue;
       }
+    }
+    if (degraded) {
+      r.status = ServeStatus::kUnavailable;
+      ++stats_.unavailable;
+      continue;
     }
     miss_index_.push_back(static_cast<std::uint32_t>(i));
   }
@@ -66,21 +134,26 @@ void QueryServer::drain(std::vector<Response>& responses,
         for (std::size_t j = begin; j < end; ++j) {
           const std::uint32_t i = miss_index_[j];
           const std::uint64_t start = latency_ns != nullptr ? now_ns() : 0;
-          engine_.execute(queue_[i], responses[i]);
+          engine_->execute(queue_[i].request, responses[i]);
           if (latency_ns != nullptr) (*latency_ns)[i] = now_ns() - start;
         }
       });
 
-  // Phase 3 (coordinator, request order): fill the cache from the misses.
+  // Phase 3 (coordinator, request order): fill the cache from the misses
+  // and tally outcome counters — serial, so counter state is lane-count
+  // independent too.
   for (const std::uint32_t i : miss_index_) {
-    const Request& q = queue_[i];
-    if (cacheable(q.type) && responses[i].status == ServeStatus::kOk) {
-      cache_.insert(request_key(q), responses[i].payload);
+    const Request& q = queue_[i].request;
+    Response& r = responses[i];
+    if (r.status == ServeStatus::kDeadlineExceeded) ++stats_.deadline_exceeded;
+    if (cacheable(q.type) && r.status == ServeStatus::kOk) {
+      cache_.insert(request_key(q), r.payload);
     }
   }
 
   stats_.served += batch;
   queue_.clear();
+  live_ = 0;
 }
 
 ServerStats QueryServer::stats() const {

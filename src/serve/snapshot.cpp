@@ -15,9 +15,22 @@ namespace gplus::serve {
 
 namespace {
 
-constexpr char kMagic[8] = {'G', 'P', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr char kMagicV1[8] = {'G', 'P', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr char kMagicV2[8] = {'G', 'P', 'S', 'N', 'A', 'P', '0', '2'};
 constexpr std::size_t kHeaderBytes = 112;
 constexpr std::size_t kChecksumOffset = 104;
+
+/// Magic for a given format version (only 1 and 2 exist).
+const char* magic_for(std::uint32_t version) {
+  return version == kSnapshotVersion1 ? kMagicV1 : kMagicV2;
+}
+
+/// Parses the 8-byte magic into a version, or 0 when it is not ours.
+std::uint32_t version_from_magic(const void* magic) {
+  if (std::memcmp(magic, kMagicV1, sizeof kMagicV1) == 0) return 1;
+  if (std::memcmp(magic, kMagicV2, sizeof kMagicV2) == 0) return 2;
+  return 0;
+}
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("snapshot: " + what);
@@ -88,6 +101,10 @@ SnapshotBuffer build_snapshot(const core::Dataset& dataset,
   const std::size_t n = g.node_count();
   const std::size_t m = g.edge_count();
   if (dataset.profiles.size() != n) fail("profile count != node count");
+  if (options.version != kSnapshotVersion1 &&
+      options.version != kSnapshotVersion2) {
+    fail("unknown build version " + std::to_string(options.version));
+  }
 
   const std::size_t countries = options.country_index ? geo::country_count() : 0;
 
@@ -124,14 +141,17 @@ SnapshotBuffer build_snapshot(const core::Dataset& dataset,
     off_country_nodes = at;
     at += pad8(located_total * 4);
   }
+  // v2 appends the per-section digest table as the file's final bytes.
+  const std::size_t off_digests = at;
+  if (options.version >= kSnapshotVersion2) at += kSnapshotDigestBytes;
   const std::size_t total = at;
 
   SnapshotBuffer buffer(std::vector<std::uint64_t>((total + 7) / 8, 0), total);
   std::byte* base = buffer.data();
 
   // Header.
-  std::memcpy(base, kMagic, sizeof kMagic);
-  store_u32(base + 8, kSnapshotVersion);
+  std::memcpy(base, magic_for(options.version), 8);
+  store_u32(base + 8, options.version);
   store_u32(base + 12, options.country_index ? kSnapshotFlagCountryIndex : 0);
   store_u64(base + 16, n);
   store_u64(base + 24, m);
@@ -196,20 +216,51 @@ SnapshotBuffer build_snapshot(const core::Dataset& dataset,
     }
     coffsets[countries] = written;
   }
+
+  // v2 digest table, computed once every section body is final: eight
+  // FNV-1a section digests in header order (0 for absent sections), then
+  // an FNV-1a checksum sealing the eight digests themselves.
+  if (options.version >= kSnapshotVersion2) {
+    const std::size_t located_bytes = pad8(located_total * 4);
+    const std::pair<std::size_t, std::size_t> sections[kSnapshotSectionCount] = {
+        {off_out_offsets, (n + 1) * 8},
+        {off_out_targets, pad8(m * 4)},
+        {off_in_offsets, (n + 1) * 8},
+        {off_in_targets, pad8(m * 4)},
+        {off_recip, recip_words * 8},
+        {off_profiles, pad8(n * sizeof(PackedProfile))},
+        {off_country_offsets,
+         options.country_index ? (countries + 1) * 8 : 0},
+        {off_country_nodes, options.country_index ? located_bytes : 0},
+    };
+    auto* digests = base + off_digests;
+    for (std::size_t s = 0; s < kSnapshotSectionCount; ++s) {
+      const auto [off, len] = sections[s];
+      store_u64(digests + s * 8, off == 0 ? 0 : fnv1a64(base + off, len));
+    }
+    store_u64(digests + kSnapshotSectionCount * 8,
+              fnv1a64(digests, kSnapshotSectionCount * 8));
+  }
   return buffer;
 }
 
 SnapshotView::SnapshotView(std::span<const std::byte> bytes) : bytes_(bytes) {
   if (bytes.size() < kHeaderBytes) fail("truncated header");
   const std::byte* base = bytes.data();
-  if (std::memcmp(base, kMagic, sizeof kMagic) != 0) {
-    fail("bad magic (not a gplus snapshot)");
-  }
+  const std::uint32_t magic_version = version_from_magic(base);
+  if (magic_version == 0) fail("bad magic (not a gplus snapshot)");
   const std::uint32_t version = load_u32(base + 8);
-  if (version != kSnapshotVersion) {
+  if (version != kSnapshotVersion1 && version != kSnapshotVersion2) {
     fail("unsupported version " + std::to_string(version) + " (reader knows " +
-         std::to_string(kSnapshotVersion) + ")");
+         std::to_string(kSnapshotVersion1) + " and " +
+         std::to_string(kSnapshotVersion2) + ")");
   }
+  if (version != magic_version) {
+    fail("magic/version mismatch (magic says " +
+         std::to_string(magic_version) + ", header says " +
+         std::to_string(version) + ")");
+  }
+  version_ = version;
   if (load_u64(base + kChecksumOffset) != fnv1a64(base, kChecksumOffset)) {
     fail("corrupt header (checksum mismatch)");
   }
@@ -224,13 +275,29 @@ SnapshotView::SnapshotView(std::span<const std::byte> bytes) : bytes_(bytes) {
   if (reinterpret_cast<std::uintptr_t>(base) % 8 != 0) {
     fail("buffer not 8-byte aligned");
   }
+  // v2: the digest table occupies the final 72 bytes; data sections must
+  // stay below it. Its self-checksum is verified here (72 bytes, still
+  // O(1)); the per-section digests are verified by verify_sections().
+  std::uint64_t body_end = total;
+  if (version_ >= kSnapshotVersion2) {
+    if (total < kHeaderBytes + kSnapshotDigestBytes) {
+      fail("truncated digest table");
+    }
+    body_end = total - kSnapshotDigestBytes;
+    digests_ = reinterpret_cast<const std::uint64_t*>(base + body_end);
+    if (digests_[kSnapshotSectionCount] !=
+        fnv1a64(base + body_end, kSnapshotSectionCount * 8)) {
+      fail("corrupt digest table (self-checksum mismatch)");
+    }
+  }
 
-  // Every section must be aligned and lie inside the buffer.
+  // Every section must be aligned and lie inside the buffer (below the
+  // digest table on v2).
   auto section = [&](std::size_t header_at, std::size_t length,
                      const char* name) -> const std::byte* {
     const std::uint64_t off = load_u64(base + header_at);
     if (off % 8 != 0) fail(std::string(name) + " section misaligned");
-    if (off < kHeaderBytes || off + length > total) {
+    if (off < kHeaderBytes || off + length > body_end) {
       fail(std::string(name) + " section out of bounds");
     }
     return base + off;
@@ -260,6 +327,46 @@ SnapshotView::SnapshotView(std::span<const std::byte> bytes) : bytes_(bytes) {
     const std::uint64_t located = country_offsets_[country_count_];
     country_nodes_ = reinterpret_cast<const graph::NodeId*>(
         section(88, pad8(located * 4), "country_nodes"));
+  }
+}
+
+void SnapshotView::verify_sections() const {
+  if (digests_ == nullptr) return;  // v1: nothing beyond the header to check
+  struct SectionRef {
+    const char* name;
+    const std::byte* at;  // nullptr when the section is absent
+    std::size_t length;
+  };
+  const SectionRef sections[kSnapshotSectionCount] = {
+      {"out_offsets", reinterpret_cast<const std::byte*>(out_offsets_),
+       (nodes_ + 1) * 8},
+      {"out_targets", reinterpret_cast<const std::byte*>(out_targets_),
+       pad8(edges_ * 4)},
+      {"in_offsets", reinterpret_cast<const std::byte*>(in_offsets_),
+       (nodes_ + 1) * 8},
+      {"in_targets", reinterpret_cast<const std::byte*>(in_targets_),
+       pad8(edges_ * 4)},
+      {"recip", reinterpret_cast<const std::byte*>(recip_),
+       (edges_ + 63) / 64 * 8},
+      {"profiles", reinterpret_cast<const std::byte*>(profiles_),
+       pad8(nodes_ * sizeof(PackedProfile))},
+      {"country_offsets", reinterpret_cast<const std::byte*>(country_offsets_),
+       (country_count_ + 1) * 8},
+      {"country_nodes", reinterpret_cast<const std::byte*>(country_nodes_),
+       country_offsets_ == nullptr
+           ? 0
+           : pad8(country_offsets_[country_count_] * 4)},
+  };
+  for (std::size_t s = 0; s < kSnapshotSectionCount; ++s) {
+    const SectionRef& ref = sections[s];
+    const std::uint64_t want = digests_[s];
+    if (ref.at == nullptr) {
+      if (want != 0) fail(std::string(ref.name) + " digest for absent section");
+      continue;
+    }
+    if (fnv1a64(ref.at, ref.length) != want) {
+      fail(std::string(ref.name) + " section corrupt (digest mismatch)");
+    }
   }
 }
 
@@ -301,11 +408,22 @@ void write_snapshot(const SnapshotBuffer& snapshot, std::ostream& out) {
   if (!out) fail("write failed");
 }
 
+bool sniff_snapshot_magic(std::istream& in) {
+  char magic[8] = {};
+  in.read(magic, sizeof magic);
+  return in.gcount() == sizeof magic && version_from_magic(magic) != 0;
+}
+
 SnapshotBuffer read_snapshot(std::istream& in) {
-  std::array<char, kHeaderBytes> header;
+  // Value-initialized so a short read can never leave uninitialized bytes
+  // behind; the stream state is checked before the header is trusted.
+  std::array<char, kHeaderBytes> header{};
   in.read(header.data(), kHeaderBytes);
-  if (!in) fail("truncated header");
-  if (std::memcmp(header.data(), kMagic, sizeof kMagic) != 0) {
+  if (!in) {
+    fail("truncated header (shorter than the " +
+         std::to_string(kHeaderBytes) + "-byte snapshot header)");
+  }
+  if (version_from_magic(header.data()) == 0) {
     fail("bad magic (not a gplus snapshot)");
   }
   const std::uint64_t total =

@@ -11,8 +11,8 @@
 // Layout (all integers little-endian; every section 8-byte aligned):
 //
 //   offset  size  field
-//        0     8  magic "GPSNAP01"
-//        8     4  version (currently 1)
+//        0     8  magic "GPSNAP01" (v1) or "GPSNAP02" (v2)
+//        8     4  version (1 or 2; must agree with the magic digits)
 //       12     4  flags (bit 0: country index present)
 //       16     8  node_count n
 //       24     8  edge_count m
@@ -26,6 +26,14 @@
 //       88     8  offset of country_nodes (located users by country, or 0)
 //       96     8  total_bytes (must equal the buffer size)
 //      104     8  header checksum (FNV-1a over bytes [0, 104))
+//
+// Version 2 ("GPSNAP02") keeps every header offset identical and appends
+// one trailing table occupying the file's final 72 bytes: eight u64
+// FNV-1a digests, one per data section in header order (0 for an absent
+// section), followed by a u64 FNV-1a checksum of those 64 digest bytes.
+// The table lets a reader verify section *bodies* — not just the header —
+// before swapping a candidate snapshot into service (`verify_sections`);
+// a v1 file carries no digests and still opens and serves unchanged.
 //
 // Version policy: readers reject any version they do not know; additive
 // changes (new trailing sections, new flag bits) bump the version and keep
@@ -47,8 +55,16 @@
 
 namespace gplus::serve {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion1 = 1;
+inline constexpr std::uint32_t kSnapshotVersion2 = 2;
+/// Version the builder emits by default (the newest one).
+inline constexpr std::uint32_t kSnapshotVersion = kSnapshotVersion2;
 inline constexpr std::uint32_t kSnapshotFlagCountryIndex = 1U << 0;
+/// Data sections carrying a digest in the v2 trailing table, header order.
+inline constexpr std::size_t kSnapshotSectionCount = 8;
+/// Size of the v2 trailing table: 8 section digests + 1 table checksum.
+inline constexpr std::size_t kSnapshotDigestBytes =
+    (kSnapshotSectionCount + 1) * 8;
 
 /// Fixed 16-byte per-user record: the publicly servable profile view.
 struct PackedProfile {
@@ -74,6 +90,9 @@ static_assert(sizeof(PackedProfile) == 16);
 struct SnapshotOptions {
   /// Emit the located-users-by-country index section.
   bool country_index = true;
+  /// Format version to emit: kSnapshotVersion2 (section digests) or
+  /// kSnapshotVersion1 (legacy, for compatibility testing).
+  std::uint32_t version = kSnapshotVersion;
 };
 
 /// Owns snapshot bytes with 8-byte alignment (backed by u64 storage so the
@@ -116,7 +135,20 @@ class SnapshotView {
 
   std::size_t node_count() const noexcept { return nodes_; }
   std::size_t edge_count() const noexcept { return edges_; }
+  /// Format version of the underlying file (1 or 2).
+  std::uint32_t version() const noexcept { return version_; }
+  /// True when the file carries the v2 per-section digest table.
+  bool has_section_digests() const noexcept {
+    return version_ >= kSnapshotVersion2;
+  }
   bool has_country_index() const noexcept { return country_offsets_ != nullptr; }
+
+  /// Deep validation: recomputes every section's FNV-1a digest against the
+  /// v2 trailing table and throws std::runtime_error naming the first
+  /// corrupt section. O(total bytes) — the hot-swap install path runs it
+  /// on candidates; the O(1) constructor does not. No-op on v1 files
+  /// (nothing to verify beyond the header).
+  void verify_sections() const;
 
   std::span<const graph::NodeId> out_neighbors(graph::NodeId u) const noexcept {
     return {out_targets_ + out_offsets_[u],
@@ -157,6 +189,7 @@ class SnapshotView {
 
  private:
   std::span<const std::byte> bytes_;
+  std::uint32_t version_ = 0;
   std::size_t nodes_ = 0;
   std::size_t edges_ = 0;
   const std::uint64_t* out_offsets_ = nullptr;
@@ -168,7 +201,14 @@ class SnapshotView {
   const std::uint64_t* country_offsets_ = nullptr;  // country_count+1 entries
   const graph::NodeId* country_nodes_ = nullptr;
   std::size_t country_count_ = 0;
+  /// v2 digest table (8 section digests + table checksum), else nullptr.
+  const std::uint64_t* digests_ = nullptr;
 };
+
+/// True when the stream starts with a known snapshot magic ("GPSNAP01" or
+/// "GPSNAP02"). Consumes up to 8 bytes; never throws on short or
+/// unreadable input — it just answers "not a snapshot".
+bool sniff_snapshot_magic(std::istream& in);
 
 /// Stream / file serialization of the raw snapshot bytes. Loading validates
 /// by opening a SnapshotView over the result; all failures throw

@@ -93,7 +93,11 @@ WorkloadMix WorkloadMix::by_name(std::string_view name) {
 }
 
 LoadReport run_closed_loop(QueryServer& server, const WorkloadConfig& config) {
-  const std::size_t n = server.engine().snapshot().node_count();
+  const RequestEngine* engine = server.engine();
+  if (engine == nullptr) {
+    throw std::invalid_argument("workload: server degraded (no snapshot)");
+  }
+  const std::size_t n = engine->snapshot().node_count();
   if (n == 0) throw std::invalid_argument("workload: empty snapshot");
   if (config.clients == 0) throw std::invalid_argument("workload: 0 clients");
   if (server.queue_capacity() == 0) {
@@ -102,7 +106,7 @@ LoadReport run_closed_loop(QueryServer& server, const WorkloadConfig& config) {
 
   // In-degree ranking (descending, ties by ascending id — Table 1 order):
   // Zipf rank r maps to the r-th most-followed user.
-  const SnapshotView& snapshot = server.engine().snapshot();
+  const SnapshotView& snapshot = engine->snapshot();
   std::vector<graph::NodeId> ranked(n);
   std::iota(ranked.begin(), ranked.end(), graph::NodeId{0});
   std::sort(ranked.begin(), ranked.end(),

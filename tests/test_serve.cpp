@@ -252,8 +252,28 @@ TEST(ShardedLruCacheTest, HitMissEvictionCounters) {
   EXPECT_EQ(stats.entries, 4u);
 
   cache.clear();
+  // clear() resets entries AND statistics: a cleared cache is
+  // indistinguishable from a fresh one (the hot-swap comparability rule).
   EXPECT_EQ(cache.stats().entries, 0u);
-  EXPECT_EQ(cache.stats().hits, 2u);  // lifetime counters survive clear
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().stale_hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, StaleHitsCountedSeparately) {
+  ShardedLruCache cache(8, 1);
+  std::vector<std::uint8_t> out;
+  cache.insert(7, {42});
+  EXPECT_TRUE(cache.lookup(7, out));                  // fresh hit
+  EXPECT_TRUE(cache.lookup(7, out, /*stale=*/true));  // degraded-mode hit
+  EXPECT_FALSE(cache.lookup(8, out, /*stale=*/true)); // miss is a miss
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.stale_hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  // Both hit flavors count toward the hit rate.
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 2.0 / 3.0);
 }
 
 TEST(ShardedLruCacheTest, ZeroCapacityDisables) {

@@ -219,6 +219,108 @@ TEST_F(SnapshotRoundTrip, RejectsTruncation) {
   EXPECT_THROW(read_snapshot(garbage), std::runtime_error);
 }
 
+TEST_F(SnapshotRoundTrip, V1BuildsOpensAndServesUnchanged) {
+  SnapshotOptions options;
+  options.version = kSnapshotVersion1;
+  const SnapshotBuffer v1 = build_snapshot(dataset(), options);
+  EXPECT_EQ(std::memcmp(v1.bytes().data(), "GPSNAP01", 8), 0);
+  // v2 is exactly v1 plus the trailing digest table.
+  EXPECT_EQ(v1.size() + kSnapshotDigestBytes, snapshot().size());
+
+  const SnapshotView view(v1.bytes());
+  EXPECT_EQ(view.version(), kSnapshotVersion1);
+  EXPECT_FALSE(view.has_section_digests());
+  EXPECT_NO_THROW(view.verify_sections());  // nothing to verify on v1
+
+  // Same dataset, same serving surface: adjacency and profiles agree
+  // with the v2 view byte for byte.
+  const SnapshotView v2(snapshot().bytes());
+  ASSERT_EQ(view.node_count(), v2.node_count());
+  ASSERT_EQ(view.edge_count(), v2.edge_count());
+  for (graph::NodeId u = 0; u < view.node_count(); u += 97) {
+    const auto a = view.out_neighbors(u);
+    const auto b = v2.out_neighbors(u);
+    ASSERT_EQ(a.size(), b.size()) << u;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << u;
+    EXPECT_EQ(view.profile(u), v2.profile(u)) << u;
+  }
+}
+
+TEST_F(SnapshotRoundTrip, V2DigestTableVerifies) {
+  const SnapshotView view(snapshot().bytes());
+  EXPECT_EQ(view.version(), kSnapshotVersion2);
+  EXPECT_TRUE(view.has_section_digests());
+  EXPECT_NO_THROW(view.verify_sections());
+}
+
+TEST_F(SnapshotRoundTrip, BitFlipSweepRejectsEveryCorruption) {
+  // Flip one byte inside every data section of a valid v2 snapshot: the
+  // header stays sound (so the O(1) open succeeds), but deep validation
+  // must name the corruption — for each section, with no crash.
+  const auto* base = reinterpret_cast<const std::uint8_t*>(snapshot().bytes().data());
+  for (std::size_t section = 0; section < kSnapshotSectionCount; ++section) {
+    std::uint64_t offset = 0;
+    std::memcpy(&offset, base + 32 + section * 8, 8);
+    ASSERT_NE(offset, 0u) << "section " << section << " absent";
+    auto words = mutable_copy(snapshot());
+    reinterpret_cast<std::uint8_t*>(words.data())[offset + 9] ^= 0x40;
+    // The open-time structural checks may already catch the flip (offset
+    // arrays carry invariants); the digest sweep must catch everything
+    // that slips past them. Either way: rejected, never served.
+    try {
+      const SnapshotView view(as_bytes(words, snapshot().size()));
+      view.verify_sections();
+      FAIL() << "corruption in section " << section << " accepted";
+    } catch (const std::runtime_error& error) {
+      EXPECT_FALSE(std::string(error.what()).empty()) << section;
+    }
+  }
+  // A flipped digest-table byte is caught at open by the table's own
+  // checksum — a corrupt validator never reports "all sections fine".
+  auto words = mutable_copy(snapshot());
+  reinterpret_cast<std::uint8_t*>(words.data())[snapshot().size() -
+                                                kSnapshotDigestBytes + 3] ^= 1;
+  try {
+    SnapshotView view(as_bytes(words, snapshot().size()));
+    FAIL() << "corrupt digest table accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("digest"), std::string::npos);
+  }
+}
+
+TEST_F(SnapshotRoundTrip, RejectsTruncatedDigestTable) {
+  // A v2 header whose total leaves no room for the trailing table.
+  std::vector<std::uint64_t> words(14, 0);
+  auto* bytes = reinterpret_cast<std::byte*>(words.data());
+  std::memcpy(bytes, "GPSNAP02", 8);
+  const std::uint32_t version = 2;
+  std::memcpy(bytes + 8, &version, 4);
+  const std::uint64_t total = 112;
+  std::memcpy(bytes + 96, &total, 8);
+  reseal_header(words);
+  try {
+    SnapshotView view(as_bytes(words, 112));
+    FAIL() << "truncated digest table accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("digest"), std::string::npos);
+  }
+}
+
+TEST_F(SnapshotRoundTrip, SniffMagicIsShortReadSafe) {
+  std::istringstream v2("GPSNAP02 plus trailing bytes");
+  EXPECT_TRUE(sniff_snapshot_magic(v2));
+  std::istringstream v1("GPSNAP01");
+  EXPECT_TRUE(sniff_snapshot_magic(v1));
+  std::istringstream future("GPSNAP99");  // unknown version digits
+  EXPECT_FALSE(sniff_snapshot_magic(future));
+  std::istringstream shorter("GPS");  // shorter than the magic itself
+  EXPECT_FALSE(sniff_snapshot_magic(shorter));
+  std::istringstream empty("");
+  EXPECT_FALSE(sniff_snapshot_magic(empty));
+  std::istringstream foreign("GPLUSDS1 dataset, not a snapshot");
+  EXPECT_FALSE(sniff_snapshot_magic(foreign));
+}
+
 TEST(SnapshotBuild, DeterministicAcrossThreadCounts) {
   const core::Dataset dataset = core::make_standard_dataset(1500, 3);
   core::set_thread_count(1);
