@@ -15,15 +15,56 @@
 
 #include <filesystem>
 
+#include <cmath>
+
 #include "core/analysis.h"
 #include "core/table.h"
 #include "crawler/crawler.h"
 #include "crawler/fleet.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 
 namespace {
 
 using namespace gplus;
+
+// Reconciles the registry delta across one crawl against the crawl's own
+// RetryStats: retry_loop mirrors every increment, so any disagreement
+// means the observability layer dropped or double-counted a fetch.
+int reconcile_crawl(const char* label, const obs::MetricsSnapshot& d,
+                    const crawler::CrawlStats& stats) {
+  int failures = 0;
+  const auto expect = [&](const char* name, std::uint64_t want) {
+    const auto got = static_cast<std::uint64_t>(d.value(name));
+    if (got != want) {
+      std::cout << "VIOLATION (" << label << "): registry " << name << "="
+                << got << " but crawl bookkeeping says " << want << "\n";
+      ++failures;
+    }
+  };
+  expect("crawler.fetch.attempts", stats.retry.attempts);
+  expect("crawler.fetch.retries", stats.retry.retries);
+  expect("crawler.fetch.abandoned", stats.retry.abandoned);
+  expect("crawler.fault.transient", stats.retry.transient);
+  expect("crawler.fault.rate_limited", stats.retry.rate_limited);
+  expect("crawler.fault.truncated", stats.retry.truncated);
+  expect("crawler.fetch.slow", stats.retry.slow);
+  expect("crawler.checkpoint.writes", stats.checkpoints_written);
+  // The registry accumulates integer microseconds (llround per delay);
+  // each delay rounds within half a microsecond of the double total.
+  const double micros_ms =
+      static_cast<double>(d.value("crawler.backoff.micros")) / 1000.0;
+  const double tolerance =
+      1e-3 * static_cast<double>(stats.retry.retries + 1);
+  if (std::abs(micros_ms - stats.retry.backoff_ms) > tolerance) {
+    std::cout << "VIOLATION (" << label << "): registry backoff "
+              << micros_ms << "ms vs bookkeeping " << stats.retry.backoff_ms
+              << "ms\n";
+    ++failures;
+  }
+  return failures;
+}
 
 service::FaultConfig faults_at(double rate) {
   service::FaultConfig f;
@@ -71,11 +112,16 @@ int main() {
             << " profiles, 11 machines) ---\n";
   core::TextTable sweep({"Fault rate", "Requests", "Retries", "Abandoned",
                          "Backoff (s)", "Sim. hours", "Graph"});
+  auto& registry = obs::MetricsRegistry::global();
+  int failures = 0;
   for (double rate : {0.0, 0.02, 0.05, 0.10, 0.20, 0.40}) {
     service::ServiceConfig sconfig;
     sconfig.faults = faults_at(rate);
     service::SocialService svc(&ds.graph(), ds.profiles, sconfig);
+    const auto before = registry.snapshot();
     const auto crawl = crawler::run_bfs_crawl(svc, base);
+    failures += reconcile_crawl("sweep", obs::delta(registry.snapshot(), before),
+                                crawl.stats);
     sweep.add_row({core::fmt_percent(rate, 0),
                    core::fmt_count(crawl.stats.requests),
                    core::fmt_count(crawl.stats.retry.retries),
@@ -101,7 +147,10 @@ int main() {
     fconfig.seed_node = base.seed_node;
     fconfig.machines = 11;
     fconfig.max_profiles = profiles;
+    const auto before = registry.snapshot();
     const auto fleet = crawler::run_crawl_fleet(svc, fconfig);
+    failures += reconcile_crawl("fleet", obs::delta(registry.snapshot(), before),
+                                fleet.crawl.stats);
     fleet_table.add_row({core::fmt_percent(rate, 0),
                          core::fmt_double(fleet.makespan_days, 2),
                          core::fmt_percent(fleet.mean_utilization, 0),
@@ -123,7 +172,10 @@ int main() {
   killed.checkpoint.path = ckpt.string();
   killed.max_profiles = profiles / 2;
   service::SocialService first_svc(&ds.graph(), ds.profiles, sconfig);
+  const auto before_kill = registry.snapshot();
   const auto first = crawler::run_bfs_crawl(first_svc, killed);
+  failures += reconcile_crawl(
+      "killed", obs::delta(registry.snapshot(), before_kill), first.stats);
   std::cout << "killed after " << core::fmt_count(first.stats.profiles_crawled)
             << " profiles (" << core::fmt_count(first.stats.checkpoints_written)
             << " checkpoints, last at " << ckpt.string() << ")\n";
@@ -131,7 +183,22 @@ int main() {
   crawler::CrawlConfig resume = killed;
   resume.max_profiles = profiles;
   service::SocialService second_svc(&ds.graph(), ds.profiles, sconfig);
+  const auto before_resume = registry.snapshot();
   const auto resumed = crawler::run_bfs_crawl(second_svc, resume);
+  // The resumed run's RetryStats are restored from the checkpoint (the
+  // kill leg's final snapshot), so the registry delta covers only this
+  // run's fetches: subtract the kill leg before reconciling.
+  crawler::CrawlStats resume_delta = resumed.stats;
+  resume_delta.retry.attempts -= first.stats.retry.attempts;
+  resume_delta.retry.retries -= first.stats.retry.retries;
+  resume_delta.retry.transient -= first.stats.retry.transient;
+  resume_delta.retry.rate_limited -= first.stats.retry.rate_limited;
+  resume_delta.retry.truncated -= first.stats.retry.truncated;
+  resume_delta.retry.slow -= first.stats.retry.slow;
+  resume_delta.retry.abandoned -= first.stats.retry.abandoned;
+  resume_delta.retry.backoff_ms -= first.stats.retry.backoff_ms;
+  failures += reconcile_crawl(
+      "resumed", obs::delta(registry.snapshot(), before_resume), resume_delta);
   std::cout << "resumed " << core::fmt_count(resumed.stats.resumed_profiles)
             << " profiles from disk, crawled "
             << core::fmt_count(resumed.stats.profiles_crawled)
@@ -139,5 +206,15 @@ int main() {
             << (identical(reference, resumed) ? "OK (bit-identical)" : "MISS")
             << "\n";
   std::filesystem::remove(ckpt);
+
+  // Every counter above is deterministic (the crawler is coordinator-only
+  // and the parallel kernels use static chunk grids), so this dump is
+  // byte-identical at any GPLUS_THREADS.
+  std::cout << "\nmetrics (deterministic):\n"
+            << obs::to_json(registry.snapshot(/*deterministic_only=*/true));
+  if (failures != 0) {
+    std::cout << failures << " registry reconciliation violation(s)\n";
+    return 1;
+  }
   return 0;
 }

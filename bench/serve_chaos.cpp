@@ -20,9 +20,12 @@
 // Scale with GPLUS_SCALE / GPLUS_SEED / GPLUS_ROUNDS.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "bench_common.h"
 #include "core/parallel.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "serve/resilience.h"
 #include "serve/snapshot.h"
 
@@ -56,6 +59,66 @@ void print_report(const char* label, const serve::StormReport& report) {
               static_cast<unsigned long long>(report.server.shed),
               static_cast<unsigned long long>(report.post_probe_checksum),
               static_cast<unsigned long long>(report.fresh_probe_checksum));
+}
+
+// Reconciles the metrics-registry delta across one storm against the
+// storm's own bookkeeping. The post-storm probe streams (worn + fresh
+// server, `probes_run` requests each) are the only traffic beyond the
+// storm's `offered`: probes submit at most queue_capacity per drain with
+// high priority and unlimited budget into a non-degraded server, so they
+// can only terminate ok/invalid — every overload/degradation channel in
+// the registry must match the report exactly.
+int reconcile_registry(const char* label, const obs::MetricsSnapshot& d,
+                       const serve::StormReport& report,
+                       std::uint64_t probes_run) {
+  int failures = 0;
+  const auto expect = [&](const std::string& name, std::uint64_t want) {
+    const auto got = static_cast<std::uint64_t>(d.value(name));
+    if (got != want) {
+      std::printf("VIOLATION (%s): registry %s=%llu but bookkeeping says "
+                  "%llu\n",
+                  label, name.c_str(), static_cast<unsigned long long>(got),
+                  static_cast<unsigned long long>(want));
+      ++failures;
+    }
+  };
+  const auto by_status = [&](serve::ServeStatus s) {
+    return report.by_status[static_cast<std::size_t>(s)];
+  };
+  expect("serve.status.rejected", report.rejected);
+  expect("serve.status.shed", by_status(serve::ServeStatus::kShed));
+  expect("serve.status.deadline-exceeded",
+         by_status(serve::ServeStatus::kDeadlineExceeded));
+  expect("serve.status.fault-injected",
+         by_status(serve::ServeStatus::kFaultInjected));
+  expect("serve.status.stale-cache",
+         by_status(serve::ServeStatus::kStaleCache));
+  expect("serve.status.unavailable",
+         by_status(serve::ServeStatus::kUnavailable));
+  expect("serve.accepted", report.accepted + 2 * probes_run);
+  expect("serve.served", report.responses + 2 * probes_run);
+  expect("serve.rejected", report.rejected);
+  expect("serve.shed", by_status(serve::ServeStatus::kShed));
+
+  // The headline invariant: every offered request reached exactly one
+  // terminal status, so offered == sum of terminal-status counters (after
+  // discounting the probe streams, which are extra traffic).
+  std::uint64_t terminal = 0;
+  for (std::size_t s = 0; s < serve::kServeStatusCount; ++s) {
+    terminal += static_cast<std::uint64_t>(d.value(
+        "serve.status." +
+        std::string(serve::serve_status_name(
+            static_cast<serve::ServeStatus>(s)))));
+  }
+  if (terminal != report.offered + 2 * probes_run) {
+    std::printf("VIOLATION (%s): offered %llu != terminal-status sum %llu "
+                "(- %llu probe responses)\n",
+                label, static_cast<unsigned long long>(report.offered),
+                static_cast<unsigned long long>(terminal),
+                static_cast<unsigned long long>(2 * probes_run));
+    ++failures;
+  }
+  return failures;
 }
 
 bool equal_state(const serve::StormReport& a, const serve::StormReport& b) {
@@ -110,7 +173,10 @@ int main(int argc, char** argv) {
   config.server.queue_capacity = 48;  // below clients: real overload
   config.server.cache_capacity = 1 << 12;
 
+  auto& registry = obs::MetricsRegistry::global();
+  const auto before_storm = registry.snapshot();
   const auto storm = serve::run_chaos_storm(primary, candidate, config);
+  const auto after_storm = registry.snapshot();
   print_report("storm", storm);
 
   // Determinism leg: the identical storm at one lane.
@@ -118,6 +184,7 @@ int main(int argc, char** argv) {
   core::set_thread_count(1);
   const auto serial = serve::run_chaos_storm(primary, candidate, config);
   core::set_thread_count(0);
+  const auto after_serial = registry.snapshot();
   print_report("serial", serial);
 
   int failures = 0;
@@ -138,6 +205,36 @@ int main(int argc, char** argv) {
                 lanes);
     ++failures;
   }
+
+  // Registry reconciliation: the metrics deltas across each storm leg must
+  // match that leg's own bookkeeping exactly, and the two legs' deltas
+  // must serialize identically (the metrics restatement of 1-vs-N
+  // bit-identity; probe streams only run when the storm ends non-degraded).
+  const std::uint64_t probes_run =
+      storm.post_probe_checksum != 0 ? config.probes : 0;
+  const auto d_storm = obs::delta(after_storm, before_storm);
+  const auto d_serial = obs::delta(after_serial, after_storm);
+  failures += reconcile_registry("storm", d_storm, storm, probes_run);
+  failures += reconcile_registry("serial", d_serial, serial, probes_run);
+  const auto deterministic_only = [](const obs::MetricsSnapshot& snap) {
+    obs::MetricsSnapshot out;
+    for (const auto& [name, entry] : snap.entries) {
+      if (entry.determinism == obs::Determinism::kDeterministic) {
+        out.entries.emplace(name, entry);
+      }
+    }
+    return out;
+  };
+  const std::string json = obs::to_json(deterministic_only(d_storm));
+  if (json != obs::to_json(deterministic_only(d_serial))) {
+    std::printf("VIOLATION: deterministic metrics deltas differ between "
+                "%zu lanes and 1\n",
+                lanes);
+    ++failures;
+  }
+  std::printf("\nmetrics delta per storm (deterministic, %zu-lane == 1-lane "
+              "bit-identical):\n%s",
+              lanes, json.c_str());
 
   if (failures == 0) {
     std::printf("\nall invariants held: one terminal status per request, "

@@ -18,6 +18,9 @@
 #include "crawler/crawler.h"
 #include "geo/countries.h"
 #include "graph/edgelist_io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/snapshot.h"
 #include "serve/workload.h"
 #include "service/service.h"
@@ -352,6 +355,8 @@ int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
                     "per-request virtual-cost budget (0 = unlimited; "
                     "deterministic units, see DESIGN.md §10)");
   parser.add_flag("no-latency", "skip per-request latency measurement");
+  parser.add_flag("metrics",
+                  "append a JSON dump of the deterministic metrics registry");
   add_threads_option(parser);
   if (!parse_or_usage(parser, args, out)) return 2;
   apply_threads_option(parser);
@@ -424,6 +429,74 @@ int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
                  core::fmt_percent(report.server.cache.hit_rate())});
   table.add_row({"Response checksum", checksum});
   out << table.str();
+  if (parser.get_flag("metrics")) {
+    out << obs::to_json(
+        obs::MetricsRegistry::global().snapshot(/*deterministic_only=*/true));
+  }
+  return 0;
+}
+
+int cmd_metrics(const std::vector<std::string>& args, std::ostream& out) {
+  ArgParser parser("gplus metrics",
+                   "exercise the instrumented subsystems and dump the "
+                   "metrics registry");
+  parser.add_option("nodes", "20000", "users in the in-memory dataset");
+  parser.add_option("seed", "42", "dataset seed");
+  parser.add_option("profiles", "2000", "profiles to crawl (0 = all)");
+  parser.add_option("fault-rate", "0.05",
+                    "injected-fault rate for the crawl leg");
+  parser.add_option("requests", "20000", "requests for the serving leg");
+  parser.add_option("clients", "64", "closed-loop clients");
+  parser.add_flag("json", "dump JSON instead of text");
+  parser.add_flag("all",
+                  "include run-dependent metrics (steal/spawn counters); "
+                  "the default dump is deterministic at any --threads");
+  parser.add_flag("trace", "also dump the virtual-clock trace spans");
+  add_threads_option(parser);
+  if (!parse_or_usage(parser, args, out)) return 2;
+  apply_threads_option(parser);
+
+  auto& trace = obs::TraceLog::global();
+  if (parser.get_flag("trace")) {
+    trace.clear();
+    trace.set_enabled(true);
+  }
+
+  // Crawl leg: a faulty service drives the retry/backoff/degraded
+  // counters, then the §2.2 estimate publishes the lost-edge gauges.
+  const auto dataset = core::make_standard_dataset(parser.get_u64("nodes"),
+                                                   parser.get_u64("seed"));
+  service::ServiceConfig sconfig;
+  const double fault_rate = parser.get_double("fault-rate");
+  sconfig.faults.transient_rate = fault_rate / 2.0;
+  sconfig.faults.rate_limit_rate = fault_rate / 4.0;
+  sconfig.faults.truncation_rate = fault_rate / 4.0;
+  sconfig.faults.slow_rate = fault_rate;
+  service::SocialService svc(&dataset.graph(), dataset.profiles, sconfig);
+  crawler::CrawlConfig cconfig;
+  cconfig.seed_node = core::top_users(dataset, 1)[0].node;
+  cconfig.max_profiles = parser.get_u64("profiles");
+  const auto crawl = crawler::run_bfs_crawl(svc, cconfig);
+  (void)crawler::estimate_lost_edges(svc, crawl);
+
+  // Serving leg: snapshot the same dataset and run the closed-loop
+  // harness, filling the serve.* counters and cost histograms.
+  const serve::SnapshotBuffer snapshot = serve::build_snapshot(dataset);
+  const serve::SnapshotView view(snapshot.bytes());
+  serve::QueryServer server(&view);
+  serve::WorkloadConfig wconfig;
+  wconfig.requests = parser.get_u64("requests");
+  wconfig.clients = parser.get_u64("clients");
+  wconfig.measure_latency = false;
+  (void)serve::run_closed_loop(server, wconfig);
+
+  const auto snap = obs::MetricsRegistry::global().snapshot(
+      /*deterministic_only=*/!parser.get_flag("all"));
+  out << (parser.get_flag("json") ? obs::to_json(snap) : obs::to_text(snap));
+  if (parser.get_flag("trace")) {
+    out << trace.to_text();
+    trace.set_enabled(false);
+  }
   return 0;
 }
 
@@ -438,6 +511,8 @@ constexpr Command kCommands[] = {
     {"report", "full markdown reproduction report", cmd_report},
     {"snapshot", "build or inspect an immutable serving snapshot", cmd_snapshot},
     {"serve-bench", "closed-loop query-serving load harness", cmd_serve_bench},
+    {"metrics", "exercise the instrumented stack, dump the registry",
+     cmd_metrics},
 };
 
 // Usage text generated from the command table, so help and dispatch can

@@ -8,8 +8,9 @@
 // the dispatch again.
 //
 // Commands: generate, analyze, top, crawl, export, report (batch
-// pipeline), plus snapshot (build/inspect serving snapshots) and
-// serve-bench (closed-loop load harness against the query server).
+// pipeline), plus snapshot (build/inspect serving snapshots),
+// serve-bench (closed-loop load harness against the query server) and
+// metrics (exercise the instrumented subsystems, dump the registry).
 #pragma once
 
 #include <ostream>
@@ -44,6 +45,11 @@ int cmd_snapshot(const std::vector<std::string>& args, std::ostream& out);
 /// Runs the closed-loop query-serving load harness and reports
 /// throughput, latency percentiles and cache statistics.
 int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out);
+
+/// Exercises the instrumented subsystems (crawl + serve) on a small
+/// in-memory dataset and dumps the metrics registry as text or JSON;
+/// deterministic metrics only unless --all.
+int cmd_metrics(const std::vector<std::string>& args, std::ostream& out);
 
 /// One dispatch-table row: name, one-line summary, entry point.
 struct Command {

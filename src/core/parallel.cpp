@@ -7,9 +7,39 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace gplus::core {
 
 namespace {
+
+// Region and chunk counts are pure functions of the call structure and the
+// static chunk grid, so they are deterministic at any lane count. Which
+// worker claims a chunk is not — steal and spawn counts are tagged
+// run-dependent so deterministic metric dumps can exclude them.
+obs::Counter& regions_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("parallel.regions");
+  return c;
+}
+
+obs::Counter& chunks_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("parallel.chunks");
+  return c;
+}
+
+obs::Counter& stolen_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "parallel.chunks_stolen", obs::Determinism::kRunDependent);
+  return c;
+}
+
+obs::Counter& spawned_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "parallel.threads_spawned", obs::Determinism::kRunDependent);
+  return c;
+}
 
 // True on pool worker threads and on a submitter while it drains its own
 // region's chunks; nested parallel calls then run inline instead of
@@ -87,10 +117,13 @@ class ThreadPool {
       return;
     }
     wake_cv_.notify_all();
+    std::size_t ran_here = 0;
     {
       InsideRegionGuard guard;
-      drain();
+      ran_here = drain();
     }
+    // Chunks the submitter did not run were claimed by pool workers.
+    stolen_counter().add(chunks - ran_here);
     std::unique_lock<std::mutex> lock(state_mutex_);
     done_cv_.wait(lock, [&] { return job_completed_ == job_chunks_; });
     job_active_ = false;
@@ -114,6 +147,7 @@ class ThreadPool {
     for (std::size_t i = 0; i + 1 < lanes_; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
       g_threads_spawned.fetch_add(1, std::memory_order_relaxed);
+      spawned_counter().add(1);
     }
   }
 
@@ -144,14 +178,17 @@ class ThreadPool {
     }
   }
 
-  // Claims and runs chunks until the grid is exhausted. Claims happen
-  // under the state mutex (chunks are coarse, so the lock is cold); the
-  // claim order is dynamic for load balancing but chunk *boundaries* are
-  // static, so determinism is unaffected.
-  void drain() {
+  // Claims and runs chunks until the grid is exhausted, returning how many
+  // this thread executed. Claims happen under the state mutex (chunks are
+  // coarse, so the lock is cold); the claim order is dynamic for load
+  // balancing but chunk *boundaries* are static, so determinism is
+  // unaffected.
+  std::size_t drain() {
+    std::size_t executed = 0;
     std::unique_lock<std::mutex> lock(state_mutex_);
     while (job_active_ && job_next_ < job_chunks_) {
       const std::size_t c = job_next_++;
+      ++executed;
       const auto* body = job_body_;
       lock.unlock();
       std::exception_ptr error;
@@ -164,6 +201,7 @@ class ThreadPool {
       if (error && !job_error_) job_error_ = error;
       if (++job_completed_ == job_chunks_) done_cv_.notify_all();
     }
+    return executed;
   }
 
   std::mutex submit_mutex_;  // one region at a time
@@ -206,6 +244,8 @@ void run_chunks(std::size_t n, std::size_t grain,
                                          std::size_t)>& body) {
   const std::size_t chunks = chunk_count(n, grain);
   if (chunks == 0) return;
+  regions_counter().add(1);
+  chunks_counter().add(chunks);
   const std::size_t g = grain == 0 ? 1 : grain;
   ThreadPool::instance().run(chunks, [&](std::size_t c) {
     const std::size_t begin = c * g;

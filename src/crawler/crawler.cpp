@@ -1,8 +1,11 @@
 #include "crawler/crawler.h"
 
+#include <cmath>
 #include <limits>
 
 #include "crawler/frontier.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/expect.h"
 
 namespace gplus::crawler {
@@ -31,12 +34,29 @@ CrawlResult run_bfs_crawl(service::SocialService& service,
   }
   if (state.original_id().empty()) state.see(config.seed_node);
 
+  auto& trace = obs::TraceLog::global();
+  obs::TraceLog::Scope crawl_span(trace, "crawl.run");
+
   const std::uint64_t requests_before = service.request_count();
+  // The trace clock advances by simulated requests issued since the last
+  // stamp — a deterministic quantity — so spans land at reproducible
+  // virtual times at any thread count.
+  std::uint64_t traced_requests = 0;
+  const auto stamp_clock = [&] {
+    const std::uint64_t run_requests = service.request_count() - requests_before;
+    trace.advance(run_requests - traced_requests);
+    traced_requests = run_requests;
+  };
   const auto take_checkpoint = [&] {
     const std::uint64_t requests =
         base_requests + (service.request_count() - requests_before);
+    stamp_clock();
+    obs::TraceLog::Scope span(trace, "crawl.checkpoint");
+    span.attr("profiles", state.profiles_crawled());
+    span.attr("requests", requests);
     save_checkpoint(state.snapshot(requests, 0.0), config.checkpoint.path);
     ++stats.checkpoints_written;
+    obs::MetricsRegistry::global().counter("crawler.checkpoint.writes").add(1);
   };
 
   const std::uint64_t slow_before = state.retry().slow;
@@ -52,6 +72,10 @@ CrawlResult run_bfs_crawl(service::SocialService& service,
     }
   }
   if (checkpointing) take_checkpoint();
+  stamp_clock();
+  crawl_span.attr("profiles", state.profiles_crawled());
+  crawl_span.attr("edges", state.edges_collected());
+  crawl_span.attr("requests", service.request_count() - requests_before);
 
   stats.profiles_crawled = state.profiles_crawled();
   stats.edges_collected = state.edges_collected();
@@ -127,6 +151,22 @@ LostEdgeEstimate estimate_lost_edges(service::SocialService& service,
       total_edges == 0 ? 0.0
                        : static_cast<double>(fault_missing) /
                              static_cast<double>(total_edges);
+
+  // The §2.2 lost-edge estimate is a level, not a flow: publish it as
+  // gauges (fractions in parts-per-million so the registry stays integer).
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("crawler.lost.users_over_cap")
+      .set(static_cast<std::int64_t>(est.users_over_cap));
+  reg.gauge("crawler.lost.degraded_users")
+      .set(static_cast<std::int64_t>(est.degraded_users));
+  reg.gauge("crawler.lost.displayed_total")
+      .set(static_cast<std::int64_t>(est.displayed_total));
+  reg.gauge("crawler.lost.collected_total")
+      .set(static_cast<std::int64_t>(est.collected_total));
+  reg.gauge("crawler.lost.fraction_ppm")
+      .set(std::llround(est.lost_fraction * 1e6));
+  reg.gauge("crawler.lost.fault_fraction_ppm")
+      .set(std::llround(est.fault_lost_fraction * 1e6));
   return est;
 }
 

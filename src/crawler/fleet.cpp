@@ -4,6 +4,8 @@
 #include <queue>
 
 #include "crawler/frontier.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/expect.h"
 #include "stats/rng.h"
 
@@ -53,11 +55,25 @@ FleetResult run_crawl_fleet(service::SocialService& service,
   double makespan = clock_start;
   const std::uint64_t requests_before = service.request_count();
 
+  auto& trace = obs::TraceLog::global();
+  obs::TraceLog::Scope fleet_span(trace, "fleet.run");
+  std::uint64_t traced_requests = 0;
+  const auto stamp_clock = [&] {
+    const std::uint64_t run_requests = service.request_count() - requests_before;
+    trace.advance(run_requests - traced_requests);
+    traced_requests = run_requests;
+  };
+
   const auto take_checkpoint = [&] {
     const std::uint64_t requests =
         base_requests + (service.request_count() - requests_before);
+    stamp_clock();
+    obs::TraceLog::Scope span(trace, "fleet.checkpoint");
+    span.attr("profiles", state.profiles_crawled());
+    span.attr("requests", requests);
     save_checkpoint(state.snapshot(requests, makespan), config.checkpoint.path);
     ++crawl_stats.checkpoints_written;
+    obs::MetricsRegistry::global().counter("crawler.checkpoint.writes").add(1);
   };
 
   while (state.pending()) {
@@ -108,6 +124,10 @@ FleetResult run_crawl_fleet(service::SocialService& service,
     }
   }
   if (checkpointing) take_checkpoint();
+  stamp_clock();
+  fleet_span.attr("machines", config.machines);
+  fleet_span.attr("profiles", state.profiles_crawled());
+  fleet_span.attr("requests", service.request_count() - requests_before);
 
   result.profiles_crawled = state.profiles_crawled();
   result.requests = base_requests + (service.request_count() - requests_before);

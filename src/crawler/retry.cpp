@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "stats/rng.h"
 
 namespace gplus::crawler {
@@ -51,13 +52,57 @@ double backoff_delay_ms(const RetryPolicy& policy,
 
 namespace {
 
+// Every RetryStats increment is mirrored into the global registry here —
+// retry_loop is the single choke point all fetches pass through, so the
+// registry sees exactly what the per-instance structs see. All quantities
+// are pure functions of (seed, request), hence deterministic.
+struct RetryMetrics {
+  obs::Counter& attempts;
+  obs::Counter& retries;
+  obs::Counter& slow;
+  obs::Counter& abandoned;
+  obs::Counter& transient;
+  obs::Counter& rate_limited;
+  obs::Counter& truncated;
+  obs::Counter& backoff_micros;
+  obs::Histogram& backoff_hist;
+
+  static RetryMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static RetryMetrics m{
+        reg.counter("crawler.fetch.attempts"),
+        reg.counter("crawler.fetch.retries"),
+        reg.counter("crawler.fetch.slow"),
+        reg.counter("crawler.fetch.abandoned"),
+        reg.counter("crawler.fault.transient"),
+        reg.counter("crawler.fault.rate_limited"),
+        reg.counter("crawler.fault.truncated"),
+        reg.counter("crawler.backoff.micros"),
+        reg.histogram("crawler.backoff.delay_ms",
+                      {1, 5, 10, 50, 100, 500, 1000, 5000, 15000, 60000}),
+    };
+    return m;
+  }
+};
+
 // Classifies one failed attempt into the counters.
 void count_fault(RetryStats& stats, const service::FetchStatus& status) {
+  RetryMetrics& metrics = RetryMetrics::get();
   switch (status.error) {
-    case service::FetchError::kTransient: ++stats.transient; break;
-    case service::FetchError::kRateLimited: ++stats.rate_limited; break;
-    case service::FetchError::kTruncated: ++stats.truncated; break;
-    case service::FetchError::kNone: break;
+    case service::FetchError::kTransient:
+      ++stats.transient;
+      metrics.transient.add(1);
+      break;
+    case service::FetchError::kRateLimited:
+      ++stats.rate_limited;
+      metrics.rate_limited.add(1);
+      break;
+    case service::FetchError::kTruncated:
+      ++stats.truncated;
+      metrics.truncated.add(1);
+      break;
+    case service::FetchError::kNone:
+      break;
   }
 }
 
@@ -66,18 +111,34 @@ void count_fault(RetryStats& stats, const service::FetchStatus& status) {
 template <typename Result, typename Fetch>
 Result retry_loop(const RetryPolicy& policy, std::uint64_t key, Fetch&& fetch,
                   RetryStats& stats) {
+  RetryMetrics& metrics = RetryMetrics::get();
   for (std::uint32_t attempt = 0;; ++attempt) {
     Result result = fetch(attempt);
     ++stats.attempts;
-    if (attempt > 0) ++stats.retries;
-    if (result.status.latency_factor > 1.0) ++stats.slow;
+    metrics.attempts.add(1);
+    if (attempt > 0) {
+      ++stats.retries;
+      metrics.retries.add(1);
+    }
+    if (result.status.latency_factor > 1.0) {
+      ++stats.slow;
+      metrics.slow.add(1);
+    }
     if (result.status.ok()) return result;
     count_fault(stats, result.status);
     if (attempt >= policy.max_retries) {
       ++stats.abandoned;
+      metrics.abandoned.add(1);
       return result;
     }
-    stats.backoff_ms += backoff_delay_ms(policy, result.status, key, attempt);
+    const double delay_ms = backoff_delay_ms(policy, result.status, key, attempt);
+    stats.backoff_ms += delay_ms;
+    // llround of a deterministic double is deterministic; micros keep the
+    // integer counter faithful to sub-millisecond jitter.
+    metrics.backoff_micros.add(
+        static_cast<std::uint64_t>(std::llround(delay_ms * 1000.0)));
+    metrics.backoff_hist.record(
+        static_cast<std::uint64_t>(std::llround(delay_ms)));
   }
 }
 

@@ -1,0 +1,93 @@
+#include "obs/export.h"
+
+namespace gplus::obs {
+
+std::string to_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, entry] : snapshot.entries) {
+    out += metric_kind_name(entry.kind);
+    out += " " + name;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += " " + std::to_string(entry.value);
+        break;
+      case MetricKind::kHistogram: {
+        out += " count=" + std::to_string(entry.count);
+        out += " sum=" + std::to_string(entry.sum);
+        for (std::size_t i = 0; i < entry.buckets.size(); ++i) {
+          if (i < entry.bounds.size()) {
+            out += " le" + std::to_string(entry.bounds[i]);
+          } else {
+            out += " inf";
+          }
+          out += "=" + std::to_string(entry.buckets[i]);
+        }
+        break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string quoted(const std::string& s) { return "\"" + s + "\""; }
+
+std::string json_array(const std::vector<std::uint64_t>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+// Serializes all entries of one kind as a JSON object body (no braces).
+template <typename Emit>
+std::string json_section(const MetricsSnapshot& snapshot, MetricKind kind,
+                         Emit&& emit) {
+  std::string out;
+  bool first = true;
+  for (const auto& [name, entry] : snapshot.entries) {
+    if (entry.kind != kind) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\n    " + quoted(name) + ": " + emit(entry);
+  }
+  if (!first) out += "\n  ";
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n";
+  out += "  \"counters\": {";
+  out += json_section(snapshot, MetricKind::kCounter,
+                      [](const MetricsSnapshot::Entry& e) {
+                        return std::to_string(e.value);
+                      });
+  out += "},\n";
+  out += "  \"gauges\": {";
+  out += json_section(snapshot, MetricKind::kGauge,
+                      [](const MetricsSnapshot::Entry& e) {
+                        return std::to_string(e.value);
+                      });
+  out += "},\n";
+  out += "  \"histograms\": {";
+  out += json_section(snapshot, MetricKind::kHistogram,
+                      [](const MetricsSnapshot::Entry& e) {
+                        return "{\"count\": " + std::to_string(e.count) +
+                               ", \"sum\": " + std::to_string(e.sum) +
+                               ", \"bounds\": " + json_array(e.bounds) +
+                               ", \"buckets\": " + json_array(e.buckets) + "}";
+                      });
+  out += "}\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace gplus::obs

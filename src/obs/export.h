@@ -1,0 +1,25 @@
+#pragma once
+
+// Text and JSON exporters over a MetricsSnapshot.
+//
+// Both formats iterate the snapshot's sorted map, so output order is stable;
+// a snapshot taken with deterministic_only=true therefore serializes
+// byte-identically at any GPLUS_THREADS, which is what the benches' JSON
+// dumps and the exporter golden tests rely on.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace gplus::obs {
+
+/// One line per metric:
+///   counter <name> <value>
+///   gauge <name> <value>
+///   histogram <name> count=C sum=S le<b0>=n0 ... inf=nk
+std::string to_text(const MetricsSnapshot& snapshot);
+
+/// Stable pretty-printed JSON with "counters"/"gauges"/"histograms" maps.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace gplus::obs

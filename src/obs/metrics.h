@@ -1,0 +1,182 @@
+#pragma once
+
+// Process-wide deterministic metrics registry.
+//
+// The registry is the uniform façade over the counters that used to live in
+// bespoke per-subsystem structs (RetryStats, ServerStats, CacheStats). Those
+// structs survive as cheap per-instance snapshots; every increment they see
+// is mirrored into a named metric here, so tests and benches can assert on
+// one shape regardless of which subsystem produced the numbers.
+//
+// Determinism contract: a Counter is a fixed array of cache-line-padded
+// atomic cells indexed by a thread-local slot. Writers touch only their own
+// cell with relaxed atomics (no locks, no sharing), and value() sums the
+// cells on read. Integer addition is commutative, so the merged total is
+// bit-identical no matter how many threads contributed or in what order —
+// the same guarantee the parallel runtime gives its reduction trees.
+// Histograms shard their buckets the same way. Gauges are single atomics
+// written from the coordinator thread by convention (last write wins, and
+// coordinator writes are deterministically ordered).
+//
+// Metrics that genuinely depend on scheduling (chunks stolen by pool
+// workers, threads spawned) are tagged Determinism::kRunDependent and can be
+// filtered out of snapshots, which is what lets a full JSON dump be
+// byte-identical between GPLUS_THREADS=1 and GPLUS_THREADS=8.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gplus::obs {
+
+enum class Determinism : std::uint8_t {
+  kDeterministic = 0,  // identical at any GPLUS_THREADS; safe to golden-test
+  kRunDependent = 1,   // depends on scheduling; excluded from golden dumps
+};
+
+namespace detail {
+
+// Cell count is a fixed power of two so slot assignment is a cheap mask and
+// totals never depend on how many threads exist.
+inline constexpr std::size_t kCells = 16;
+
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+// Stable per-thread cell index in [0, kCells). Two threads may share a slot
+// under heavy oversubscription; that only costs contention, never accuracy.
+std::size_t cell_slot() noexcept;
+
+}  // namespace detail
+
+/// Monotonic counter. add() is wait-free and race-free from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[detail::cell_slot()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const detail::Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<detail::Cell, detail::kCells> cells_{};
+};
+
+/// Last-write-wins level. By convention written from the coordinator thread
+/// (so reads are deterministic); the atomic keeps racy misuse benign.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer values. Bucket i counts
+/// values <= bounds[i]; one implicit overflow bucket counts the rest. Bucket
+/// counts and the value sum are sharded like Counter cells, so merged totals
+/// are bit-identical at any thread count.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void record(std::uint64_t value) noexcept;
+
+  const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+  /// Merged per-bucket counts; size() == bounds().size() + 1.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const noexcept;
+  std::uint64_t sum() const noexcept;
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  // Layout: [slot][bucket] so a writer stays inside its own cache lines.
+  std::vector<detail::Cell> cells_;
+  std::array<detail::Cell, detail::kCells> sum_cells_{};
+};
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+std::string_view metric_kind_name(MetricKind kind) noexcept;
+
+/// Point-in-time copy of every registered metric, keyed by name (sorted).
+/// The uniform testing idiom is snapshot-before / run / snapshot-after /
+/// assert on the delta, which keeps tests independent of whatever earlier
+/// tests in the same process already pushed through the global registry.
+struct MetricsSnapshot {
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    Determinism determinism = Determinism::kDeterministic;
+    std::int64_t value = 0;               // counter total or gauge level
+    std::uint64_t sum = 0;                // histogram value sum
+    std::uint64_t count = 0;              // histogram sample count
+    std::vector<std::uint64_t> bounds;    // histogram bucket upper bounds
+    std::vector<std::uint64_t> buckets;   // histogram counts (bounds + overflow)
+  };
+
+  std::map<std::string, Entry> entries;
+
+  /// Counter/gauge value (histogram: sample count); 0 if the name is absent.
+  std::int64_t value(std::string_view name) const;
+  bool contains(std::string_view name) const;
+};
+
+/// after - before. Counters and histograms subtract (entries absent from
+/// `before` pass through whole); gauges are levels, so the delta keeps the
+/// `after` value. Entries only present in `before` are dropped.
+MetricsSnapshot delta(const MetricsSnapshot& after, const MetricsSnapshot& before);
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem registers into.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric with this name, creating it on first use. The
+  /// reference stays valid for the registry's lifetime (metrics are never
+  /// removed). Throws std::logic_error if the name is already registered
+  /// with a different kind, determinism tag, or histogram bounds.
+  Counter& counter(std::string_view name,
+                   Determinism det = Determinism::kDeterministic);
+  Gauge& gauge(std::string_view name,
+               Determinism det = Determinism::kDeterministic);
+  Histogram& histogram(std::string_view name, std::vector<std::uint64_t> bounds,
+                       Determinism det = Determinism::kDeterministic);
+
+  MetricsSnapshot snapshot(bool deterministic_only = false) const;
+  std::size_t size() const;
+
+ private:
+  struct Metric {
+    MetricKind kind;
+    Determinism determinism;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  // Node-based map: references handed out stay stable across insertions.
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+}  // namespace gplus::obs

@@ -1,0 +1,94 @@
+#pragma once
+
+// Trace spans stamped on a virtual-cost clock.
+//
+// Wall time makes traces unreproducible, so spans here are timestamped on
+// the same deterministic currency the serving deadlines already use: virtual
+// cost units (see RequestEngine::Meter). Subsystems advance the clock
+// explicitly with deterministic quantities — the crawler by simulated
+// requests issued, the server by the summed virtual cost of a drained batch
+// — which makes a span log a pure function of (seed, workload) and lets the
+// golden-trace test compare runs byte for byte at any GPLUS_THREADS.
+//
+// Threading contract: the trace log is coordinator-thread-only, mirroring
+// the serving layer's rule that all shared-state mutation happens on the
+// submitting thread. Tracing is off by default; when disabled, begin/end
+// and attrs are no-ops so hot paths pay nothing beyond a branch.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gplus::obs {
+
+class TraceLog {
+ public:
+  static constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+  /// The process-wide log used by crawler/serve instrumentation.
+  static TraceLog& global();
+
+  TraceLog() = default;
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Drops all spans and resets the virtual clock to zero.
+  void clear();
+
+  /// Advances the virtual clock; `units` must be a deterministic quantity.
+  void advance(std::uint64_t units) noexcept { now_ += units; }
+  std::uint64_t now() const noexcept { return now_; }
+
+  /// Opens a span at the current clock; returns its handle (kNoSpan when
+  /// tracing is disabled). Spans close in LIFO order via end_span.
+  std::size_t begin_span(std::string_view name);
+  void attr(std::size_t span, std::string_view key, std::uint64_t value);
+  void end_span(std::size_t span);
+
+  std::size_t span_count() const noexcept { return spans_.size(); }
+
+  /// Deterministic dump, one line per span in begin order:
+  ///   span <name> depth=D start=S end=E [key=value ...]
+  std::string to_text() const;
+
+  /// RAII span; everything is a no-op while the log is disabled.
+  class Scope {
+   public:
+    Scope(TraceLog& log, std::string_view name)
+        : log_(&log), span_(log.begin_span(name)) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { log_->end_span(span_); }
+
+    void attr(std::string_view key, std::uint64_t value) {
+      log_->attr(span_, key, value);
+    }
+
+   private:
+    TraceLog* log_;
+    std::size_t span_;
+  };
+
+ private:
+  struct Span {
+    std::string name;
+    std::uint32_t depth = 0;
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    bool open = true;
+    std::vector<std::pair<std::string, std::uint64_t>> attrs;
+  };
+
+  bool enabled_ = false;
+  std::uint64_t now_ = 0;
+  std::vector<Span> spans_;
+  std::vector<std::size_t> open_stack_;
+};
+
+}  // namespace gplus::obs

@@ -2,7 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace gplus::serve {
+
+namespace {
+
+// Registry mirror of the per-instance shard counters. Cache mutations all
+// happen on the serving coordinator in request order (DESIGN.md §9), so
+// these are deterministic. Unlike the per-instance stats, which clear()
+// resets, the registry counters are monotonic for the process lifetime.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& stale_hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+
+  static CacheMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static CacheMetrics m{
+        reg.counter("serve.cache.hits"),
+        reg.counter("serve.cache.stale_hits"),
+        reg.counter("serve.cache.misses"),
+        reg.counter("serve.cache.evictions"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards)
     : capacity_(capacity),
@@ -16,12 +44,15 @@ ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards)
 bool ShardedLruCache::lookup(std::uint64_t key, std::vector<std::uint8_t>& out,
                              bool stale) {
   Shard& shard = shard_for(key);
+  CacheMetrics& metrics = CacheMetrics::get();
   const auto hit = shard.index.find(key);
   if (hit == shard.index.end()) {
     ++shard.misses;
+    metrics.misses.add(1);
     return false;
   }
   ++(stale ? shard.stale_hits : shard.hits);
+  (stale ? metrics.stale_hits : metrics.hits).add(1);
   shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
   out.assign(hit->second->payload.begin(), hit->second->payload.end());
   return true;
@@ -42,6 +73,7 @@ void ShardedLruCache::insert(std::uint64_t key,
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
+    CacheMetrics::get().evictions.add(1);
   }
 }
 

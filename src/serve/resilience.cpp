@@ -433,7 +433,7 @@ StormReport run_chaos_storm(const SnapshotBuffer& primary,
   }
   report.checksum = checksum;
   report.final_epoch = resilient.epoch();
-  report.server = resilient.stats();
+  report.server = resilient.stats_snapshot();
 
   // Invariants: exactly one terminal status per admission, no silent
   // drops, and server counters agreeing with the observed stream.

@@ -222,7 +222,8 @@ class ResilientServer {
   QueryServer& server() noexcept { return server_; }
   const QueryServer& server() const noexcept { return server_; }
   SnapshotManager& manager() noexcept { return manager_; }
-  ServerStats stats() const { return server_.stats(); }
+  ServerStats stats_snapshot() const { return server_.stats_snapshot(); }
+  ServerStats stats() const { return stats_snapshot(); }
 
  private:
   /// Self-consistency canary over the freshly bound engine: profile

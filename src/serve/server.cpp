@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gplus::serve {
 
@@ -15,6 +18,62 @@ std::uint64_t now_ns() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+// Every ServerStats increment is mirrored into the global registry so
+// tests/benches can reconcile server bookkeeping against one uniform
+// surface. All serve counters are coordinator-ordered (drain phases 1 and
+// 3 run serially in request order), hence deterministic at any lane count;
+// the per-type histograms record virtual cost, never wall time.
+struct ServeMetrics {
+  obs::Counter& accepted;
+  obs::Counter& rejected;
+  obs::Counter& served;
+  obs::Counter& shed;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& fault_injected;
+  obs::Counter& stale_served;
+  obs::Counter& unavailable;
+  obs::Gauge& queue_depth;
+  std::array<obs::Counter*, kServeStatusCount> status;
+  std::array<obs::Histogram*, kRequestTypeCount> cost;
+
+  static ServeMetrics& get() {
+    static ServeMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      auto* out = new ServeMetrics{
+          reg.counter("serve.accepted"),
+          reg.counter("serve.rejected"),
+          reg.counter("serve.served"),
+          reg.counter("serve.shed"),
+          reg.counter("serve.deadline_exceeded"),
+          reg.counter("serve.fault_injected"),
+          reg.counter("serve.stale_served"),
+          reg.counter("serve.unavailable"),
+          reg.gauge("serve.queue.depth"),
+          {},
+          {},
+      };
+      for (std::size_t s = 0; s < kServeStatusCount; ++s) {
+        const std::string name =
+            "serve.status." +
+            std::string(serve_status_name(static_cast<ServeStatus>(s)));
+        out->status[s] = &reg.counter(name);
+      }
+      // Virtual-cost buckets: 1 dispatch unit up through BFS-sized walks.
+      const std::vector<std::uint64_t> bounds{1,   2,   4,    8,    16,   32,
+                                              64,  128, 256,  512,  1024, 4096,
+                                              16384, 65536};
+      for (std::size_t t = 0; t < kRequestTypeCount; ++t) {
+        const std::string name =
+            "serve.cost." +
+            std::string(request_type_name(static_cast<RequestType>(t)));
+        out->cost[t] = &reg.histogram(name, bounds);
+      }
+      return out;
+    }();
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -40,6 +99,7 @@ std::size_t QueryServer::find_victim(Priority incoming) const noexcept {
 }
 
 ServeStatus QueryServer::submit(const Request& request, bool inject_fault) {
+  ServeMetrics& metrics = ServeMetrics::get();
   Request admitted = request;
   const auto cls = static_cast<std::size_t>(admitted.priority) % kPriorityCount;
   if (admitted.cost_budget == 0) {
@@ -52,6 +112,9 @@ ServeStatus QueryServer::submit(const Request& request, bool inject_fault) {
     if (victim == queue_.size()) {
       ++stats_.rejected;
       ++stats_.rejected_by_class[cls];
+      metrics.rejected.add(1);
+      // Rejection is this request's terminal status — it never drains.
+      metrics.status[static_cast<std::size_t>(ServeStatus::kRejected)]->add(1);
       return ServeStatus::kRejected;
     }
     Pending& loser = queue_[victim];
@@ -60,12 +123,14 @@ ServeStatus QueryServer::submit(const Request& request, bool inject_fault) {
     ++stats_.shed;
     ++stats_.shed_by_class[static_cast<std::size_t>(loser.request.priority) %
                            kPriorityCount];
+    metrics.shed.add(1);
   }
   queue_.push_back(
       Pending{admitted, 0, static_cast<std::uint8_t>(inject_fault ? 1 : 0)});
   ++live_;
   ++stats_.accepted;
   ++stats_.admitted_by_class[cls];
+  metrics.accepted.add(1);
   return ServeStatus::kOk;
 }
 
@@ -83,6 +148,11 @@ void QueryServer::drain(std::vector<Response>& responses,
   responses.resize(batch);
   if (latency_ns != nullptr) latency_ns->assign(batch, 0);
   if (batch == 0) return;
+
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.queue_depth.set(static_cast<std::int64_t>(batch));
+  auto& trace = obs::TraceLog::global();
+  obs::TraceLog::Scope drain_span(trace, "serve.drain");
 
   const bool degraded = !engine_.has_value();
 
@@ -107,13 +177,17 @@ void QueryServer::drain(std::vector<Response>& responses,
     if (p.fault) {
       r.status = ServeStatus::kFaultInjected;
       ++stats_.fault_injected;
+      metrics.fault_injected.add(1);
       continue;
     }
     if (cacheable(p.request.type)) {
       const std::uint64_t start = latency_ns != nullptr ? now_ns() : 0;
       if (cache_.lookup(request_key(p.request), r.payload, degraded)) {
         r.status = degraded ? ServeStatus::kStaleCache : ServeStatus::kOk;
-        if (degraded) ++stats_.stale_served;
+        if (degraded) {
+          ++stats_.stale_served;
+          metrics.stale_served.add(1);
+        }
         if (latency_ns != nullptr) (*latency_ns)[i] = now_ns() - start;
         continue;
       }
@@ -121,6 +195,7 @@ void QueryServer::drain(std::vector<Response>& responses,
     if (degraded) {
       r.status = ServeStatus::kUnavailable;
       ++stats_.unavailable;
+      metrics.unavailable.add(1);
       continue;
     }
     miss_index_.push_back(static_cast<std::uint32_t>(i));
@@ -145,18 +220,40 @@ void QueryServer::drain(std::vector<Response>& responses,
   for (const std::uint32_t i : miss_index_) {
     const Request& q = queue_[i].request;
     Response& r = responses[i];
-    if (r.status == ServeStatus::kDeadlineExceeded) ++stats_.deadline_exceeded;
+    if (r.status == ServeStatus::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+      metrics.deadline_exceeded.add(1);
+    }
+    // Virtual execution cost — deterministic, unlike wall latency.
+    metrics.cost[static_cast<std::size_t>(q.type) % kRequestTypeCount]->record(
+        r.cost);
     if (cacheable(q.type) && r.status == ServeStatus::kOk) {
       cache_.insert(request_key(q), r.payload);
     }
   }
 
+  // Every drained request reached exactly one terminal status; tally them
+  // all (and the batch's summed virtual cost, which advances the trace
+  // clock) on the coordinator in request order.
+  std::uint64_t batch_cost = 0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Response& r = responses[i];
+    metrics.status[static_cast<std::size_t>(r.status) % kServeStatusCount]->add(
+        1);
+    batch_cost += r.cost;
+  }
+  trace.advance(batch_cost);
+  drain_span.attr("batch", batch);
+  drain_span.attr("misses", miss_index_.size());
+  drain_span.attr("cost", batch_cost);
+
   stats_.served += batch;
+  metrics.served.add(batch);
   queue_.clear();
   live_ = 0;
 }
 
-ServerStats QueryServer::stats() const {
+ServerStats QueryServer::stats_snapshot() const {
   ServerStats s = stats_;
   s.cache = cache_.stats();
   return s;

@@ -122,8 +122,16 @@ class QueryServer {
   void drain(std::vector<Response>& responses,
              std::vector<std::uint64_t>* latency_ns = nullptr);
 
-  /// Lifetime counters (cache stats snapshotted at call time).
-  ServerStats stats() const;
+  /// Coherent one-call copy of the lifetime counters, cache statistics
+  /// included. Submit/drain/stats are coordinator-thread operations, so a
+  /// snapshot taken between drains is consistent: no field can move while
+  /// it is being assembled. This is the canonical accessor for every final
+  /// report — reading `stats()` and `cache().stats()` separately risks the
+  /// two disagreeing if work happens in between.
+  ServerStats stats_snapshot() const;
+
+  /// Back-compat alias for stats_snapshot().
+  ServerStats stats() const { return stats_snapshot(); }
 
   const ServerConfig& config() const noexcept { return config_; }
   /// The bound engine, or nullptr while degraded.

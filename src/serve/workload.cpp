@@ -207,7 +207,7 @@ LoadReport run_closed_loop(QueryServer& server, const WorkloadConfig& config) {
     report.p99_us = percentile_us(latencies, 0.99);
   }
   report.checksum = checksum;
-  report.server = server.stats();
+  report.server = server.stats_snapshot();
   return report;
 }
 

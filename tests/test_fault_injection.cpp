@@ -10,6 +10,7 @@
 #include "crawler/retry.h"
 #include "crawler/samplers.h"
 #include "graph/builder.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 
 namespace gplus::crawler {
@@ -380,6 +381,104 @@ TEST(FaultySamplers, SamplersConvergeUnderFaults) {
     EXPECT_EQ(a.users, b.users) << sampler_name(kind);
     EXPECT_GT(b.requests, a.requests) << sampler_name(kind);
   }
+}
+
+// --- Metrics registry mirroring -------------------------------------------
+
+TEST(ObsRegistry, CrawlDeltaMatchesRetryStatsExactly) {
+  // retry_loop mirrors every RetryStats increment into the global
+  // registry, so the delta across one crawl must agree field for field.
+  Fixture fx;
+  service::ServiceConfig config;
+  config.faults = modest_faults();
+  auto svc = fx.service(config);
+  CrawlConfig cconfig;
+  cconfig.seed_node = 0;
+
+  auto& registry = obs::MetricsRegistry::global();
+  const auto before = registry.snapshot();
+  const auto crawl = run_bfs_crawl(svc, cconfig);
+  const auto d = obs::delta(registry.snapshot(), before);
+
+  const RetryStats& retry = crawl.stats.retry;
+  EXPECT_GT(retry.retries, 0u);
+  EXPECT_EQ(d.value("crawler.fetch.attempts"),
+            static_cast<std::int64_t>(retry.attempts));
+  EXPECT_EQ(d.value("crawler.fetch.retries"),
+            static_cast<std::int64_t>(retry.retries));
+  EXPECT_EQ(d.value("crawler.fetch.abandoned"),
+            static_cast<std::int64_t>(retry.abandoned));
+  EXPECT_EQ(d.value("crawler.fetch.slow"),
+            static_cast<std::int64_t>(retry.slow));
+  EXPECT_EQ(d.value("crawler.fault.transient"),
+            static_cast<std::int64_t>(retry.transient));
+  EXPECT_EQ(d.value("crawler.fault.rate_limited"),
+            static_cast<std::int64_t>(retry.rate_limited));
+  EXPECT_EQ(d.value("crawler.fault.truncated"),
+            static_cast<std::int64_t>(retry.truncated));
+
+  // The registry accumulates llround-ed integer microseconds per delay;
+  // each rounding stays within half a microsecond of the double sum.
+  const double micros_ms =
+      static_cast<double>(d.value("crawler.backoff.micros")) / 1000.0;
+  EXPECT_NEAR(micros_ms, retry.backoff_ms,
+              1e-3 * static_cast<double>(retry.retries + 1));
+  // Every retried request recorded one delay sample in the histogram.
+  EXPECT_EQ(d.value("crawler.backoff.delay_ms"),
+            static_cast<std::int64_t>(retry.retries));
+}
+
+TEST(ObsRegistry, DegradedCrawlPublishesLostEdgeGauges) {
+  Fixture fx;
+  service::ServiceConfig config;
+  config.faults.transient_rate = 0.30;
+  config.faults.rate_limit_rate = 0.10;
+  config.faults.truncation_rate = 0.10;
+  auto svc = fx.service(config);
+  CrawlConfig cconfig;
+  cconfig.seed_node = 0;
+  cconfig.retry.max_retries = 1;  // abandon into degraded expansions
+  const auto crawl = run_bfs_crawl(svc, cconfig);
+  ASSERT_GT(crawl.stats.degraded_users, 0u);
+
+  auto& registry = obs::MetricsRegistry::global();
+  const auto est = estimate_lost_edges(svc, crawl);
+  const auto snap = registry.snapshot();
+
+  EXPECT_EQ(snap.value("crawler.lost.degraded_users"),
+            static_cast<std::int64_t>(est.degraded_users));
+  EXPECT_EQ(snap.value("crawler.lost.users_over_cap"),
+            static_cast<std::int64_t>(est.users_over_cap));
+  EXPECT_EQ(snap.value("crawler.lost.displayed_total"),
+            static_cast<std::int64_t>(est.displayed_total));
+  EXPECT_EQ(snap.value("crawler.lost.collected_total"),
+            static_cast<std::int64_t>(est.collected_total));
+  EXPECT_EQ(snap.value("crawler.lost.fraction_ppm"),
+            std::llround(est.lost_fraction * 1e6));
+  EXPECT_EQ(snap.value("crawler.lost.fault_fraction_ppm"),
+            std::llround(est.fault_lost_fraction * 1e6));
+  EXPECT_GT(snap.value("crawler.lost.fault_fraction_ppm"), 0);
+}
+
+TEST(ObsRegistry, FleetCrawlMirrorsIntoTheSameCounters) {
+  Fixture fx;
+  service::ServiceConfig config;
+  config.faults = modest_faults();
+  auto svc = fx.service(config);
+  FleetConfig fconfig;
+  fconfig.seed_node = 0;
+
+  auto& registry = obs::MetricsRegistry::global();
+  const auto before = registry.snapshot();
+  const auto fleet = run_crawl_fleet(svc, fconfig);
+  const auto d = obs::delta(registry.snapshot(), before);
+
+  EXPECT_EQ(d.value("crawler.fetch.attempts"),
+            static_cast<std::int64_t>(fleet.crawl.stats.retry.attempts));
+  EXPECT_EQ(d.value("crawler.fault.rate_limited"),
+            static_cast<std::int64_t>(fleet.crawl.stats.retry.rate_limited));
+  EXPECT_EQ(d.value("crawler.checkpoint.writes"),
+            static_cast<std::int64_t>(fleet.crawl.stats.checkpoints_written));
 }
 
 TEST(FaultConfig, RejectsInvalidRates) {

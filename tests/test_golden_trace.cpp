@@ -1,0 +1,150 @@
+// Golden-trace test: a fixed-seed crawl + serve workload emits a span log
+// stamped on the virtual-cost clock, so the dump is a pure function of
+// (seed, workload) — byte-identical across runs AND thread counts. The
+// text is checked against a committed golden file; regenerate it with
+//   ./test_golden_trace --regen   (or GPLUS_REGEN_GOLDEN=1)
+// after an intentional instrumentation change.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/parallel.h"
+#include "crawler/crawler.h"
+#include "graph/builder.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "service/service.h"
+
+namespace gplus {
+namespace {
+
+bool g_regen = false;
+
+std::filesystem::path golden_path() {
+  return std::filesystem::path(GPLUS_GOLDEN_DIR) / "trace_crawl_serve.txt";
+}
+
+// The fault-injection fixture shape: a 300-user mutual community plus a
+// celebrity everyone follows — every fault kind fires at modest rates.
+graph::DiGraph fixture_graph() {
+  graph::GraphBuilder b;
+  for (graph::NodeId u = 0; u < 300; ++u) {
+    b.add_reciprocal_edge(u, (u + 1) % 300);
+    b.add_reciprocal_edge(u, (u + 13) % 300);
+    b.add_edge(u, 300);
+  }
+  return b.build();
+}
+
+// One fixed-seed pass through both instrumented subsystems: a faulty,
+// checkpointing crawl, then three submit/drain rounds against the query
+// server. Returns the span log text; the global trace is left clean.
+std::string run_traced_workload() {
+  auto& trace = obs::TraceLog::global();
+  trace.clear();
+  trace.set_enabled(true);
+
+  {  // Crawl leg: retries and backoff under faults, checkpoints included.
+    const graph::DiGraph graph = fixture_graph();
+    std::vector<synth::Profile> profiles(graph.node_count());
+    service::ServiceConfig sconfig;
+    sconfig.faults.transient_rate = 0.10;
+    sconfig.faults.rate_limit_rate = 0.05;
+    sconfig.faults.truncation_rate = 0.05;
+    sconfig.faults.slow_rate = 0.10;
+    service::SocialService svc(&graph, profiles, sconfig);
+
+    const auto ckpt =
+        std::filesystem::temp_directory_path() /
+        ("gplus_golden_trace_" + std::to_string(::getpid()) + ".ckpt");
+    std::filesystem::remove(ckpt);
+    crawler::CrawlConfig config;
+    config.seed_node = 0;
+    config.checkpoint.path = ckpt.string();
+    config.checkpoint.every_profiles = 100;
+    crawler::run_bfs_crawl(svc, config);
+    std::filesystem::remove(ckpt);
+  }
+
+  {  // Serve leg: a deterministic request mix over a seeded snapshot.
+    const core::Dataset dataset = core::make_standard_dataset(1'000, 42);
+    const serve::SnapshotBuffer snapshot = serve::build_snapshot(dataset);
+    const serve::SnapshotView view(snapshot.bytes());
+    serve::QueryServer server(&view);
+    std::vector<serve::Response> responses;
+    for (std::size_t round = 0; round < 3; ++round) {
+      for (std::size_t i = 0; i < 48; ++i) {
+        serve::Request q;
+        q.type = static_cast<serve::RequestType>(i % serve::kRequestTypeCount);
+        q.user = static_cast<graph::NodeId>((i * 37 + round) % 1'000);
+        q.target = static_cast<graph::NodeId>((i * 61) % 1'000);
+        q.limit = 16;
+        server.submit(q);
+      }
+      server.drain(responses);
+    }
+  }
+
+  trace.set_enabled(false);
+  const std::string text = trace.to_text();
+  trace.clear();
+  return text;
+}
+
+TEST(GoldenTraceTest, ByteIdenticalAcrossRunsAndThreadCounts) {
+  core::set_thread_count(4);
+  const std::string four_lanes = run_traced_workload();
+  core::set_thread_count(1);
+  const std::string one_lane = run_traced_workload();
+  core::set_thread_count(0);
+
+  ASSERT_FALSE(four_lanes.empty());
+  EXPECT_EQ(four_lanes, one_lane);
+  // The workload exercised both subsystems' instrumentation.
+  EXPECT_NE(four_lanes.find("span crawl.run"), std::string::npos);
+  EXPECT_NE(four_lanes.find("span crawl.checkpoint"), std::string::npos);
+  EXPECT_NE(four_lanes.find("span serve.drain"), std::string::npos);
+}
+
+TEST(GoldenTraceTest, MatchesCommittedGoldenFile) {
+  const std::string text = run_traced_workload();
+  const std::filesystem::path path = golden_path();
+  if (g_regen) {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    std::cout << "regenerated " << path << " (" << text.size() << " bytes)\n";
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — regenerate with --regen";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(text, golden.str())
+      << "span log drifted from " << path
+      << " — if the instrumentation change is intentional, rerun with "
+         "--regen and commit the file";
+}
+
+}  // namespace
+}  // namespace gplus
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--regen") == 0) gplus::g_regen = true;
+  }
+  if (std::getenv("GPLUS_REGEN_GOLDEN") != nullptr) gplus::g_regen = true;
+  return RUN_ALL_TESTS();
+}

@@ -11,6 +11,7 @@
 
 #include "core/dataset.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
 #include "serve/resilience.h"
 #include "serve/snapshot.h"
 
@@ -557,6 +558,69 @@ TEST(ChaosStormTest, BitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.server.admitted_by_class, parallel.server.admitted_by_class);
   EXPECT_EQ(serial.server.rejected_by_class, parallel.server.rejected_by_class);
   EXPECT_EQ(serial.server.shed_by_class, parallel.server.shed_by_class);
+}
+
+TEST(ChaosStormTest, RegistryDeltaReconcilesWithStormBookkeeping) {
+  // The serve metrics are mirrored at the same coordinator-thread choke
+  // points that feed StormReport, so the registry delta across one storm
+  // must match the report exactly. The post-storm probe streams (worn +
+  // fresh server, probes each) are the only extra traffic, and they can
+  // only terminate ok/invalid — every overload channel reconciles 1:1.
+  auto& registry = obs::MetricsRegistry::global();
+  const auto before = registry.snapshot();
+  const StormReport report =
+      run_chaos_storm(snapshot_a(), snapshot_b(), storm_config());
+  const auto d = obs::delta(registry.snapshot(), before);
+  ASSERT_TRUE(report.violations.empty());
+
+  const auto by_status = [&](ServeStatus s) {
+    return static_cast<std::int64_t>(
+        report.by_status[static_cast<std::size_t>(s)]);
+  };
+  const std::uint64_t probes_run =
+      report.post_probe_checksum != 0 ? storm_config().probes : 0;
+
+  EXPECT_EQ(d.value("serve.status.rejected"),
+            static_cast<std::int64_t>(report.rejected));
+  EXPECT_EQ(d.value("serve.status.shed"), by_status(ServeStatus::kShed));
+  EXPECT_EQ(d.value("serve.status.deadline-exceeded"),
+            by_status(ServeStatus::kDeadlineExceeded));
+  EXPECT_EQ(d.value("serve.status.fault-injected"),
+            by_status(ServeStatus::kFaultInjected));
+  EXPECT_EQ(d.value("serve.status.stale-cache"),
+            by_status(ServeStatus::kStaleCache));
+  EXPECT_EQ(d.value("serve.status.unavailable"),
+            by_status(ServeStatus::kUnavailable));
+  EXPECT_EQ(d.value("serve.shed"), by_status(ServeStatus::kShed));
+  EXPECT_EQ(d.value("serve.rejected"),
+            static_cast<std::int64_t>(report.rejected));
+  EXPECT_EQ(d.value("serve.accepted"),
+            static_cast<std::int64_t>(report.accepted + 2 * probes_run));
+  EXPECT_EQ(d.value("serve.served"),
+            static_cast<std::int64_t>(report.responses + 2 * probes_run));
+
+  // The storm's headline invariant, restated through the registry: every
+  // offered request reached exactly one terminal status.
+  std::int64_t terminal = 0;
+  for (std::size_t s = 0; s < kServeStatusCount; ++s) {
+    terminal += d.value(
+        "serve.status." +
+        std::string(serve_status_name(static_cast<ServeStatus>(s))));
+  }
+  EXPECT_EQ(terminal,
+            static_cast<std::int64_t>(report.offered + 2 * probes_run));
+
+  // The per-type cost histograms only ever record real engine executions:
+  // their sample-count delta can never exceed the admitted traffic.
+  std::int64_t cost_samples = 0;
+  for (std::size_t t = 0; t < kRequestTypeCount; ++t) {
+    cost_samples += d.value(
+        "serve.cost." +
+        std::string(request_type_name(static_cast<RequestType>(t))));
+  }
+  EXPECT_GT(cost_samples, 0);
+  EXPECT_LE(cost_samples,
+            static_cast<std::int64_t>(report.accepted + 2 * probes_run));
 }
 
 TEST(ChaosStormTest, GPSNAP01SnapshotStillServesThroughTheStorm) {
