@@ -89,7 +89,13 @@ RequestEngine::RequestEngine(const SnapshotView* snapshot, EngineConfig config)
     return a.first < b.first;
   };
   topk_.reserve(k + 1);
-  for (graph::NodeId u = 0; u < n; ++u) {
+  // Walk nodes in degree-rank order: on a compressed snapshot that is a
+  // sequential pass over the in-adjacency rows (one varint decode each)
+  // instead of random row hops. The comparator is a total order, so the
+  // selected set — and the sorted result — is identical for any visit
+  // order, including the plain id order this reduces to on flat formats.
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const graph::NodeId u = snapshot_->rank_to_node(r);
     topk_.emplace_back(u, snapshot_->in_degree(u));
     std::push_heap(topk_.begin(), topk_.end(), weaker);
     if (topk_.size() > k) {
@@ -185,8 +191,8 @@ void RequestEngine::get_circle(const Request& q, bool out_list, Response& r,
     r.status = ServeStatus::kInvalidRequest;
     return;
   }
-  const auto list = out_list ? snapshot_->out_neighbors(q.user)
-                             : snapshot_->in_neighbors(q.user);
+  NeighborScan list =
+      out_list ? snapshot_->out_scan(q.user) : snapshot_->in_scan(q.user);
   const std::uint64_t total = list.size();
   const std::uint64_t visible = std::min<std::uint64_t>(total, config_.circle_cap);
   const std::uint32_t limit = q.limit == 0 ? config_.max_page : q.limit;
@@ -199,7 +205,10 @@ void RequestEngine::get_circle(const Request& q, bool out_list, Response& r,
   put_u16(r.payload, 0);
   // 1 cost unit per entry emitted; a deadline mid-page keeps the entries
   // that fit, patches the count/has_more fields, and flags the partial.
+  // The cursor lands on `begin` via the skip table — a page deep into a
+  // hub's compressed list costs one block, not a full-list decode.
   std::uint64_t emitted = 0;
+  list.skip_to(begin);
   for (std::uint64_t i = begin; i < end; ++i) {
     if (!meter.charge(1)) {
       r.status = ServeStatus::kDeadlineExceeded;
@@ -211,7 +220,9 @@ void RequestEngine::get_circle(const Request& q, bool out_list, Response& r,
       r.payload[12] = 1;  // entries remain past the aborted point
       return;
     }
-    put_u32(r.payload, list[i]);
+    graph::NodeId id = 0;
+    list.next(id);
+    put_u32(r.payload, id);
     ++emitted;
   }
 }
@@ -267,9 +278,10 @@ void RequestEngine::shortest_path(graph::NodeId u, graph::NodeId v,
     const std::uint32_t depth = (forward ? fwd_depth : bwd_depth) + 1;
     next.clear();
     for (const graph::NodeId x : frontier) {
-      const auto neighbors =
-          forward ? snapshot_->out_neighbors(x) : snapshot_->in_neighbors(x);
-      for (const graph::NodeId y : neighbors) {
+      NeighborScan neighbors =
+          forward ? snapshot_->out_scan(x) : snapshot_->in_scan(x);
+      graph::NodeId y = 0;
+      while (neighbors.next(y)) {
         if (!mine.emplace(y, depth).second) continue;
         ++expanded;
         if (!meter.charge(1)) deadline = true;

@@ -10,75 +10,228 @@
 
 #include "core/parallel.h"
 #include "geo/countries.h"
+#include "serve/snapshot_format.h"
 
 namespace gplus::serve {
 
 namespace {
 
-constexpr char kMagicV1[8] = {'G', 'P', 'S', 'N', 'A', 'P', '0', '1'};
-constexpr char kMagicV2[8] = {'G', 'P', 'S', 'N', 'A', 'P', '0', '2'};
-constexpr std::size_t kHeaderBytes = 112;
-constexpr std::size_t kChecksumOffset = 104;
-
-/// Magic for a given format version (only 1 and 2 exist).
-const char* magic_for(std::uint32_t version) {
-  return version == kSnapshotVersion1 ? kMagicV1 : kMagicV2;
-}
-
-/// Parses the 8-byte magic into a version, or 0 when it is not ours.
-std::uint32_t version_from_magic(const void* magic) {
-  if (std::memcmp(magic, kMagicV1, sizeof kMagicV1) == 0) return 1;
-  if (std::memcmp(magic, kMagicV2, sizeof kMagicV2) == 0) return 2;
-  return 0;
-}
+using detail::adjacency_group_count;
+using detail::adjacency_section_bytes;
+using detail::fnv1a64;
+using detail::kChecksumOffset;
+using detail::kHeaderBytes;
+using detail::load_u32;
+using detail::load_u64;
+using detail::magic_for;
+using detail::pad8;
+using detail::store_u32;
+using detail::store_u64;
+using detail::version_from_magic;
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("snapshot: " + what);
 }
 
-std::uint64_t fnv1a64(const std::byte* data, std::size_t n) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<std::uint64_t>(data[i]);
-    h *= 0x100000001b3ULL;
+/// One encoded adjacency stream plus its two-level row index, built in
+/// rank order.
+struct EncodedAdjacency {
+  std::vector<std::uint8_t> data;
+  std::vector<std::uint64_t> base;  // group bases, n/64 + 1 entries
+  std::vector<std::uint32_t> rel;   // per-row offsets, n + 1 entries
+};
+
+/// Encodes every node's list in degree-rank order. `neighbors_of` maps an
+/// original node id to its ascending flat list. Serial and therefore
+/// deterministic at any thread count — and identical, row for row, to
+/// what the out-of-core builder streams from its merged runs.
+template <typename NeighborsOf>
+EncodedAdjacency encode_rank_ordered(std::size_t n,
+                                     const std::vector<std::uint32_t>& inv,
+                                     NeighborsOf&& neighbors_of) {
+  EncodedAdjacency enc;
+  enc.base.reserve(adjacency_group_count(n));
+  enc.rel.reserve(n + 1);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    if (r % kSnapshotRowGroup == 0) enc.base.push_back(enc.data.size());
+    const std::uint64_t rel = enc.data.size() - enc.base.back();
+    if (rel > 0xFFFFFFFFULL) fail("compressed row group exceeds 4 GiB");
+    enc.rel.push_back(static_cast<std::uint32_t>(rel));
+    encode_adjacency_list(neighbors_of(inv[r]), enc.data);
   }
-  return h;
+  while (enc.base.size() < adjacency_group_count(n)) {
+    enc.base.push_back(enc.data.size());
+  }
+  const std::uint64_t sentinel =
+      enc.data.size() - enc.base[n / kSnapshotRowGroup];
+  if (sentinel > 0xFFFFFFFFULL) fail("compressed row group exceeds 4 GiB");
+  enc.rel.push_back(static_cast<std::uint32_t>(sentinel));
+  return enc;
 }
 
-std::size_t pad8(std::size_t bytes) { return (bytes + 7) & ~std::size_t{7}; }
-
-void store_u32(std::byte* at, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    at[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
-  }
+/// Writes one compressed adjacency section at `at` (sub-header, base, rel,
+/// stream; padding bytes are already zero in the buffer).
+void write_adjacency_section(std::byte* at, const EncodedAdjacency& enc,
+                             std::size_t n) {
+  store_u64(at, enc.data.size());
+  store_u64(at + 8, 0);
+  std::byte* cursor = at + 16;
+  std::memcpy(cursor, enc.base.data(), enc.base.size() * 8);
+  cursor += enc.base.size() * 8;
+  std::memcpy(cursor, enc.rel.data(), enc.rel.size() * 4);
+  cursor += pad8((n + 1) * 4);
+  if (!enc.data.empty()) std::memcpy(cursor, enc.data.data(), enc.data.size());
 }
 
-void store_u64(std::byte* at, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    at[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+/// v3 build path: compressed rank-ordered adjacency, stored permutation,
+/// per-node reciprocal counts.
+SnapshotBuffer build_snapshot_v3(const core::Dataset& dataset,
+                                 const SnapshotOptions& options) {
+  const graph::DiGraph& g = dataset.graph();
+  const std::size_t n = g.node_count();
+  const std::size_t m = g.edge_count();
+  if (dataset.profiles.size() != n) fail("profile count != node count");
+
+  // Degree-rank permutation: total degree descending, id ascending on
+  // ties — hubs land in the file's first pages. Values inside each list
+  // stay original ids, so decoded answers match v2 byte for byte.
+  std::vector<std::uint32_t> inv(n);
+  for (std::uint32_t u = 0; u < n; ++u) inv[u] = u;
+  std::sort(inv.begin(), inv.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const std::uint64_t da = g.out_degree(a) + g.in_degree(a);
+              const std::uint64_t db = g.out_degree(b) + g.in_degree(b);
+              if (da != db) return da > db;
+              return a < b;
+            });
+  std::vector<std::uint32_t> perm(n);
+  for (std::uint32_t r = 0; r < n; ++r) perm[inv[r]] = r;
+
+  const EncodedAdjacency out_enc = encode_rank_ordered(
+      n, inv, [&](graph::NodeId u) { return g.out_neighbors(u); });
+  const EncodedAdjacency in_enc = encode_rank_ordered(
+      n, inv, [&](graph::NodeId u) { return g.in_neighbors(u); });
+
+  // Per-node reciprocal out-degree (the v2 bitmap's one aggregate query,
+  // precomputed). Disjoint per-node writes: deterministic in parallel.
+  std::vector<std::uint32_t> recip(n, 0);
+  core::parallel_for(n, 1024, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      const auto id = static_cast<graph::NodeId>(u);
+      std::uint32_t count = 0;
+      for (const graph::NodeId v : g.out_neighbors(id)) {
+        if (g.has_edge(v, id)) ++count;
+      }
+      recip[u] = count;
+    }
+  });
+
+  const std::size_t countries = options.country_index ? geo::country_count() : 0;
+  std::vector<std::vector<graph::NodeId>> by_country;
+  std::size_t located_total = 0;
+  if (options.country_index) {
+    by_country.resize(countries);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const auto& p = dataset.profiles[u];
+      if (p.is_located() && p.country < countries) {
+        by_country[p.country].push_back(u);
+        ++located_total;
+      }
+    }
   }
+
+  // Layout.
+  std::size_t at = kHeaderBytes;
+  const std::size_t off_out_adj = at;
+  at += adjacency_section_bytes(n, out_enc.data.size());
+  const std::size_t off_in_adj = at;
+  at += adjacency_section_bytes(n, in_enc.data.size());
+  const std::size_t off_perm = at;
+  at += pad8(n * 4);
+  const std::size_t off_inv = at;
+  at += pad8(n * 4);
+  const std::size_t off_recip = at;
+  at += pad8(n * 4);
+  const std::size_t off_profiles = at;
+  at += pad8(n * sizeof(PackedProfile));
+  std::size_t off_country_offsets = 0;
+  std::size_t off_country_nodes = 0;
+  if (options.country_index) {
+    off_country_offsets = at;
+    at += (countries + 1) * 8;
+    off_country_nodes = at;
+    at += pad8(located_total * 4);
+  }
+  const std::size_t off_digests = at;
+  at += kSnapshotDigestBytes;
+  const std::size_t total = at;
+
+  SnapshotBuffer buffer(std::vector<std::uint64_t>((total + 7) / 8, 0), total);
+  std::byte* base = buffer.data();
+
+  std::memcpy(base, magic_for(kSnapshotVersion3), 8);
+  store_u32(base + 8, kSnapshotVersion3);
+  store_u32(base + 12, options.country_index ? kSnapshotFlagCountryIndex : 0);
+  store_u64(base + 16, n);
+  store_u64(base + 24, m);
+  store_u64(base + 32, off_out_adj);
+  store_u64(base + 40, off_in_adj);
+  store_u64(base + 48, off_perm);
+  store_u64(base + 56, off_inv);
+  store_u64(base + 64, off_recip);
+  store_u64(base + 72, off_profiles);
+  store_u64(base + 80, off_country_offsets);
+  store_u64(base + 88, off_country_nodes);
+  store_u64(base + 96, total);
+  store_u64(base + kChecksumOffset, fnv1a64(base, kChecksumOffset));
+
+  write_adjacency_section(base + off_out_adj, out_enc, n);
+  write_adjacency_section(base + off_in_adj, in_enc, n);
+  std::memcpy(base + off_perm, perm.data(), n * 4);
+  std::memcpy(base + off_inv, inv.data(), n * 4);
+  std::memcpy(base + off_recip, recip.data(), n * 4);
+
+  auto* profiles = reinterpret_cast<PackedProfile*>(base + off_profiles);
+  core::parallel_for(n, 4096, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      profiles[u] = pack_profile(dataset.profiles[u]);
+    }
+  });
+
+  if (options.country_index) {
+    auto* coffsets = reinterpret_cast<std::uint64_t*>(base + off_country_offsets);
+    auto* cnodes = reinterpret_cast<graph::NodeId*>(base + off_country_nodes);
+    std::size_t written = 0;
+    for (std::size_t c = 0; c < countries; ++c) {
+      coffsets[c] = written;
+      std::copy(by_country[c].begin(), by_country[c].end(), cnodes + written);
+      written += by_country[c].size();
+    }
+    coffsets[countries] = written;
+  }
+
+  const std::pair<std::size_t, std::size_t> sections[kSnapshotSectionCount] = {
+      {off_out_adj, adjacency_section_bytes(n, out_enc.data.size())},
+      {off_in_adj, adjacency_section_bytes(n, in_enc.data.size())},
+      {off_perm, pad8(n * 4)},
+      {off_inv, pad8(n * 4)},
+      {off_recip, pad8(n * 4)},
+      {off_profiles, pad8(n * sizeof(PackedProfile))},
+      {off_country_offsets, options.country_index ? (countries + 1) * 8 : 0},
+      {off_country_nodes,
+       options.country_index ? pad8(located_total * 4) : 0},
+  };
+  auto* digests = base + off_digests;
+  for (std::size_t s = 0; s < kSnapshotSectionCount; ++s) {
+    const auto [off, len] = sections[s];
+    store_u64(digests + s * 8, off == 0 ? 0 : fnv1a64(base + off, len));
+  }
+  store_u64(digests + kSnapshotSectionCount * 8,
+            fnv1a64(digests, kSnapshotSectionCount * 8));
+  return buffer;
 }
 
-std::uint32_t load_u32(const std::byte* at) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(at[i]) << (8 * i);
-  }
-  return v;
-}
-
-std::uint64_t load_u64(const std::byte* at) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(at[i]) << (8 * i);
-  }
-  return v;
-}
-
-// The view reinterprets sections in place, which is only correct on a
-// little-endian host; big-endian would need a byte-swapping copy at open.
-static_assert(std::endian::native == std::endian::little,
-              "snapshot in-place views require a little-endian host");
+}  // namespace
 
 PackedProfile pack_profile(const synth::Profile& p) {
   PackedProfile out;
@@ -93,10 +246,11 @@ PackedProfile pack_profile(const synth::Profile& p) {
   return out;
 }
 
-}  // namespace
-
 SnapshotBuffer build_snapshot(const core::Dataset& dataset,
                               const SnapshotOptions& options) {
+  if (options.version == kSnapshotVersion3) {
+    return build_snapshot_v3(dataset, options);
+  }
   const graph::DiGraph& g = dataset.graph();
   const std::size_t n = g.node_count();
   const std::size_t m = g.edge_count();
@@ -250,10 +404,10 @@ SnapshotView::SnapshotView(std::span<const std::byte> bytes) : bytes_(bytes) {
   const std::uint32_t magic_version = version_from_magic(base);
   if (magic_version == 0) fail("bad magic (not a gplus snapshot)");
   const std::uint32_t version = load_u32(base + 8);
-  if (version != kSnapshotVersion1 && version != kSnapshotVersion2) {
-    fail("unsupported version " + std::to_string(version) + " (reader knows " +
-         std::to_string(kSnapshotVersion1) + " and " +
-         std::to_string(kSnapshotVersion2) + ")");
+  if (version != kSnapshotVersion1 && version != kSnapshotVersion2 &&
+      version != kSnapshotVersion3) {
+    fail("unsupported version " + std::to_string(version) +
+         " (reader knows 1, 2 and 3)");
   }
   if (version != magic_version) {
     fail("magic/version mismatch (magic says " +
@@ -275,7 +429,7 @@ SnapshotView::SnapshotView(std::span<const std::byte> bytes) : bytes_(bytes) {
   if (reinterpret_cast<std::uintptr_t>(base) % 8 != 0) {
     fail("buffer not 8-byte aligned");
   }
-  // v2: the digest table occupies the final 72 bytes; data sections must
+  // v2+: the digest table occupies the final 72 bytes; data sections must
   // stay below it. Its self-checksum is verified here (72 bytes, still
   // O(1)); the per-section digests are verified by verify_sections().
   std::uint64_t body_end = total;
@@ -291,6 +445,16 @@ SnapshotView::SnapshotView(std::span<const std::byte> bytes) : bytes_(bytes) {
     }
   }
 
+  if (version_ >= kSnapshotVersion3) {
+    open_compressed_sections(base, flags, body_end);
+  } else {
+    open_flat_sections(base, flags, body_end);
+  }
+}
+
+void SnapshotView::open_flat_sections(const std::byte* base,
+                                      std::uint32_t flags,
+                                      std::uint64_t body_end) {
   // Every section must be aligned and lie inside the buffer (below the
   // digest table on v2).
   auto section = [&](std::size_t header_at, std::size_t length,
@@ -330,6 +494,81 @@ SnapshotView::SnapshotView(std::span<const std::byte> bytes) : bytes_(bytes) {
   }
 }
 
+void SnapshotView::open_compressed_sections(const std::byte* base,
+                                            std::uint32_t flags,
+                                            std::uint64_t body_end) {
+  // Guard the layout arithmetic before using nodes_ in any length
+  // computation: the perm section alone needs 4n bytes, so a node count
+  // the buffer cannot possibly hold is rejected up front (this also
+  // keeps every u64 length expression below from overflowing).
+  if (nodes_ >= body_end / 4) fail("node count impossible for buffer size");
+
+  auto section = [&](std::size_t header_at, std::uint64_t length,
+                     const char* name) -> const std::byte* {
+    const std::uint64_t off = load_u64(base + header_at);
+    if (off % 8 != 0) fail(std::string(name) + " section misaligned");
+    if (off < kHeaderBytes || off + length > body_end) {
+      fail(std::string(name) + " section out of bounds");
+    }
+    return base + off;
+  };
+
+  // Compressed adjacency sections: bounds-check the 16-byte sub-header
+  // first, read the stream length, then bounds-check the full extent.
+  auto adjacency = [&](std::size_t header_at,
+                       const char* name) -> CompressedAdjacency {
+    const std::byte* at = section(header_at, 16, name);
+    const std::uint64_t data_bytes = load_u64(at);
+    if (data_bytes > body_end) {
+      fail(std::string(name) + " stream length impossible");
+    }
+    const std::uint64_t off = load_u64(base + header_at);
+    if (off + adjacency_section_bytes(nodes_, data_bytes) > body_end) {
+      fail(std::string(name) + " section out of bounds");
+    }
+    CompressedAdjacency adj;
+    adj.data_bytes = data_bytes;
+    adj.base = reinterpret_cast<const std::uint64_t*>(at + 16);
+    const std::byte* rel_at = at + 16 + adjacency_group_count(nodes_) * 8;
+    adj.rel = reinterpret_cast<const std::uint32_t*>(rel_at);
+    adj.data = reinterpret_cast<const std::uint8_t*>(
+        rel_at + pad8((nodes_ + 1) * 4));
+    // O(1) consistency: row 0 starts at stream byte 0 and the sentinel
+    // lands exactly on the stream end.
+    if (adj.base[0] != 0 || adj.rel[0] != 0) {
+      fail(std::string(name) + " row index corrupt (first row not at 0)");
+    }
+    if (adj.base[nodes_ / kSnapshotRowGroup] + adj.rel[nodes_] != data_bytes) {
+      fail(std::string(name) + " row index corrupt (sentinel != stream end)");
+    }
+    return adj;
+  };
+
+  out_adj_ = adjacency(32, "out_adj");
+  in_adj_ = adjacency(40, "in_adj");
+  perm_ = reinterpret_cast<const std::uint32_t*>(
+      section(48, pad8(nodes_ * 4), "perm"));
+  inv_ = reinterpret_cast<const std::uint32_t*>(
+      section(56, pad8(nodes_ * 4), "inv"));
+  recip_counts_ = reinterpret_cast<const std::uint32_t*>(
+      section(64, pad8(nodes_ * 4), "recip_counts"));
+  profiles_ = reinterpret_cast<const PackedProfile*>(
+      section(72, pad8(nodes_ * sizeof(PackedProfile)), "profiles"));
+  // O(1) permutation sanity (full validation is the digest table's job).
+  if (nodes_ > 0 && (perm_[0] >= nodes_ || inv_[perm_[0]] != 0)) {
+    fail("perm/inv permutation corrupt");
+  }
+  if (flags & kSnapshotFlagCountryIndex) {
+    country_count_ = geo::country_count();
+    country_offsets_ = reinterpret_cast<const std::uint64_t*>(
+        section(80, (country_count_ + 1) * 8, "country_offsets"));
+    const std::uint64_t located = country_offsets_[country_count_];
+    if (located > body_end / 4) fail("country index impossible for buffer");
+    country_nodes_ = reinterpret_cast<const graph::NodeId*>(
+        section(88, pad8(located * 4), "country_nodes"));
+  }
+}
+
 void SnapshotView::verify_sections() const {
   if (digests_ == nullptr) return;  // v1: nothing beyond the header to check
   struct SectionRef {
@@ -337,30 +576,53 @@ void SnapshotView::verify_sections() const {
     const std::byte* at;  // nullptr when the section is absent
     std::size_t length;
   };
-  const SectionRef sections[kSnapshotSectionCount] = {
-      {"out_offsets", reinterpret_cast<const std::byte*>(out_offsets_),
-       (nodes_ + 1) * 8},
-      {"out_targets", reinterpret_cast<const std::byte*>(out_targets_),
-       pad8(edges_ * 4)},
-      {"in_offsets", reinterpret_cast<const std::byte*>(in_offsets_),
-       (nodes_ + 1) * 8},
-      {"in_targets", reinterpret_cast<const std::byte*>(in_targets_),
-       pad8(edges_ * 4)},
-      {"recip", reinterpret_cast<const std::byte*>(recip_),
-       (edges_ + 63) / 64 * 8},
-      {"profiles", reinterpret_cast<const std::byte*>(profiles_),
-       pad8(nodes_ * sizeof(PackedProfile))},
-      {"country_offsets", reinterpret_cast<const std::byte*>(country_offsets_),
-       (country_count_ + 1) * 8},
-      {"country_nodes", reinterpret_cast<const std::byte*>(country_nodes_),
-       country_offsets_ == nullptr
-           ? 0
-           : pad8(country_offsets_[country_count_] * 4)},
+  const std::byte* base = bytes_.data();
+  auto at_header_offset = [&](std::size_t header_at) -> const std::byte* {
+    return base + load_u64(base + header_at);
   };
+  SectionRef sections[kSnapshotSectionCount];
+  if (version_ >= kSnapshotVersion3) {
+    sections[0] = {"out_adj", at_header_offset(32),
+                   adjacency_section_bytes(nodes_, out_adj_.data_bytes)};
+    sections[1] = {"in_adj", at_header_offset(40),
+                   adjacency_section_bytes(nodes_, in_adj_.data_bytes)};
+    sections[2] = {"perm", reinterpret_cast<const std::byte*>(perm_),
+                   pad8(nodes_ * 4)};
+    sections[3] = {"inv", reinterpret_cast<const std::byte*>(inv_),
+                   pad8(nodes_ * 4)};
+    sections[4] = {"recip_counts",
+                   reinterpret_cast<const std::byte*>(recip_counts_),
+                   pad8(nodes_ * 4)};
+  } else {
+    sections[0] = {"out_offsets",
+                   reinterpret_cast<const std::byte*>(out_offsets_),
+                   (nodes_ + 1) * 8};
+    sections[1] = {"out_targets",
+                   reinterpret_cast<const std::byte*>(out_targets_),
+                   pad8(edges_ * 4)};
+    sections[2] = {"in_offsets",
+                   reinterpret_cast<const std::byte*>(in_offsets_),
+                   (nodes_ + 1) * 8};
+    sections[3] = {"in_targets",
+                   reinterpret_cast<const std::byte*>(in_targets_),
+                   pad8(edges_ * 4)};
+    sections[4] = {"recip", reinterpret_cast<const std::byte*>(recip_),
+                   (edges_ + 63) / 64 * 8};
+  }
+  sections[5] = {"profiles", reinterpret_cast<const std::byte*>(profiles_),
+                 pad8(nodes_ * sizeof(PackedProfile))};
+  sections[6] = {"country_offsets",
+                 reinterpret_cast<const std::byte*>(country_offsets_),
+                 (country_count_ + 1) * 8};
+  sections[7] = {"country_nodes",
+                 reinterpret_cast<const std::byte*>(country_nodes_),
+                 country_offsets_ == nullptr
+                     ? 0
+                     : pad8(country_offsets_[country_count_] * 4)};
   for (std::size_t s = 0; s < kSnapshotSectionCount; ++s) {
     const SectionRef& ref = sections[s];
     const std::uint64_t want = digests_[s];
-    if (ref.at == nullptr) {
+    if (ref.at == nullptr || ref.at == base) {
       if (want != 0) fail(std::string(ref.name) + " digest for absent section");
       continue;
     }
@@ -371,11 +633,16 @@ void SnapshotView::verify_sections() const {
 }
 
 bool SnapshotView::has_out_edge(graph::NodeId u, graph::NodeId v) const noexcept {
-  const auto out = out_neighbors(u);
-  return std::binary_search(out.begin(), out.end(), v);
+  if (out_offsets_ != nullptr) {
+    const auto out = out_neighbors(u);
+    return std::binary_search(out.begin(), out.end(), v);
+  }
+  AdjacencyListDecoder dec(out_adj_.row(perm_[u]), out_adj_.end());
+  return dec.contains(v);
 }
 
 std::uint64_t SnapshotView::reciprocal_out_degree(graph::NodeId u) const noexcept {
+  if (recip_counts_ != nullptr) return recip_counts_[u];
   const std::uint64_t begin = out_offsets_[u];
   const std::uint64_t end = out_offsets_[u + 1];
   if (begin == end) return 0;

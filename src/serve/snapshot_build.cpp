@@ -1,0 +1,632 @@
+#include "serve/snapshot_build.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "geo/countries.h"
+#include "serve/snapshot_format.h"
+#include "serve/varint.h"
+
+namespace gplus::serve {
+
+namespace {
+
+using detail::adjacency_group_count;
+using detail::adjacency_section_bytes;
+using detail::fnv1a64;
+using detail::kChecksumOffset;
+using detail::kHeaderBytes;
+using detail::magic_for;
+using detail::pad8;
+using detail::store_u32;
+using detail::store_u64;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("snapshot build: " + what);
+}
+
+/// Buffered sequential u64 reader over one scratch file.
+class U64Reader {
+ public:
+  explicit U64Reader(const std::filesystem::path& path)
+      : chunk_(1 << 16) {
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr) fail("cannot open for reading: " + path.string());
+  }
+  ~U64Reader() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  U64Reader(const U64Reader&) = delete;
+  U64Reader& operator=(const U64Reader&) = delete;
+
+  bool next(std::uint64_t& v) {
+    if (at_ == filled_) {
+      filled_ = std::fread(chunk_.data(), 8, chunk_.size(), file_);
+      at_ = 0;
+      if (filled_ == 0) return false;
+    }
+    v = chunk_[at_++];
+    return true;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::vector<std::uint64_t> chunk_;
+  std::size_t at_ = 0;
+  std::size_t filled_ = 0;
+};
+
+/// Buffered byte writer; fails loudly on short writes.
+class ByteWriter {
+ public:
+  explicit ByteWriter(const std::filesystem::path& path) : path_(path) {
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) fail("cannot open for writing: " + path.string());
+  }
+  ~ByteWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
+  void write(const void* data, std::size_t n) {
+    if (n != 0 && std::fwrite(data, 1, n, file_) != n) {
+      fail("write failed: " + path_.string());
+    }
+    written_ += n;
+  }
+  std::uint64_t written() const noexcept { return written_; }
+  void close() {
+    if (file_ != nullptr && std::fclose(file_) != 0) {
+      file_ = nullptr;
+      fail("close failed: " + path_.string());
+    }
+    file_ = nullptr;
+  }
+
+ private:
+  std::filesystem::path path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t written_ = 0;
+};
+
+std::filesystem::path run_path(const std::filesystem::path& dir,
+                               std::uint64_t i) {
+  return dir / ("run_" + std::to_string(i) + ".u64");
+}
+
+/// K-way ascending merge of sorted u64 run files into `out`, applying
+/// `keep` to each distinct value (return false to drop it). Duplicates —
+/// within or across runs — collapse to one. Returns the kept count.
+template <typename Keep>
+std::uint64_t merge_sorted_runs(const std::filesystem::path& dir,
+                                std::uint64_t run_count,
+                                const std::filesystem::path& out_path,
+                                Keep&& keep) {
+  std::vector<std::unique_ptr<U64Reader>> readers;
+  readers.reserve(run_count);
+  using Head = std::pair<std::uint64_t, std::size_t>;  // value, run index
+  std::priority_queue<Head, std::vector<Head>, std::greater<>> heap;
+  for (std::uint64_t i = 0; i < run_count; ++i) {
+    readers.push_back(std::make_unique<U64Reader>(run_path(dir, i)));
+    std::uint64_t v = 0;
+    if (readers.back()->next(v)) heap.emplace(v, i);
+  }
+  ByteWriter out(out_path);
+  std::uint64_t kept = 0;
+  bool have_last = false;
+  std::uint64_t last = 0;
+  std::vector<std::uint64_t> pending;
+  pending.reserve(1 << 16);
+  auto flush_pending = [&] {
+    out.write(pending.data(), pending.size() * 8);
+    pending.clear();
+  };
+  while (!heap.empty()) {
+    const auto [value, idx] = heap.top();
+    heap.pop();
+    std::uint64_t next = 0;
+    if (readers[idx]->next(next)) heap.emplace(next, idx);
+    if (have_last && value == last) continue;  // global dedup
+    have_last = true;
+    last = value;
+    if (!keep(value)) continue;
+    pending.push_back(value);
+    if (pending.size() == pending.capacity()) flush_pending();
+    ++kept;
+  }
+  flush_pending();
+  out.close();
+  return kept;
+}
+
+/// Sorts `chunk` and appends it as run `run_count` (which is incremented).
+void write_run(const std::filesystem::path& dir, std::uint64_t& run_count,
+               std::vector<std::uint64_t>& chunk) {
+  std::sort(chunk.begin(), chunk.end());
+  ByteWriter out(run_path(dir, run_count));
+  out.write(chunk.data(), chunk.size() * 8);
+  out.close();
+  ++run_count;
+  chunk.clear();
+}
+
+/// One encoded adjacency stream on disk plus its in-RAM row index.
+struct EncodedStream {
+  std::filesystem::path path;
+  std::vector<std::uint64_t> base;
+  std::vector<std::uint32_t> rel;
+  std::uint64_t data_bytes = 0;
+};
+
+/// Encodes every row in rank order, reading each node's edge range from
+/// the sorted edge file via pread (sequential files stay page-cached;
+/// row reads hop with the permutation but never load the file whole).
+/// Neighbor ids are the low 32 bits of each packed tuple. Must mirror
+/// encode_rank_ordered in snapshot.cpp exactly — byte-identity between
+/// the two builders is a tested contract.
+EncodedStream encode_rows(const std::filesystem::path& edges_path,
+                          const std::vector<std::uint64_t>& prefix,
+                          const std::vector<std::uint32_t>& inv,
+                          std::size_t n,
+                          const std::filesystem::path& stream_path) {
+  const int fd = ::open(edges_path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("cannot open merged edges: " + edges_path.string());
+  EncodedStream enc;
+  enc.path = stream_path;
+  enc.base.reserve(adjacency_group_count(n));
+  enc.rel.reserve(n + 1);
+  ByteWriter out(stream_path);
+  std::vector<std::uint64_t> tuples;
+  std::vector<graph::NodeId> row;
+  std::vector<std::uint8_t> bytes;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    if (r % kSnapshotRowGroup == 0) enc.base.push_back(out.written());
+    const std::uint64_t rel = out.written() - enc.base.back();
+    if (rel > 0xFFFFFFFFULL) {
+      ::close(fd);
+      fail("compressed row group exceeds 4 GiB");
+    }
+    enc.rel.push_back(static_cast<std::uint32_t>(rel));
+    const std::uint32_t u = inv[r];
+    const std::uint64_t degree = prefix[u + 1] - prefix[u];
+    tuples.resize(degree);
+    std::size_t got = 0;
+    while (got < degree * 8) {
+      const ssize_t k =
+          ::pread(fd, reinterpret_cast<char*>(tuples.data()) + got,
+                  degree * 8 - got,
+                  static_cast<off_t>(prefix[u] * 8 + got));
+      if (k <= 0) {
+        ::close(fd);
+        fail("short read from merged edges: " + edges_path.string());
+      }
+      got += static_cast<std::size_t>(k);
+    }
+    row.resize(degree);
+    for (std::uint64_t i = 0; i < degree; ++i) {
+      row[i] = static_cast<graph::NodeId>(tuples[i] & 0xFFFFFFFFULL);
+    }
+    bytes.clear();
+    encode_adjacency_list(row, bytes);
+    out.write(bytes.data(), bytes.size());
+  }
+  ::close(fd);
+  while (enc.base.size() < adjacency_group_count(n)) {
+    enc.base.push_back(out.written());
+  }
+  const std::uint64_t sentinel =
+      out.written() - enc.base[n / kSnapshotRowGroup];
+  if (sentinel > 0xFFFFFFFFULL) fail("compressed row group exceeds 4 GiB");
+  enc.rel.push_back(static_cast<std::uint32_t>(sentinel));
+  enc.data_bytes = out.written();
+  out.close();
+  return enc;
+}
+
+/// Assembly writer: tracks the file offset and hashes whatever lands
+/// inside the open section, so multi-gigabyte sections digest as they
+/// stream instead of needing a second pass.
+class SectionedWriter {
+ public:
+  explicit SectionedWriter(const std::filesystem::path& path) : out_(path) {}
+
+  void write(const void* data, std::size_t n) {
+    if (hashing_) hasher_.update(data, n);
+    out_.write(data, n);
+  }
+  void begin_section() {
+    hasher_ = Fnv1aHasher();
+    hashing_ = true;
+  }
+  std::uint64_t end_section() {
+    hashing_ = false;
+    return hasher_.digest();
+  }
+  void pad_to8() {
+    static constexpr std::array<std::uint8_t, 8> zeros{};
+    const std::uint64_t tail = out_.written() % 8;
+    if (tail != 0) write(zeros.data(), 8 - tail);
+  }
+  void append_file(const std::filesystem::path& path) {
+    // Scratch varint streams are byte-granular; copy them as raw bytes.
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) fail("cannot reopen stream: " + path.string());
+    std::vector<std::uint8_t> chunk(1 << 20);
+    std::size_t n = 0;
+    while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0) {
+      write(chunk.data(), n);
+    }
+    std::fclose(f);
+  }
+  std::uint64_t written() const noexcept { return out_.written(); }
+  void close() { out_.close(); }
+
+ private:
+  ByteWriter out_;
+  Fnv1aHasher hasher_;
+  bool hashing_ = false;
+};
+
+}  // namespace
+
+OutOfCoreSnapshotBuilder::OutOfCoreSnapshotBuilder(std::size_t node_count,
+                                                   OutOfCoreOptions options)
+    : nodes_(node_count), options_(std::move(options)) {
+  if (options_.work_dir.empty()) fail("work_dir is required");
+  if (options_.sort_buffer_edges == 0) fail("sort_buffer_edges must be > 0");
+  std::filesystem::create_directories(options_.work_dir);
+  buffer_.reserve(options_.sort_buffer_edges);
+  profiles_.resize(nodes_);
+  load_or_init_manifest();
+}
+
+OutOfCoreSnapshotBuilder::~OutOfCoreSnapshotBuilder() = default;
+
+void OutOfCoreSnapshotBuilder::load_or_init_manifest() {
+  const auto manifest = options_.work_dir / "MANIFEST";
+  std::ifstream in(manifest);
+  std::string tag;
+  std::uint32_t version = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t durable = 0;
+  std::uint64_t runs = 0;
+  if (in && (in >> tag >> version >> nodes >> durable >> runs) &&
+      tag == "gplus-oocbuild" && version == 1 && nodes == nodes_) {
+    // Resume: the runs listed are durable; everything after them must be
+    // re-streamed by the caller and will be fast-forwarded.
+    resumed_edges_ = durable;
+    ingested_ = 0;
+    run_count_ = runs;
+    return;
+  }
+  // Fresh build (or a stale/incompatible manifest): clear leftovers so an
+  // old run can never leak into this build's merge.
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.work_dir, ec)) {
+    std::filesystem::remove(entry.path(), ec);
+  }
+  resumed_edges_ = 0;
+  run_count_ = 0;
+}
+
+void OutOfCoreSnapshotBuilder::write_manifest() const {
+  const auto manifest = options_.work_dir / "MANIFEST";
+  const auto tmp = options_.work_dir / "MANIFEST.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << "gplus-oocbuild 1\n"
+        << nodes_ << '\n'
+        << (resumed_edges_ + ingested_) << '\n'
+        << run_count_ << '\n';
+    if (!out) fail("cannot write manifest");
+  }
+  std::filesystem::rename(tmp, manifest);
+}
+
+void OutOfCoreSnapshotBuilder::stage(std::string_view name) {
+  if (options_.checkpoint && !options_.checkpoint(name)) {
+    fail("aborted at stage " + std::string(name));
+  }
+}
+
+void OutOfCoreSnapshotBuilder::flush_run() {
+  if (buffer_.empty()) return;
+  write_run(options_.work_dir, run_count_, buffer_);
+  // Every add_edge seen so far is now durable; record it before telling
+  // the checkpoint hook (a simulated crash right after the flush must
+  // still find the manifest current).
+  write_manifest();
+  stage("run_flush");
+}
+
+void OutOfCoreSnapshotBuilder::add_edge(graph::NodeId src, graph::NodeId dst) {
+  if (finished_) fail("add_edge after finish");
+  if (src >= nodes_ || dst >= nodes_) fail("edge endpoint out of range");
+  // Fast-forward through edges a previous interrupted build already made
+  // durable — the caller replays its stream from the top.
+  if (skipped_ < resumed_edges_) {
+    ++skipped_;
+    return;
+  }
+  buffer_.push_back((static_cast<std::uint64_t>(src) << 32) | dst);
+  ++ingested_;
+  if (buffer_.size() >= options_.sort_buffer_edges) flush_run();
+}
+
+void OutOfCoreSnapshotBuilder::set_profile(graph::NodeId u,
+                                           const synth::Profile& profile) {
+  if (u >= nodes_) fail("profile node out of range");
+  profiles_[u] = pack_profile(profile);
+}
+
+OutOfCoreStats OutOfCoreSnapshotBuilder::finish(
+    const std::filesystem::path& path) {
+  if (finished_) fail("finish called twice");
+  const auto& dir = options_.work_dir;
+  flush_run();
+
+  // Merge the runs into the forward edge file, counting degrees.
+  std::vector<std::uint32_t> out_deg(nodes_, 0);
+  std::vector<std::uint32_t> in_deg(nodes_, 0);
+  const auto edges_src = dir / "edges_src.u64";
+  const std::uint64_t m =
+      merge_sorted_runs(dir, run_count_, edges_src, [&](std::uint64_t v) {
+        const auto src = static_cast<std::uint32_t>(v >> 32);
+        const auto dst = static_cast<std::uint32_t>(v & 0xFFFFFFFFULL);
+        if (src == dst) return false;  // GraphBuilder drops self-loops
+        ++out_deg[src];
+        ++in_deg[dst];
+        return true;
+      });
+  stage("merged_forward");
+
+  // Reverse edge file: rotate each tuple to (dst<<32)|src, external-sort.
+  // Doubles as the reversed edge *set* for the reciprocity intersection.
+  const auto edges_dst = dir / "edges_dst.u64";
+  {
+    std::uint64_t rev_runs = 0;
+    const auto rev_dir = dir / "rev";
+    std::filesystem::create_directories(rev_dir);
+    std::vector<std::uint64_t> chunk;
+    chunk.reserve(options_.sort_buffer_edges);
+    U64Reader forward(edges_src);
+    std::uint64_t v = 0;
+    while (forward.next(v)) {
+      chunk.push_back((v << 32) | (v >> 32));
+      if (chunk.size() >= options_.sort_buffer_edges) {
+        write_run(rev_dir, rev_runs, chunk);
+      }
+    }
+    if (!chunk.empty()) write_run(rev_dir, rev_runs, chunk);
+    merge_sorted_runs(rev_dir, rev_runs, edges_dst,
+                      [](std::uint64_t) { return true; });
+    std::filesystem::remove_all(rev_dir);
+  }
+  stage("merged_reverse");
+
+  // Degree-rank permutation — the same ordering rule as the in-memory v3
+  // builder (total degree descending, id ascending on ties).
+  std::vector<std::uint32_t> inv(nodes_);
+  for (std::uint32_t u = 0; u < nodes_; ++u) inv[u] = u;
+  std::sort(inv.begin(), inv.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const std::uint64_t da =
+        std::uint64_t{out_deg[a]} + std::uint64_t{in_deg[a]};
+    const std::uint64_t db =
+        std::uint64_t{out_deg[b]} + std::uint64_t{in_deg[b]};
+    if (da != db) return da > db;
+    return a < b;
+  });
+  std::vector<std::uint32_t> perm(nodes_);
+  for (std::uint32_t r = 0; r < nodes_; ++r) perm[inv[r]] = r;
+
+  auto prefix_of = [&](const std::vector<std::uint32_t>& deg) {
+    std::vector<std::uint64_t> prefix(nodes_ + 1, 0);
+    for (std::size_t u = 0; u < nodes_; ++u) {
+      prefix[u + 1] = prefix[u] + deg[u];
+    }
+    return prefix;
+  };
+
+  EncodedStream out_enc;
+  {
+    const auto prefix = prefix_of(out_deg);
+    out_enc = encode_rows(edges_src, prefix, inv, nodes_, dir / "out_stream");
+  }
+  EncodedStream in_enc;
+  {
+    const auto prefix = prefix_of(in_deg);
+    in_enc = encode_rows(edges_dst, prefix, inv, nodes_, dir / "in_stream");
+  }
+  out_deg.clear();
+  out_deg.shrink_to_fit();
+  in_deg.clear();
+  in_deg.shrink_to_fit();
+  stage("encoded");
+
+  // Reciprocal out-degrees: (a,b) has its reverse edge exactly when the
+  // packed tuple (a<<32)|b appears in the reversed set — a two-pointer
+  // intersection of two sorted streams, one sequential pass each.
+  std::vector<std::uint32_t> recip(nodes_, 0);
+  {
+    U64Reader fwd(edges_src);
+    U64Reader rev(edges_dst);
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    bool have_a = fwd.next(a);
+    bool have_b = rev.next(b);
+    while (have_a && have_b) {
+      if (a == b) {
+        ++recip[static_cast<std::uint32_t>(a >> 32)];
+        have_a = fwd.next(a);
+        have_b = rev.next(b);
+      } else if (a < b) {
+        have_a = fwd.next(a);
+      } else {
+        have_b = rev.next(b);
+      }
+    }
+  }
+
+  // Country index from the packed profiles.
+  const std::size_t countries =
+      options_.country_index ? geo::country_count() : 0;
+  std::vector<std::vector<graph::NodeId>> by_country(countries);
+  std::uint64_t located_total = 0;
+  if (options_.country_index) {
+    for (graph::NodeId u = 0; u < nodes_; ++u) {
+      const PackedProfile& p = profiles_[u];
+      if (p.located() && p.country < countries) {
+        by_country[p.country].push_back(u);
+        ++located_total;
+      }
+    }
+  }
+
+  // Layout — must mirror build_snapshot_v3 exactly.
+  const std::size_t n = nodes_;
+  std::uint64_t at = kHeaderBytes;
+  const std::uint64_t off_out_adj = at;
+  at += adjacency_section_bytes(n, out_enc.data_bytes);
+  const std::uint64_t off_in_adj = at;
+  at += adjacency_section_bytes(n, in_enc.data_bytes);
+  const std::uint64_t off_perm = at;
+  at += pad8(n * 4);
+  const std::uint64_t off_inv = at;
+  at += pad8(n * 4);
+  const std::uint64_t off_recip = at;
+  at += pad8(n * 4);
+  const std::uint64_t off_profiles = at;
+  at += pad8(n * sizeof(PackedProfile));
+  std::uint64_t off_country_offsets = 0;
+  std::uint64_t off_country_nodes = 0;
+  if (options_.country_index) {
+    off_country_offsets = at;
+    at += (countries + 1) * 8;
+    off_country_nodes = at;
+    at += pad8(located_total * 4);
+  }
+  const std::uint64_t total = at + kSnapshotDigestBytes;
+
+  const auto tmp_path = path.string() + ".tmp";
+  SectionedWriter out(tmp_path);
+  {
+    std::array<std::byte, kHeaderBytes> header{};
+    std::byte* h = header.data();
+    std::memcpy(h, magic_for(kSnapshotVersion3), 8);
+    store_u32(h + 8, kSnapshotVersion3);
+    store_u32(h + 12,
+              options_.country_index ? kSnapshotFlagCountryIndex : 0);
+    store_u64(h + 16, n);
+    store_u64(h + 24, m);
+    store_u64(h + 32, off_out_adj);
+    store_u64(h + 40, off_in_adj);
+    store_u64(h + 48, off_perm);
+    store_u64(h + 56, off_inv);
+    store_u64(h + 64, off_recip);
+    store_u64(h + 72, off_profiles);
+    store_u64(h + 80, off_country_offsets);
+    store_u64(h + 88, off_country_nodes);
+    store_u64(h + 96, total);
+    store_u64(h + kChecksumOffset, fnv1a64(h, kChecksumOffset));
+    out.write(header.data(), kHeaderBytes);
+  }
+
+  std::array<std::uint64_t, kSnapshotSectionCount> digests{};
+  auto write_adjacency = [&](const EncodedStream& enc) {
+    out.begin_section();
+    std::array<std::byte, 16> sub{};
+    store_u64(sub.data(), enc.data_bytes);
+    out.write(sub.data(), 16);
+    out.write(enc.base.data(), enc.base.size() * 8);
+    out.write(enc.rel.data(), enc.rel.size() * 4);
+    out.pad_to8();
+    out.append_file(enc.path);
+    out.pad_to8();
+    return out.end_section();
+  };
+  digests[0] = write_adjacency(out_enc);
+  digests[1] = write_adjacency(in_enc);
+  auto write_u32_section = [&](const std::vector<std::uint32_t>& data) {
+    out.begin_section();
+    out.write(data.data(), data.size() * 4);
+    out.pad_to8();
+    return out.end_section();
+  };
+  digests[2] = write_u32_section(perm);
+  digests[3] = write_u32_section(inv);
+  digests[4] = write_u32_section(recip);
+  out.begin_section();
+  out.write(profiles_.data(), profiles_.size() * sizeof(PackedProfile));
+  out.pad_to8();
+  digests[5] = out.end_section();
+  if (options_.country_index) {
+    out.begin_section();
+    std::vector<std::uint64_t> coffsets(countries + 1, 0);
+    std::uint64_t written = 0;
+    for (std::size_t c = 0; c < countries; ++c) {
+      coffsets[c] = written;
+      written += by_country[c].size();
+    }
+    coffsets[countries] = written;
+    out.write(coffsets.data(), coffsets.size() * 8);
+    digests[6] = out.end_section();
+    out.begin_section();
+    for (std::size_t c = 0; c < countries; ++c) {
+      out.write(by_country[c].data(), by_country[c].size() * 4);
+    }
+    out.pad_to8();
+    digests[7] = out.end_section();
+  }
+  {
+    std::array<std::byte, kSnapshotDigestBytes> table{};
+    for (std::size_t s = 0; s < kSnapshotSectionCount; ++s) {
+      store_u64(table.data() + s * 8, digests[s]);
+    }
+    store_u64(table.data() + kSnapshotSectionCount * 8,
+              fnv1a64(table.data(), kSnapshotSectionCount * 8));
+    out.write(table.data(), kSnapshotDigestBytes);
+  }
+  if (out.written() != total) {
+    fail("assembled size mismatch (wrote " + std::to_string(out.written()) +
+         ", laid out " + std::to_string(total) + ")");
+  }
+  out.close();
+  stage("assemble");
+  std::filesystem::rename(tmp_path, path);
+
+  // Scratch is no longer needed; a future build in this work_dir starts
+  // fresh rather than resuming into a completed snapshot.
+  std::error_code ec;
+  std::filesystem::remove(dir / "MANIFEST", ec);
+  for (std::uint64_t i = 0; i < run_count_; ++i) {
+    std::filesystem::remove(run_path(dir, i), ec);
+  }
+  std::filesystem::remove(edges_src, ec);
+  std::filesystem::remove(edges_dst, ec);
+  std::filesystem::remove(out_enc.path, ec);
+  std::filesystem::remove(in_enc.path, ec);
+  finished_ = true;
+
+  OutOfCoreStats stats;
+  stats.edge_count = m;
+  stats.total_bytes = total;
+  stats.run_count = run_count_;
+  stats.resumed_edges = resumed_edges_;
+  return stats;
+}
+
+}  // namespace gplus::serve

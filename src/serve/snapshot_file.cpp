@@ -1,0 +1,79 @@
+#include "serve/snapshot_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace gplus::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("snapshot: " + what);
+}
+
+}  // namespace
+
+MappedSnapshot::MappedSnapshot(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    fail("cannot open for mapping: " + path.string() + " (" +
+         std::strerror(errno) + ")");
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail("fstat failed: " + path.string() + " (" + std::strerror(err) + ")");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    fail("empty file: " + path.string());
+  }
+  map_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping survives the descriptor; close unconditionally.
+  ::close(fd);
+  if (map_ == MAP_FAILED) {
+    map_ = nullptr;
+    fail("mmap failed: " + path.string() + " (" + std::strerror(errno) + ")");
+  }
+  try {
+    view_.emplace(bytes());
+  } catch (...) {
+    ::munmap(map_, size_);
+    map_ = nullptr;
+    throw;
+  }
+}
+
+MappedSnapshot::~MappedSnapshot() {
+  if (map_ != nullptr) ::munmap(map_, size_);
+}
+
+MappedSnapshot::MappedSnapshot(MappedSnapshot&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      view_(std::move(other.view_)) {
+  other.view_.reset();
+}
+
+MappedSnapshot& MappedSnapshot::operator=(MappedSnapshot&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, size_);
+    map_ = std::exchange(other.map_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    view_ = std::move(other.view_);
+    other.view_.reset();
+  }
+  return *this;
+}
+
+}  // namespace gplus::serve

@@ -1,0 +1,119 @@
+// Varint gap codec for the compressed (v3) snapshot adjacency sections.
+//
+// One adjacency list — a strictly ascending sequence of u32 node ids — is
+// encoded as:
+//
+//   varint(degree)
+//   skip table: (ceil(degree/64) - 1) little-endian u32 entries, present
+//     only when degree > 64. Entry j-1 holds the byte offset of block j's
+//     first byte, relative to the first byte after the skip table.
+//   blocks of up to 64 entries: the first entry of every block is the
+//     absolute id as a varint (a "restart"), every later entry is
+//     varint(id - previous - 1) — gaps are >= 1 because the list is
+//     strictly ascending, so the -1 buys one value of headroom.
+//
+// The fixed-width skip table is what makes the decode *block-skippable*:
+// positioning at entry k costs one table load plus at most 63 varint
+// decodes, so circle pagination and membership probes never decode a hub's
+// full multi-megabyte list. Varints are LEB128 (7 data bits per byte, low
+// groups first) — the protobuf wire order, pinned by golden bytes in
+// tests/test_varint_codec.cpp.
+//
+// Every decode path is bounds-checked against the caller-supplied end
+// pointer and fails closed (returns false / nullptr) instead of reading
+// out of bounds: the bit-flip corruption battery runs these decoders over
+// deliberately damaged sections under ASan/UBSan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gplus::serve {
+
+/// Entries per restart block (and skip-table granularity).
+inline constexpr std::uint32_t kAdjacencyBlockEntries = 64;
+
+/// Bytes needed to encode `v` as a varint (1..10).
+std::size_t varint_size(std::uint64_t v) noexcept;
+
+/// Appends the varint encoding of `v`.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Bounds-checked varint decode: reads one varint from [p, end), stores it
+/// in `v` and returns the position one past it — or nullptr when the bytes
+/// are truncated or overlong (more than 10 bytes / bits above 2^64).
+const std::uint8_t* get_varint(const std::uint8_t* p, const std::uint8_t* end,
+                               std::uint64_t& v) noexcept;
+
+/// Appends the block-skippable encoding of one strictly ascending list.
+/// Returns the encoded byte count.
+std::size_t encode_adjacency_list(std::span<const graph::NodeId> sorted,
+                                  std::vector<std::uint8_t>& out);
+
+/// Forward decoder over one encoded adjacency list. Construction parses
+/// the degree and locates the skip table; `next` / `skip_to` then walk the
+/// entries. All reads are bounded by [p, end): a truncated or corrupt list
+/// makes `ok()` false (or `next` return false) — never an out-of-bounds
+/// load. The bytes must outlive the decoder.
+class AdjacencyListDecoder {
+ public:
+  /// Empty decoder: ok() false, degree 0 (NeighborScan's flat mode).
+  AdjacencyListDecoder() noexcept = default;
+  AdjacencyListDecoder(const std::uint8_t* p, const std::uint8_t* end) noexcept;
+
+  /// False when the header (degree varint / skip table extent) is corrupt.
+  bool ok() const noexcept { return ok_; }
+  /// Number of entries the list claims to hold.
+  std::uint64_t degree() const noexcept { return degree_; }
+  /// Index of the entry the next `next()` call yields.
+  std::uint64_t position() const noexcept { return position_; }
+
+  /// Decodes the next entry; false at end-of-list or on corrupt bytes.
+  bool next(graph::NodeId& value) noexcept;
+
+  /// Positions the decoder so the next `next()` yields entry `entry`,
+  /// using the skip table to land on the enclosing block. False when the
+  /// entry is past the end or the skip bytes are corrupt.
+  bool skip_to(std::uint64_t entry) noexcept;
+
+  /// Membership probe: binary-searches block restarts via the skip table,
+  /// then decodes at most one block. Repositions the cursor (the decoder
+  /// is a cursor, not a container — reuse requires skip_to afterwards).
+  bool contains(graph::NodeId v) noexcept;
+
+ private:
+  /// Decodes the absolute id that starts block `block` without moving the
+  /// cursor. False on corrupt skip/restart bytes.
+  bool block_first(std::uint64_t block, std::uint64_t& value) const noexcept;
+
+  const std::uint8_t* cursor_ = nullptr;  // next byte to decode
+  const std::uint8_t* end_ = nullptr;
+  const std::uint8_t* skip_table_ = nullptr;  // first skip entry (or null)
+  const std::uint8_t* blocks_ = nullptr;      // first byte of block 0
+  std::uint64_t degree_ = 0;
+  std::uint64_t position_ = 0;
+  std::uint32_t previous_ = 0;  // last decoded value (gap base)
+  bool ok_ = false;
+};
+
+/// Incremental FNV-1a (shared with the section-digest writers, which hash
+/// multi-gigabyte sections as they stream to disk).
+class Fnv1aHasher {
+ public:
+  void update(const void* data, std::size_t n) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace gplus::serve

@@ -1,0 +1,133 @@
+#include "synth/stream_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/graph_gen.h"
+
+namespace gplus::synth {
+
+namespace {
+
+// Salts keep the per-node streams for latent state, edges and profiles
+// independent; each is expanded through splitmix64 before seeding the
+// xoshiro state, matching the Rng's own seeding discipline.
+constexpr std::uint64_t kLatentSalt = 0x6c6174656e742121ULL;
+constexpr std::uint64_t kEdgeSalt = 0x6564676573212121ULL;
+constexpr std::uint64_t kProfileSalt = 0x70726f66696c6521ULL;
+
+}  // namespace
+
+stats::Rng StreamingGraphGen::node_rng(graph::NodeId u,
+                                       std::uint64_t salt) const noexcept {
+  std::uint64_t state =
+      config_.seed ^ salt ^ (0x9E3779B97F4A7C15ULL * (std::uint64_t{u} + 1));
+  return stats::Rng(stats::splitmix64_next(state));
+}
+
+StreamingGraphGen::StreamingGraphGen(const StreamGenConfig& config,
+                                     const PopulationModel& population,
+                                     const geo::World& world)
+    : config_(config),
+      population_(&population),
+      world_(&world),
+      profile_gen_(config.profile, population) {
+  const std::size_t n = config_.node_count;
+  country_.resize(n);
+  celebrity_.assign(n, 0);
+  dormant_.assign(n, 0);
+  social_.assign(n, 0);
+  fitness_.resize(n);
+  members_.resize(geo::country_count());
+
+  // Latent state, one independent stream per node: home country, dormant
+  // and social coin flips, celebrity status (a Bernoulli draw rather than
+  // graph_gen's global fitness sort — a sort would be O(n log n) over all
+  // nodes for no modelling gain at this scale), and the audience-fitness
+  // Pareto tail that drives preferential attachment of interest edges.
+  for (graph::NodeId u = 0; u < n; ++u) {
+    stats::Rng rng = node_rng(u, kLatentSalt);
+    const geo::CountryId c = population_->sample_country(rng);
+    country_[u] = c;
+    dormant_[u] = rng.next_bool(config_.dormant_fraction) ? 1 : 0;
+    social_[u] = rng.next_bool(config_.social_fraction) ? 1 : 0;
+    celebrity_[u] = rng.next_bool(config_.celebrity_fraction) ? 1 : 0;
+    double fit =
+        std::pow(1.0 - rng.next_double(), -1.0 / config_.fitness_alpha);
+    fit = std::min(fit, 1e6);
+    if (celebrity_[u]) fit *= config_.celebrity_fitness_boost;
+    fitness_[u] = static_cast<float>(fit);
+    members_[c].push_back(u);
+  }
+
+  // One fitness-weighted alias table per country for interest targets.
+  samplers_.reserve(members_.size());
+  std::vector<double> weights;
+  for (const auto& list : members_) {
+    weights.clear();
+    weights.reserve(list.size());
+    for (graph::NodeId u : list) weights.push_back(fitness_[u]);
+    if (weights.empty()) weights.push_back(1.0);  // unused: empty country
+    samplers_.emplace_back(std::span<const double>(weights));
+  }
+}
+
+std::uint64_t StreamingGraphGen::stream_edges(
+    const std::function<void(graph::NodeId, graph::NodeId)>& emit) const {
+  const std::size_t n = config_.node_count;
+  std::uint64_t emitted = 0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (dormant_[u]) continue;
+    stats::Rng rng = node_rng(u, kEdgeSalt);
+    const auto planned = sample_truncated_pareto(
+        config_.out_xmin, config_.out_alpha, config_.out_degree_cap, rng);
+    if (planned == 0) continue;
+
+    // Split the planned adds into friend adds (uniform same-country,
+    // usually reciprocated) and interest adds (fitness-weighted through
+    // the mixing matrix, rarely reciprocated). Social users budget many
+    // friend adds, consumers almost none; either way friends cannot
+    // exceed the planned total.
+    const double budget_mean = social_[u] ? config_.friend_budget_social
+                                          : config_.friend_budget_consumer;
+    const auto friend_budget =
+        static_cast<std::uint64_t>(rng.next_exponential(1.0 / budget_mean));
+    const std::uint64_t friends = std::min(planned, friend_budget);
+    const geo::CountryId cu = country_[u];
+    const auto& home_members = members_[cu];
+
+    for (std::uint64_t i = 0; i < planned; ++i) {
+      graph::NodeId v;
+      double recip;
+      if (i < friends) {
+        v = home_members[rng.next_below(home_members.size())];
+        recip = config_.friend_reciprocation;
+      } else {
+        const geo::CountryId cv = population_->sample_target_country(cu, rng);
+        const auto& targets = members_[cv];
+        if (targets.empty()) continue;
+        v = targets[samplers_[cv].sample(rng)];
+        recip = celebrity_[v] ? config_.celebrity_reciprocation
+                              : config_.interest_reciprocation;
+      }
+      if (v == u) continue;
+      emit(u, v);
+      ++emitted;
+      // Dormant users never act, celebrities answer on their own terms.
+      if (!dormant_[v] && rng.next_bool(recip)) {
+        emit(v, u);
+        ++emitted;
+      }
+    }
+  }
+  return emitted;
+}
+
+Profile StreamingGraphGen::profile(graph::NodeId u) const {
+  stats::Rng rng = node_rng(u, kProfileSalt);
+  const geo::CountryId c = country_[u];
+  const geo::LatLon home = world_->sample_location(c, rng);
+  return profile_gen_.generate(c, celebrity_[u] != 0, home, rng);
+}
+
+}  // namespace gplus::synth

@@ -5,12 +5,14 @@
 
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "core/dataset.h"
 #include "core/parallel.h"
 #include "geo/countries.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_file.h"
 
 namespace gplus::serve {
 namespace {
@@ -319,6 +321,189 @@ TEST_F(SnapshotRoundTrip, SniffMagicIsShortReadSafe) {
   EXPECT_FALSE(sniff_snapshot_magic(empty));
   std::istringstream foreign("GPLUSDS1 dataset, not a snapshot");
   EXPECT_FALSE(sniff_snapshot_magic(foreign));
+}
+
+class SnapshotV3 : public SnapshotRoundTrip {
+ protected:
+  static const SnapshotBuffer& v3() {
+    static const SnapshotBuffer instance = [] {
+      SnapshotOptions options;
+      options.version = kSnapshotVersion3;
+      return build_snapshot(dataset(), options);
+    }();
+    return instance;
+  }
+};
+
+TEST_F(SnapshotV3, CompressedAdjacencyMatchesGraph) {
+  const SnapshotView view(v3().bytes());
+  EXPECT_EQ(view.version(), kSnapshotVersion3);
+  EXPECT_TRUE(view.adjacency_compressed());
+  EXPECT_TRUE(view.has_section_digests());
+  EXPECT_NO_THROW(view.verify_sections());
+  const auto& g = dataset().graph();
+  ASSERT_EQ(view.node_count(), g.node_count());
+  ASSERT_EQ(view.edge_count(), g.edge_count());
+  for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+    EXPECT_EQ(view.out_degree(u), g.out_degree(u)) << u;
+    EXPECT_EQ(view.in_degree(u), g.in_degree(u)) << u;
+    NeighborScan scan = view.out_scan(u);
+    ASSERT_EQ(scan.size(), g.out_degree(u)) << u;
+    graph::NodeId got = 0;
+    for (const graph::NodeId want : g.out_neighbors(u)) {
+      ASSERT_TRUE(scan.next(got)) << u;
+      EXPECT_EQ(got, want) << u;
+    }
+    EXPECT_FALSE(scan.next(got)) << u;
+    NeighborScan in = view.in_scan(u);
+    ASSERT_EQ(in.size(), g.in_degree(u)) << u;
+    for (const graph::NodeId want : g.in_neighbors(u)) {
+      ASSERT_TRUE(in.next(got)) << u;
+      EXPECT_EQ(got, want) << u;
+    }
+  }
+}
+
+TEST_F(SnapshotV3, PermutationIsDegreeOrderAndInverse) {
+  const SnapshotView view(v3().bytes());
+  const auto& g = dataset().graph();
+  std::uint64_t previous = ~std::uint64_t{0};
+  for (std::uint32_t r = 0; r < view.node_count(); ++r) {
+    const graph::NodeId u = view.rank_to_node(r);
+    EXPECT_EQ(view.node_to_rank(u), r) << r;
+    const std::uint64_t degree = g.out_degree(u) + g.in_degree(u);
+    EXPECT_LE(degree, previous) << r;  // hubs first
+    previous = degree;
+  }
+}
+
+TEST_F(SnapshotV3, MembershipAndReciprocityMatchGraph) {
+  const SnapshotView view(v3().bytes());
+  const auto& g = dataset().graph();
+  EXPECT_FALSE(view.edge_reciprocal(0));  // per-edge bitmap is v1/v2-only
+  for (graph::NodeId u = 0; u < g.node_count(); u += 7) {
+    std::uint64_t reciprocal = 0;
+    for (const graph::NodeId v : g.out_neighbors(u)) {
+      EXPECT_TRUE(view.has_out_edge(u, v)) << u << "->" << v;
+      reciprocal += g.has_edge(v, u) ? 1 : 0;
+    }
+    EXPECT_EQ(view.reciprocal_out_degree(u), reciprocal) << u;
+    // Probes that must miss: just-past neighbors and a far id.
+    EXPECT_FALSE(view.has_out_edge(u, static_cast<graph::NodeId>(
+                                          g.node_count() + 5)));
+  }
+}
+
+TEST_F(SnapshotV3, ProfilesAndCountryIndexSurvive) {
+  const SnapshotView view(v3().bytes());
+  ASSERT_TRUE(view.has_country_index());
+  const SnapshotView flat(snapshot().bytes());
+  for (graph::NodeId u = 0; u < view.node_count(); u += 13) {
+    EXPECT_EQ(view.profile(u), flat.profile(u)) << u;
+  }
+  for (std::uint16_t c = 0; c < geo::country_count(); ++c) {
+    const auto a = view.country_users(c);
+    const auto b = flat.country_users(c);
+    ASSERT_EQ(a.size(), b.size()) << c;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << c;
+  }
+}
+
+TEST_F(SnapshotV3, BitFlipSweepRejectsEveryCorruption) {
+  // One flipped byte in every v3 section — including both compressed
+  // adjacency streams and the permutation arrays — must be rejected by
+  // open-time structural checks or the digest sweep, and never crash
+  // (the decoder fails closed under ASan/UBSan).
+  const auto* base = reinterpret_cast<const std::uint8_t*>(v3().bytes().data());
+  for (std::size_t section = 0; section < kSnapshotSectionCount; ++section) {
+    std::uint64_t offset = 0;
+    std::memcpy(&offset, base + 32 + section * 8, 8);
+    ASSERT_NE(offset, 0u) << "section " << section << " absent";
+    for (const std::size_t delta : {std::size_t{0}, std::size_t{17}}) {
+      auto words = mutable_copy(v3());
+      reinterpret_cast<std::uint8_t*>(words.data())[offset + delta] ^= 0x20;
+      try {
+        const SnapshotView view(as_bytes(words, v3().size()));
+        view.verify_sections();
+        FAIL() << "corruption in section " << section << " at +" << delta
+               << " accepted";
+      } catch (const std::runtime_error& error) {
+        EXPECT_FALSE(std::string(error.what()).empty()) << section;
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotV3, CorruptAdjacencyBytesNeverCrashTheDecoder) {
+  // Deep-flip inside the varint stream of the out-adjacency section (past
+  // the base/rel arrays), then *serve* from the corrupt view without
+  // verifying first: decoders must fail closed — wrong answers are
+  // acceptable here, out-of-bounds reads are not (ASan enforces).
+  const auto* base = reinterpret_cast<const std::uint8_t*>(v3().bytes().data());
+  std::uint64_t out_adj = 0;
+  std::uint64_t in_adj = 0;
+  std::memcpy(&out_adj, base + 32, 8);
+  std::memcpy(&in_adj, base + 40, 8);
+  const std::uint64_t stream_middle = out_adj + (in_adj - out_adj) / 2;
+  for (std::size_t i = 0; i < 64; ++i) {
+    auto words = mutable_copy(v3());
+    reinterpret_cast<std::uint8_t*>(words.data())[stream_middle + i] ^= 0xFF;
+    try {
+      const SnapshotView view(as_bytes(words, v3().size()));
+      for (graph::NodeId u = 0; u < view.node_count(); u += 11) {
+        NeighborScan scan = view.out_scan(u);
+        graph::NodeId v = 0;
+        std::size_t decoded = 0;
+        while (decoded <= view.node_count() && scan.next(v)) ++decoded;
+        view.has_out_edge(u, u + 1);
+      }
+    } catch (const std::runtime_error&) {
+      // Structural check caught it at open: equally fine.
+    }
+  }
+}
+
+TEST_F(SnapshotV3, OpensOffMmapAndServesIdentically) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "gplus_snapshot_v3_mmap.snap";
+  save_snapshot(v3(), path);
+  {
+    MappedSnapshot mapped(path);
+    EXPECT_EQ(mapped.size_bytes(), v3().size());
+    const SnapshotView& view = mapped.view();
+    EXPECT_TRUE(view.adjacency_compressed());
+    EXPECT_NO_THROW(view.verify_sections());
+    const SnapshotView heap(v3().bytes());
+    for (graph::NodeId u = 0; u < view.node_count(); u += 37) {
+      NeighborScan a = view.out_scan(u);
+      NeighborScan b = heap.out_scan(u);
+      ASSERT_EQ(a.size(), b.size()) << u;
+      graph::NodeId x = 0;
+      graph::NodeId y = 0;
+      while (b.next(y)) {
+        ASSERT_TRUE(a.next(x)) << u;
+        EXPECT_EQ(x, y) << u;
+      }
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(SnapshotV3, MmapRejectsMissingAndCorruptFiles) {
+  EXPECT_THROW(MappedSnapshot mapped("/nonexistent/gplus.snap"),
+               std::runtime_error);
+  const auto path =
+      std::filesystem::temp_directory_path() / "gplus_snapshot_corrupt.snap";
+  // Corrupt header byte: the mmap open itself must throw (and unmap).
+  auto words = mutable_copy(v3());
+  reinterpret_cast<std::uint8_t*>(words.data())[16] ^= 0xFF;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(words.data()),
+              static_cast<std::streamsize>(v3().size()));
+  }
+  EXPECT_THROW(MappedSnapshot mapped(path), std::runtime_error);
+  std::filesystem::remove(path);
 }
 
 TEST(SnapshotBuild, DeterministicAcrossThreadCounts) {

@@ -1,0 +1,226 @@
+// Varint gap-codec battery: golden byte sequences pinning the wire
+// format, a 10k-list seeded fuzz of encode→decode identity (empty,
+// single, dense, max-ID shapes), skip_to/contains equivalence with the
+// linear walk, and truncation/corruption safety (fail closed, no OOB).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "serve/varint.h"
+#include "stats/rng.h"
+
+namespace gplus::serve {
+namespace {
+
+std::vector<std::uint8_t> encode(const std::vector<graph::NodeId>& list) {
+  std::vector<std::uint8_t> out;
+  encode_adjacency_list(list, out);
+  return out;
+}
+
+std::vector<graph::NodeId> decode_all(const std::vector<std::uint8_t>& bytes) {
+  AdjacencyListDecoder dec(bytes.data(), bytes.data() + bytes.size());
+  EXPECT_TRUE(dec.ok());
+  std::vector<graph::NodeId> out;
+  graph::NodeId v = 0;
+  while (dec.next(v)) out.push_back(v);
+  return out;
+}
+
+TEST(VarintCodec, PrimitiveGoldenBytes) {
+  // LEB128, low groups first — the protobuf wire order. These bytes are
+  // the format: changing them breaks every snapshot on disk.
+  const std::pair<std::uint64_t, std::vector<std::uint8_t>> golden[] = {
+      {0, {0x00}},
+      {1, {0x01}},
+      {127, {0x7F}},
+      {128, {0x80, 0x01}},
+      {300, {0xAC, 0x02}},
+      {16383, {0xFF, 0x7F}},
+      {16384, {0x80, 0x80, 0x01}},
+      {0xFFFFFFFFULL, {0xFF, 0xFF, 0xFF, 0xFF, 0x0F}},
+      {~std::uint64_t{0},
+       {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}},
+  };
+  for (const auto& [value, want] : golden) {
+    std::vector<std::uint8_t> out;
+    put_varint(out, value);
+    EXPECT_EQ(out, want) << value;
+    EXPECT_EQ(varint_size(value), want.size()) << value;
+    std::uint64_t back = 0;
+    const auto* end = get_varint(out.data(), out.data() + out.size(), back);
+    ASSERT_NE(end, nullptr) << value;
+    EXPECT_EQ(end, out.data() + out.size()) << value;
+    EXPECT_EQ(back, value);
+  }
+}
+
+TEST(VarintCodec, AdjacencyListGoldenBytes) {
+  // degree 3, restart 5 absolute, then gaps-minus-one 1 and 93.
+  EXPECT_EQ(encode({5, 7, 101}),
+            (std::vector<std::uint8_t>{0x03, 0x05, 0x01, 0x5D}));
+  // Empty list: just the degree.
+  EXPECT_EQ(encode({}), (std::vector<std::uint8_t>{0x00}));
+  // Adjacent ids encode as gap 0 after the -1.
+  EXPECT_EQ(encode({0, 1, 2}),
+            (std::vector<std::uint8_t>{0x03, 0x00, 0x00, 0x00}));
+}
+
+TEST(VarintCodec, SkipTableGoldenLayout) {
+  // 65 entries = two blocks: one u32 skip entry, then block 0 (64
+  // entries) and block 1 (the 65th). With ids 0..64 block 0 encodes as
+  // 0x00 then 63 gap bytes of 0x00; the skip entry must say block 1
+  // starts 64 bytes after block 0 does, and block 1 restarts at 64.
+  std::vector<graph::NodeId> list(65);
+  for (std::uint32_t i = 0; i < 65; ++i) list[i] = i;
+  const auto bytes = encode(list);
+  ASSERT_EQ(bytes.size(), 1 + 4 + 64 + 1);  // degree, skip, block0, block1
+  EXPECT_EQ(bytes[0], 65);                  // degree varint
+  const std::uint32_t skip = static_cast<std::uint32_t>(bytes[1]) |
+                             (static_cast<std::uint32_t>(bytes[2]) << 8) |
+                             (static_cast<std::uint32_t>(bytes[3]) << 16) |
+                             (static_cast<std::uint32_t>(bytes[4]) << 24);
+  EXPECT_EQ(skip, 64u);
+  EXPECT_EQ(bytes[5], 0x00);   // block 0 restart: absolute 0
+  EXPECT_EQ(bytes[69], 0x40);  // block 1 restart: absolute 64
+  EXPECT_EQ(decode_all(bytes), list);
+}
+
+std::vector<graph::NodeId> random_list(stats::Rng& rng) {
+  // Shape mix: empty, singleton, short, dense runs, and sparse lists over
+  // the full u32 id range including the max id.
+  const std::uint64_t shape = rng.next_below(6);
+  std::size_t count = 0;
+  std::uint64_t span = 0;
+  switch (shape) {
+    case 0: return {};
+    case 1: count = 1, span = ~std::uint32_t{0}; break;
+    case 2: count = 1 + rng.next_below(64), span = 4096; break;        // dense
+    case 3: count = 1 + rng.next_below(300), span = 1u << 20; break;
+    case 4: count = 1 + rng.next_below(2000), span = ~std::uint32_t{0}; break;
+    default: count = 64 + rng.next_below(3) - 1, span = 1u << 18; break;
+  }
+  std::vector<graph::NodeId> list;
+  list.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    list.push_back(static_cast<graph::NodeId>(rng.next_below(span + 1)));
+  }
+  std::sort(list.begin(), list.end());
+  list.erase(std::unique(list.begin(), list.end()), list.end());
+  if (shape == 1) list.back() = ~std::uint32_t{0};  // pin the max id
+  return list;
+}
+
+TEST(VarintCodec, FuzzEncodeDecodeIdentity) {
+  stats::Rng rng(2026);
+  for (int round = 0; round < 10'000; ++round) {
+    const auto list = random_list(rng);
+    const auto bytes = encode(list);
+    ASSERT_EQ(decode_all(bytes), list) << "round " << round;
+  }
+}
+
+TEST(VarintCodec, FuzzSkipToMatchesLinearWalk) {
+  stats::Rng rng(7);
+  for (int round = 0; round < 2'000; ++round) {
+    const auto list = random_list(rng);
+    const auto bytes = encode(list);
+    // Every entry reachable by skip, including across block boundaries.
+    const std::size_t step = 1 + rng.next_below(70);
+    for (std::size_t at = 0; at <= list.size(); at += step) {
+      AdjacencyListDecoder dec(bytes.data(), bytes.data() + bytes.size());
+      ASSERT_TRUE(dec.skip_to(at)) << round << ":" << at;
+      EXPECT_EQ(dec.position(), at);
+      graph::NodeId v = 0;
+      if (at == list.size()) {
+        EXPECT_FALSE(dec.next(v));
+      } else {
+        ASSERT_TRUE(dec.next(v)) << round << ":" << at;
+        EXPECT_EQ(v, list[at]) << round << ":" << at;
+      }
+    }
+    AdjacencyListDecoder past(bytes.data(), bytes.data() + bytes.size());
+    EXPECT_FALSE(past.skip_to(list.size() + 1));
+  }
+}
+
+TEST(VarintCodec, FuzzContainsMatchesBinarySearch) {
+  stats::Rng rng(99);
+  for (int round = 0; round < 2'000; ++round) {
+    const auto list = random_list(rng);
+    const auto bytes = encode(list);
+    AdjacencyListDecoder dec(bytes.data(), bytes.data() + bytes.size());
+    for (int probe = 0; probe < 16; ++probe) {
+      graph::NodeId v;
+      if (!list.empty() && rng.next_bool(0.5)) {
+        v = list[rng.next_below(list.size())];  // guaranteed hit
+      } else {
+        v = static_cast<graph::NodeId>(rng.next_below(~std::uint32_t{0}));
+      }
+      const bool want = std::binary_search(list.begin(), list.end(), v);
+      EXPECT_EQ(dec.contains(v), want) << round << " probing " << v;
+    }
+  }
+}
+
+TEST(VarintCodec, TruncationFailsClosedAtEveryLength) {
+  stats::Rng rng(5);
+  for (int round = 0; round < 200; ++round) {
+    const auto list = random_list(rng);
+    const auto bytes = encode(list);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      AdjacencyListDecoder dec(bytes.data(), bytes.data() + cut);
+      graph::NodeId v = 0;
+      std::size_t decoded = 0;
+      // May yield a prefix; must stop cleanly without reading past `cut`.
+      while (decoded <= list.size() && dec.next(v)) {
+        EXPECT_EQ(v, list[decoded]) << "prefix diverged";
+        ++decoded;
+      }
+      EXPECT_LE(decoded, list.size());
+    }
+  }
+}
+
+TEST(VarintCodec, OverlongAndOversizedVarintsAreRejected) {
+  // 11 continuation bytes: longer than any valid u64 varint.
+  const std::uint8_t overlong[] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                   0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  std::uint64_t v = 0;
+  EXPECT_EQ(get_varint(overlong, overlong + sizeof overlong, v), nullptr);
+  // Ten bytes whose top byte sets bits above 2^64.
+  const std::uint8_t oversized[] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                    0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  EXPECT_EQ(get_varint(oversized, oversized + sizeof oversized, v), nullptr);
+  // All-continuation truncated stream.
+  const std::uint8_t endless[] = {0x80, 0x80, 0x80};
+  EXPECT_EQ(get_varint(endless, endless + sizeof endless, v), nullptr);
+}
+
+TEST(VarintCodec, CorruptByteFuzzNeverReadsOutOfBounds) {
+  // Flip every byte of encodings (one at a time) and walk next/skip_to/
+  // contains to exhaustion: ASan/UBSan turn any OOB into a test failure.
+  stats::Rng rng(31);
+  for (int round = 0; round < 100; ++round) {
+    const auto list = random_list(rng);
+    const auto clean = encode(list);
+    for (std::size_t at = 0; at < clean.size(); ++at) {
+      auto bytes = clean;
+      bytes[at] ^= 0xFF;
+      AdjacencyListDecoder dec(bytes.data(), bytes.data() + bytes.size());
+      graph::NodeId v = 0;
+      std::size_t guard = 0;
+      while (guard++ <= list.size() + 2 && dec.next(v)) {
+      }
+      AdjacencyListDecoder skipper(bytes.data(), bytes.data() + bytes.size());
+      skipper.skip_to(skipper.degree() / 2);
+      skipper.next(v);
+      AdjacencyListDecoder prober(bytes.data(), bytes.data() + bytes.size());
+      prober.contains(42);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gplus::serve
