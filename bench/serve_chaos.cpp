@@ -16,6 +16,13 @@
 //   3. the whole storm — response stream, counters, cache state — is
 //      bit-identical between GPLUS_THREADS=1 and GPLUS_THREADS=N.
 //
+// `--shards K` additionally runs the sharded-cluster storm
+// (src/serve/cluster.h): K shards × 2 replicas under scripted replica
+// kills, a fully-dark shard window, recovery, and the same chaos
+// channels — asserting one terminal status per request, zero silent
+// drops, per-replica registry reconciliation, and byte-identical state
+// (including the deterministic metrics JSON) at 1 vs N lanes.
+//
 // `--smoke` shrinks the dataset and round count for the CI matrix.
 // Scale with GPLUS_SCALE / GPLUS_SEED / GPLUS_ROUNDS.
 #include <cstdio>
@@ -26,8 +33,10 @@
 #include "core/parallel.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "serve/cluster.h"
 #include "serve/resilience.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_build.h"
 
 namespace {
 
@@ -121,6 +130,60 @@ int reconcile_registry(const char* label, const obs::MetricsSnapshot& d,
   return failures;
 }
 
+void print_cluster_report(const char* label,
+                          const serve::ClusterStormReport& report) {
+  std::printf(
+      "%-10s offered %llu  accepted %llu  rejected %llu  responses %llu  "
+      "dark %llu  checksum %016llx\n",
+      label, static_cast<unsigned long long>(report.offered),
+      static_cast<unsigned long long>(report.accepted),
+      static_cast<unsigned long long>(report.rejected),
+      static_cast<unsigned long long>(report.responses),
+      static_cast<unsigned long long>(report.dark_answers),
+      static_cast<unsigned long long>(report.checksum));
+  std::printf("           by status:");
+  for (std::size_t s = 0; s < serve::kServeStatusCount; ++s) {
+    if (report.by_status[s] == 0) continue;
+    std::printf(" %s=%llu",
+                std::string(serve::serve_status_name(
+                                static_cast<serve::ServeStatus>(s)))
+                    .c_str(),
+                static_cast<unsigned long long>(report.by_status[s]));
+  }
+  std::printf("\n           scatter %llu  messages %llu  probe %016llx "
+              "(unsharded %016llx)\n",
+              static_cast<unsigned long long>(report.cluster.scatter),
+              static_cast<unsigned long long>(report.cluster.messages),
+              static_cast<unsigned long long>(report.post_probe_checksum),
+              static_cast<unsigned long long>(report.unsharded_probe_checksum));
+}
+
+bool equal_cluster_state(const serve::ClusterStormReport& a,
+                         const serve::ClusterStormReport& b) {
+  if (a.checksum != b.checksum || a.by_status != b.by_status ||
+      a.offered != b.offered || a.accepted != b.accepted ||
+      a.rejected != b.rejected || a.dark_answers != b.dark_answers ||
+      a.post_probe_checksum != b.post_probe_checksum ||
+      a.cluster.scatter != b.cluster.scatter ||
+      a.cluster.messages != b.cluster.messages ||
+      a.replica_stats.size() != b.replica_stats.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.replica_stats.size(); ++i) {
+    const auto& ra = a.replica_stats[i];
+    const auto& rb = b.replica_stats[i];
+    if (ra.accepted != rb.accepted || ra.served != rb.served ||
+        ra.shed != rb.shed || ra.deadline_exceeded != rb.deadline_exceeded ||
+        ra.fault_injected != rb.fault_injected ||
+        ra.cache.hits != rb.cache.hits || ra.cache.misses != rb.cache.misses ||
+        ra.cache.evictions != rb.cache.evictions ||
+        ra.cache.entries != rb.cache.entries) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool equal_state(const serve::StormReport& a, const serve::StormReport& b) {
   return a.checksum == b.checksum && a.by_status == b.by_status &&
          a.offered == b.offered && a.accepted == b.accepted &&
@@ -143,8 +206,13 @@ bool equal_state(const serve::StormReport& a, const serve::StormReport& b) {
 int main(int argc, char** argv) {
   using namespace gplus;
   bool smoke = false;
+  std::size_t shards = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoull(argv[++i], nullptr, 10);
+    }
   }
 
   bench::banner("serve_chaos",
@@ -235,6 +303,68 @@ int main(int argc, char** argv) {
   std::printf("\nmetrics delta per storm (deterministic, %zu-lane == 1-lane "
               "bit-identical):\n%s",
               lanes, json.c_str());
+
+  // Sharded-cluster storm: scripted replica kills, a dark-shard window,
+  // recovery, then probe equivalence against the unsharded engine. Run at
+  // N lanes and again at 1 lane; state and the deterministic metrics JSON
+  // must be byte-identical.
+  if (shards > 0) {
+    std::printf("\n--- cluster storm: %zu shards x 2 replicas ---\n", shards);
+    const serve::SnapshotView primary_view(primary.bytes());
+    serve::ShardingOptions opts;
+    opts.shard_count = shards;
+    const auto sharded = serve::split_snapshot(primary_view, opts);
+
+    serve::ClusterStormConfig cluster_config;
+    cluster_config.seed = config.seed;
+    cluster_config.clients = config.clients;
+    cluster_config.rounds = config.rounds;
+    cluster_config.probes = config.probes;
+    cluster_config.replicas = 2;
+    cluster_config.chaos = config.chaos;
+    cluster_config.server = config.server;
+
+    const auto before_cluster = registry.snapshot();
+    const auto cluster_storm =
+        serve::run_cluster_storm(sharded, primary_view, cluster_config);
+    const auto after_cluster = registry.snapshot();
+    print_cluster_report("cluster", cluster_storm);
+
+    core::set_thread_count(1);
+    const auto cluster_serial =
+        serve::run_cluster_storm(sharded, primary_view, cluster_config);
+    core::set_thread_count(0);
+    const auto after_cluster_serial = registry.snapshot();
+    print_cluster_report("serial", cluster_serial);
+
+    for (const std::string& violation : cluster_storm.violations) {
+      std::printf("VIOLATION (cluster): %s\n", violation.c_str());
+      ++failures;
+    }
+    for (const std::string& violation : cluster_serial.violations) {
+      std::printf("VIOLATION (cluster serial): %s\n", violation.c_str());
+      ++failures;
+    }
+    if (!equal_cluster_state(cluster_storm, cluster_serial)) {
+      std::printf("VIOLATION: cluster storm state differs between %zu lanes "
+                  "and 1\n",
+                  lanes);
+      ++failures;
+    }
+    const auto d_cluster = obs::delta(after_cluster, before_cluster);
+    const auto d_cluster_serial =
+        obs::delta(after_cluster_serial, after_cluster);
+    const std::string cluster_json = obs::to_json(deterministic_only(d_cluster));
+    if (cluster_json != obs::to_json(deterministic_only(d_cluster_serial))) {
+      std::printf("VIOLATION: deterministic cluster metrics deltas differ "
+                  "between %zu lanes and 1\n",
+                  lanes);
+      ++failures;
+    }
+    std::printf("\ncluster metrics delta (deterministic, byte-identical at 1 "
+                "and %zu lanes):\n%s",
+                lanes, cluster_json.c_str());
+  }
 
   if (failures == 0) {
     std::printf("\nall invariants held: one terminal status per request, "

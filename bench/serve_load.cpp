@@ -7,23 +7,42 @@
 // the checksum is identical at every GPLUS_THREADS value, which is the
 // determinism contract this harness exists to demonstrate.
 //
-// Scale with GPLUS_SCALE / GPLUS_SEED (bench_common.h); request count
-// with GPLUS_REQUESTS (default 1M per mix). The final section offers the
-// queue past capacity and shows bounded, explicit rejection.
+// `--shards K` additionally splits the snapshot into K vertex shards and
+// drives the same mixed workload through the sharded cluster router
+// (DESIGN.md §13). The cluster's response-stream checksum must equal the
+// unsharded server's — the harness exits nonzero when it does not.
+//
+// `--smoke` shrinks the dataset and request counts for the CI bench gate,
+// which publishes the JSON report (default BENCH_serve.json, override
+// with GPLUS_BENCH_SERVE_JSON) and compares the throughput fields against
+// bench/floors.json. Scale with GPLUS_SCALE / GPLUS_SEED; request count
+// with GPLUS_REQUESTS. The final section offers the queue past capacity
+// and shows bounded, explicit rejection.
 #include <cstdio>
-#include <iostream>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/parallel.h"
+#include "serve/cluster.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_build.h"
 #include "serve/workload.h"
 
 namespace {
 
 using namespace gplus;
 
-void run_mix(const serve::SnapshotView& view, const char* name,
-             const serve::WorkloadMix& mix, std::uint64_t requests) {
+struct MixResult {
+  const char* name = "";
+  double qps = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+MixResult run_mix(const serve::SnapshotView& view, const char* name,
+                  const serve::WorkloadMix& mix, std::uint64_t requests) {
   serve::ServerConfig config;
   serve::QueryServer server(&view, config);
   serve::WorkloadConfig workload;
@@ -37,6 +56,7 @@ void run_mix(const serve::SnapshotView& view, const char* name,
       100.0 * report.server.cache.hit_rate(),
       static_cast<unsigned long long>(report.rejected),
       static_cast<unsigned long long>(report.checksum));
+  return {name, report.qps, report.checksum};
 }
 
 void overload_demo(const serve::SnapshotView& view) {
@@ -60,22 +80,108 @@ void overload_demo(const serve::SnapshotView& view) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gplus;
+  bool smoke = false;
+  std::size_t shards = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+
   bench::banner("serve_load",
                 "closed-loop query serving over the immutable snapshot");
-  const core::Dataset& dataset = bench::dataset();
+  const std::size_t nodes = smoke ? 20'000 : bench::scale();
+  const auto dataset = core::make_standard_dataset(nodes, bench::seed());
   const auto snapshot = serve::build_snapshot(dataset);
   const serve::SnapshotView view(snapshot.bytes());
-  std::printf("snapshot: %zu bytes, %zu workers\n\n", snapshot.size(),
-              core::thread_count());
+  std::printf("snapshot: %zu nodes, %zu bytes, %zu workers%s\n\n", nodes,
+              snapshot.size(), core::thread_count(), smoke ? " (smoke)" : "");
 
-  const std::uint64_t requests = bench::env_or("GPLUS_REQUESTS", 1'000'000);
-  run_mix(view, "degree-profile", serve::WorkloadMix::degree_profile(), requests);
-  run_mix(view, "read", serve::WorkloadMix::read(), requests);
-  run_mix(view, "mixed", serve::WorkloadMix::mixed(), requests);
-  run_mix(view, "path", serve::WorkloadMix::path(), requests / 10);
+  const std::uint64_t requests =
+      bench::env_or("GPLUS_REQUESTS", smoke ? 100'000 : 1'000'000);
+  std::vector<MixResult> results;
+  results.push_back(run_mix(view, "degree-profile",
+                            serve::WorkloadMix::degree_profile(), requests));
+  results.push_back(run_mix(view, "read", serve::WorkloadMix::read(), requests));
+  results.push_back(
+      run_mix(view, "mixed", serve::WorkloadMix::mixed(), requests));
+  results.push_back(
+      run_mix(view, "path", serve::WorkloadMix::path(), requests / 10));
+
+  // Sharded cluster leg: same mixed workload through the K-shard router.
+  // Answer-identical to the unsharded run — checksum equality is asserted.
+  int failures = 0;
+  double qps_cluster = 0.0;
+  std::uint64_t checksum_cluster = 0;
+  if (shards > 0) {
+    serve::ShardingOptions opts;
+    opts.shard_count = shards;
+    const auto sharded = serve::split_snapshot(view, opts);
+    std::vector<serve::SnapshotView> shard_views;
+    shard_views.reserve(shards);
+    for (const auto& shard : sharded.shards) {
+      shard_views.emplace_back(shard.bytes());
+    }
+    std::vector<const serve::SnapshotView*> ptrs;
+    for (const auto& sv : shard_views) ptrs.push_back(&sv);
+    serve::ClusterServer cluster(&sharded.routing, ptrs);
+    serve::WorkloadConfig workload;
+    workload.mix = serve::WorkloadMix::mixed();
+    workload.requests = requests;
+    const auto report = serve::run_closed_loop(cluster, view, workload);
+    qps_cluster = report.qps;
+    checksum_cluster = report.checksum;
+    const auto stats = cluster.stats_snapshot();
+    std::printf(
+        "%-15s %9.0f q/s  p50 %6.2fus  p95 %6.2fus  p99 %6.2fus  "
+        "scatter %llu  messages %llu  checksum %016llx  (%zu shards)\n",
+        "cluster-mixed", report.qps, report.p50_us, report.p95_us,
+        report.p99_us, static_cast<unsigned long long>(stats.scatter),
+        static_cast<unsigned long long>(stats.messages),
+        static_cast<unsigned long long>(report.checksum), shards);
+    const std::uint64_t checksum_mixed = results[2].checksum;
+    if (checksum_cluster != checksum_mixed) {
+      std::printf("VIOLATION: cluster mixed checksum %016llx != unsharded "
+                  "%016llx\n",
+                  static_cast<unsigned long long>(checksum_cluster),
+                  static_cast<unsigned long long>(checksum_mixed));
+      ++failures;
+    }
+  }
   std::printf("\n");
   overload_demo(view);
+
+  const char* json_env = std::getenv("GPLUS_BENCH_SERVE_JSON");
+  const std::string json_path =
+      json_env != nullptr && *json_env != '\0' ? json_env : "BENCH_serve.json";
+  {
+    std::ofstream out(json_path);
+    out.precision(1);
+    out << std::fixed;
+    out << "{\n"
+        << "  \"bench\": \"serve_load\",\n"
+        << "  \"nodes\": " << nodes << ",\n"
+        << "  \"requests\": " << requests << ",\n"
+        << "  \"threads\": " << core::thread_count() << ",\n"
+        << "  \"shards\": " << shards << ",\n";
+    for (const MixResult& r : results) {
+      out << "  \"qps_" << r.name << "\": " << r.qps << ",\n";
+    }
+    out << "  \"qps_cluster_mixed\": " << qps_cluster << ",\n"
+        << "  \"checksum_mixed\": \"" << std::hex << results[2].checksum
+        << std::dec << "\",\n"
+        << "  \"checksum_cluster_mixed\": \"" << std::hex << checksum_cluster
+        << std::dec << "\"\n"
+        << "}\n";
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  if (failures != 0) {
+    std::printf("%d violation(s)\n", failures);
+    return 1;
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <optional>
 #include <string_view>
 
 #include "algo/degrees.h"
@@ -21,7 +22,9 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/cluster.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_build.h"
 #include "serve/workload.h"
 #include "service/service.h"
 
@@ -344,6 +347,81 @@ int cmd_snapshot(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_shard(const std::vector<std::string>& args, std::ostream& out) {
+  ArgParser parser("gplus shard",
+                   "split a snapshot into self-contained vertex shards plus "
+                   "a routing table (DESIGN.md §13)");
+  parser.add_option("in", "",
+                    "dataset or snapshot file (empty: generate "
+                    "--nodes/--seed in memory)");
+  parser.add_option("nodes", "100000", "users to generate when --in is empty");
+  parser.add_option("seed", "42", "dataset seed when --in is empty");
+  parser.add_option("shards", "4", "shard count (1..256)");
+  parser.add_option("policy", "stripe",
+                    "ownership policy over the degree rank space: stripe "
+                    "(round-robin) or range (degree-mass balanced)");
+  parser.add_option("out", "gplus",
+                    "output prefix: writes <out>.shard<i>.snap and "
+                    "<out>.routing");
+  add_threads_option(parser);
+  if (!parse_or_usage(parser, args, out)) return 2;
+  apply_threads_option(parser);
+
+  const serve::SnapshotBuffer snapshot = [&] {
+    const std::string& in = parser.get("in");
+    if (in.empty()) {
+      return serve::build_snapshot(core::make_standard_dataset(
+          parser.get_u64("nodes"), parser.get_u64("seed")));
+    }
+    std::ifstream probe(in, std::ios::binary);
+    if (!probe.is_open()) {
+      throw std::runtime_error("shard: cannot open " + in);
+    }
+    if (serve::sniff_snapshot_magic(probe)) {
+      return serve::load_snapshot(in);
+    }
+    return serve::build_snapshot(core::load_dataset(in));
+  }();
+  const serve::SnapshotView view(snapshot.bytes());
+
+  serve::ShardingOptions options;
+  options.shard_count = parser.get_u64("shards");
+  const std::string& policy = parser.get("policy");
+  if (policy == "stripe") {
+    options.policy = serve::ShardingPolicy::kRankStripe;
+  } else if (policy == "range") {
+    options.policy = serve::ShardingPolicy::kRankRange;
+  } else {
+    throw std::invalid_argument("unknown policy: " + policy +
+                                " (expected stripe or range)");
+  }
+  const auto sharded = serve::split_snapshot(view, options);
+
+  const std::string& prefix = parser.get("out");
+  serve::save_routing_table(sharded.routing, prefix + ".routing");
+  std::vector<std::uint64_t> owned(sharded.shards.size(), 0);
+  for (const std::uint8_t owner : sharded.routing.owner) ++owned[owner];
+  core::TextTable table({"Shard", "File", "Owned nodes", "Edges", "Bytes"});
+  for (std::size_t s = 0; s < sharded.shards.size(); ++s) {
+    const std::string path =
+        prefix + ".shard" + std::to_string(s) + ".snap";
+    serve::save_snapshot(sharded.shards[s], path);
+    const serve::SnapshotView shard_view(sharded.shards[s].bytes());
+    table.add_row({std::to_string(s), path, core::fmt_count(owned[s]),
+                   core::fmt_count(shard_view.edge_count()),
+                   core::fmt_count(sharded.shards[s].size())});
+  }
+  out << "split " << core::fmt_count(view.node_count()) << " nodes / "
+      << core::fmt_count(view.edge_count()) << " edges into "
+      << sharded.shards.size() << " shards (policy "
+      << std::string(serve::sharding_policy_name(sharded.routing.policy))
+      << ")\n"
+      << "routing table: " << prefix << ".routing ("
+      << core::fmt_count(sharded.routing.owner.size()) << " owner bytes)\n\n"
+      << table.str();
+  return 0;
+}
+
 int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
   ArgParser parser("gplus serve-bench",
                    "closed-loop load harness against the query server");
@@ -364,6 +442,10 @@ int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_option("deadline", "0",
                     "per-request virtual-cost budget (0 = unlimited; "
                     "deterministic units, see DESIGN.md §10)");
+  parser.add_option("shards", "0",
+                    "serve through a K-shard cluster router instead of one "
+                    "server (0 = unsharded; see DESIGN.md §13)");
+  parser.add_option("replicas", "1", "replicas per shard when --shards > 0");
   parser.add_flag("no-latency", "skip per-request latency measurement");
   parser.add_flag("metrics",
                   "append a JSON dump of the deterministic metrics registry");
@@ -400,7 +482,32 @@ int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
   sconfig.cache_shards = parser.get_u64("cache-shards");
   sconfig.default_cost_budget.fill(
       static_cast<std::uint32_t>(parser.get_u64("deadline")));
-  serve::QueryServer server(&view, sconfig);
+
+  // --shards K routes the same workload through the deterministic cluster
+  // router (scatter-gather for ShortestPath/TopK, owner-shard dispatch for
+  // the rest); the response checksum is identical to the unsharded run.
+  const std::size_t shard_count = parser.get_u64("shards");
+  serve::ShardedSnapshot sharded;
+  std::vector<serve::SnapshotView> shard_views;
+  std::vector<const serve::SnapshotView*> shard_ptrs;
+  std::optional<serve::ClusterServer> cluster;
+  std::optional<serve::QueryServer> server;
+  if (shard_count > 0) {
+    serve::ShardingOptions sopts;
+    sopts.shard_count = shard_count;
+    sharded = serve::split_snapshot(view, sopts);
+    shard_views.reserve(shard_count);
+    for (const auto& shard : sharded.shards) {
+      shard_views.emplace_back(shard.bytes());
+    }
+    for (const auto& sv : shard_views) shard_ptrs.push_back(&sv);
+    serve::ClusterConfig cconfig;
+    cconfig.server = sconfig;
+    cconfig.replicas = std::max<std::size_t>(1, parser.get_u64("replicas"));
+    cluster.emplace(&sharded.routing, shard_ptrs, cconfig);
+  } else {
+    server.emplace(&view, sconfig);
+  }
 
   serve::WorkloadConfig wconfig;
   wconfig.seed = parser.get_u64("workload-seed");
@@ -409,7 +516,8 @@ int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
   wconfig.zipf_exponent = parser.get_double("zipf");
   wconfig.mix = serve::WorkloadMix::by_name(parser.get("mix"));
   wconfig.measure_latency = !parser.get_flag("no-latency");
-  const auto report = serve::run_closed_loop(server, wconfig);
+  const auto report = cluster ? serve::run_closed_loop(*cluster, view, wconfig)
+                              : serve::run_closed_loop(*server, wconfig);
 
   char checksum[32];
   std::snprintf(checksum, sizeof checksum, "%016llx",
@@ -438,7 +546,39 @@ int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
   table.add_row({"Cache hit rate",
                  core::fmt_percent(report.server.cache.hit_rate())});
   table.add_row({"Response checksum", checksum});
+  if (cluster) {
+    const auto cstats = cluster->stats_snapshot();
+    table.add_row({"Shards", std::to_string(cluster->shard_count())});
+    table.add_row(
+        {"Replicas per shard", std::to_string(cluster->replicas_per_shard())});
+    table.add_row({"Scatter executions", core::fmt_count(cstats.scatter)});
+    table.add_row({"Shard messages", core::fmt_count(cstats.messages)});
+  }
   out << table.str();
+  if (cluster) {
+    core::TextTable shard_table({"Shard", "Owned nodes", "Edges", "Bytes",
+                                 "Served", "Cache hits"});
+    std::vector<std::uint64_t> owned(cluster->shard_count(), 0);
+    for (const std::uint8_t owner : sharded.routing.owner) ++owned[owner];
+    for (std::size_t s = 0; s < cluster->shard_count(); ++s) {
+      serve::ServerStats replica_total;
+      for (std::size_t r = 0; r < cluster->replicas_per_shard(); ++r) {
+        const auto rs = cluster->replica_stats(s, r);
+        replica_total.served += rs.served;
+        replica_total.cache.hits += rs.cache.hits;
+      }
+      shard_table.add_row({std::to_string(s), core::fmt_count(owned[s]),
+                           core::fmt_count(shard_views[s].edge_count()),
+                           core::fmt_count(sharded.shards[s].size()),
+                           core::fmt_count(replica_total.served),
+                           core::fmt_count(replica_total.cache.hits)});
+    }
+    out << "\nper-shard (policy "
+        << std::string(
+               serve::sharding_policy_name(sharded.routing.policy))
+        << "):\n"
+        << shard_table.str();
+  }
   if (parser.get_flag("metrics")) {
     out << obs::to_json(
         obs::MetricsRegistry::global().snapshot(/*deterministic_only=*/true));
@@ -520,6 +660,7 @@ constexpr Command kCommands[] = {
     {"export", "dump the edge list for other graph tools", cmd_export},
     {"report", "full markdown reproduction report", cmd_report},
     {"snapshot", "build or inspect an immutable serving snapshot", cmd_snapshot},
+    {"shard", "split a snapshot into vertex shards + routing table", cmd_shard},
     {"serve-bench", "closed-loop query-serving load harness", cmd_serve_bench},
     {"metrics", "exercise the instrumented stack, dump the registry",
      cmd_metrics},

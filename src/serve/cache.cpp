@@ -6,35 +6,46 @@
 
 namespace gplus::serve {
 
-namespace {
+namespace detail {
 
 // Registry mirror of the per-instance shard counters. Cache mutations all
 // happen on the serving coordinator in request order (DESIGN.md §9), so
 // these are deterministic. Unlike the per-instance stats, which clear()
 // resets, the registry counters are monotonic for the process lifetime.
-struct CacheMetrics {
+// Each cache instance resolves its own scope-qualified refs at
+// construction: two instances with the same scope share cells (the
+// registry is name-keyed), differently-scoped instances never collide.
+struct CacheMetricsRefs {
   obs::Counter& hits;
   obs::Counter& stale_hits;
   obs::Counter& misses;
   obs::Counter& evictions;
-
-  static CacheMetrics& get() {
-    auto& reg = obs::MetricsRegistry::global();
-    static CacheMetrics m{
-        reg.counter("serve.cache.hits"),
-        reg.counter("serve.cache.stale_hits"),
-        reg.counter("serve.cache.misses"),
-        reg.counter("serve.cache.evictions"),
-    };
-    return m;
-  }
 };
+
+}  // namespace detail
+
+namespace {
+
+std::shared_ptr<detail::CacheMetricsRefs> resolve_cache_metrics(
+    const std::string& scope) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string prefix =
+      scope.empty() ? "serve.cache." : "serve." + scope + ".cache.";
+  return std::make_shared<detail::CacheMetricsRefs>(detail::CacheMetricsRefs{
+      reg.counter(prefix + "hits"),
+      reg.counter(prefix + "stale_hits"),
+      reg.counter(prefix + "misses"),
+      reg.counter(prefix + "evictions"),
+  });
+}
 
 }  // namespace
 
-ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards)
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards,
+                                 const std::string& metrics_scope)
     : capacity_(capacity),
-      shards_(std::max<std::size_t>(1, shards)) {
+      shards_(std::max<std::size_t>(1, shards)),
+      metrics_(resolve_cache_metrics(metrics_scope)) {
   per_shard_ = (capacity_ + shards_.size() - 1) / shards_.size();
   for (auto& shard : shards_) {
     shard.index.reserve(per_shard_ + 1);
@@ -44,15 +55,14 @@ ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards)
 bool ShardedLruCache::lookup(std::uint64_t key, std::vector<std::uint8_t>& out,
                              bool stale) {
   Shard& shard = shard_for(key);
-  CacheMetrics& metrics = CacheMetrics::get();
   const auto hit = shard.index.find(key);
   if (hit == shard.index.end()) {
     ++shard.misses;
-    metrics.misses.add(1);
+    metrics_->misses.add(1);
     return false;
   }
   ++(stale ? shard.stale_hits : shard.hits);
-  (stale ? metrics.stale_hits : metrics.hits).add(1);
+  (stale ? metrics_->stale_hits : metrics_->hits).add(1);
   shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
   out.assign(hit->second->payload.begin(), hit->second->payload.end());
   return true;
@@ -73,7 +83,7 @@ void ShardedLruCache::insert(std::uint64_t key,
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
-    CacheMetrics::get().evictions.add(1);
+    metrics_->evictions.add(1);
   }
 }
 

@@ -15,10 +15,16 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace gplus::serve {
+
+namespace detail {
+struct CacheMetricsRefs;
+}  // namespace detail
 
 /// Aggregated cache counters. `stale_hits` counts hits served while the
 /// server was degraded (no live snapshot): those answers may lag the graph,
@@ -44,7 +50,12 @@ class ShardedLruCache {
  public:
   /// `capacity` total entries spread evenly over `shards` (both >= 1;
   /// capacity 0 disables caching — every probe misses, inserts drop).
-  ShardedLruCache(std::size_t capacity, std::size_t shards);
+  /// `metrics_scope` qualifies the registry counter names: "" keeps the
+  /// process-wide "serve.cache.*" names; a scope like "s0.r0" resolves
+  /// "serve.s0.r0.cache.*" instead, so every cluster replica reconciles
+  /// its own registry slice exactly (no cross-shard double counting).
+  ShardedLruCache(std::size_t capacity, std::size_t shards,
+                  const std::string& metrics_scope = "");
 
   /// Looks the key up; on hit promotes it to most-recent and copies the
   /// payload into `out` (cleared first). Counts a hit (or, when `stale` —
@@ -89,6 +100,10 @@ class ShardedLruCache {
   std::size_t capacity_ = 0;
   std::size_t per_shard_ = 0;
   std::vector<Shard> shards_;
+  // Scope-resolved registry counters (shared_ptr so the header needs no
+  // complete type; the refs target registry-owned cells, which are
+  // process-lifetime stable).
+  std::shared_ptr<detail::CacheMetricsRefs> metrics_;
 };
 
 }  // namespace gplus::serve

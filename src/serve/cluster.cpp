@@ -1,0 +1,826 @@
+#include "serve/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stats/rng.h"
+
+namespace gplus::serve {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Router-level registry mirror. All increments happen on the drain
+// coordinator in admission order, hence deterministic at any lane count.
+// Cluster instances share these names (storm legs compare registry
+// *deltas*, so sharing is what makes the legs byte-comparable).
+struct ClusterMetrics {
+  obs::Counter& accepted;
+  obs::Counter& rejected;
+  obs::Counter& served;
+  obs::Counter& scatter;
+  obs::Counter& messages;
+  obs::Counter& dark;
+  std::array<obs::Counter*, kServeStatusCount> status;
+
+  static ClusterMetrics& get() {
+    static ClusterMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      auto* out = new ClusterMetrics{
+          reg.counter("serve.cluster.accepted"),
+          reg.counter("serve.cluster.rejected"),
+          reg.counter("serve.cluster.served"),
+          reg.counter("serve.cluster.scatter"),
+          reg.counter("serve.cluster.messages"),
+          reg.counter("serve.cluster.dark"),
+          {},
+      };
+      for (std::size_t s = 0; s < kServeStatusCount; ++s) {
+        const std::string name =
+            "serve.cluster.status." +
+            std::string(serve_status_name(static_cast<ServeStatus>(s)));
+        out->status[s] = &reg.counter(name);
+      }
+      return out;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+std::string ClusterServer::replica_scope(std::size_t shard,
+                                         std::size_t replica) {
+  std::string scope = "s";
+  scope += std::to_string(shard);
+  scope += ".r";
+  scope += std::to_string(replica);
+  return scope;
+}
+
+ClusterServer::ClusterServer(const RoutingTable* routing,
+                             std::vector<const SnapshotView*> shard_views,
+                             ClusterConfig config)
+    : routing_(routing), views_(std::move(shard_views)), config_(config) {
+  if (routing_ == nullptr) {
+    throw std::invalid_argument("cluster: null routing table");
+  }
+  if (views_.empty() || views_.size() != routing_->shard_count) {
+    throw std::invalid_argument("cluster: shard view count != shard count");
+  }
+  if (config_.replicas == 0) {
+    throw std::invalid_argument("cluster: 0 replicas per shard");
+  }
+  const std::size_t n = routing_->owner.size();
+  for (const SnapshotView* view : views_) {
+    if (view == nullptr || view->node_count() != n) {
+      throw std::invalid_argument("cluster: shard view node count mismatch");
+    }
+  }
+  const std::size_t count = views_.size() * config_.replicas;
+  replicas_.reserve(count);
+  for (std::size_t s = 0; s < views_.size(); ++s) {
+    for (std::size_t r = 0; r < config_.replicas; ++r) {
+      ServerConfig sc = config_.server;
+      sc.metrics_scope = replica_scope(s, r);
+      replicas_.emplace_back(views_[s], sc);
+    }
+  }
+  up_.assign(count, 1);
+  replica_responses_.resize(count);
+  replica_latency_.resize(count);
+
+  // Per-shard TopK over owned nodes. Owned in-degrees are globally
+  // correct (the shard holds every in-edge of an owned node), and the
+  // comparator is a total order, so merging the per-shard lists over all
+  // shards reproduces the unsharded engine's list exactly: any node in
+  // the global top-k is a fortiori in its owner shard's top-k.
+  const std::uint32_t cap = config_.server.engine.topk_cap;
+  shard_topk_.resize(views_.size());
+  auto weaker = [](const std::pair<graph::NodeId, std::uint64_t>& a,
+                   const std::pair<graph::NodeId, std::uint64_t>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  for (std::size_t s = 0; s < views_.size(); ++s) {
+    auto& top = shard_topk_[s];
+    top.reserve(cap + 1);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (routing_->owner[u] != s) continue;
+      top.emplace_back(u, views_[s]->in_degree(u));
+      std::push_heap(top.begin(), top.end(), weaker);
+      if (top.size() > cap) {
+        std::pop_heap(top.begin(), top.end(), weaker);
+        top.pop_back();
+      }
+    }
+    std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+  }
+}
+
+std::size_t ClusterServer::active_replica(std::size_t shard) const {
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    if (up_[replica_index(shard, r)]) return r;
+  }
+  return config_.replicas;
+}
+
+bool ClusterServer::replica_up(std::size_t shard, std::size_t replica) const {
+  return up_[replica_index(shard, replica)] != 0;
+}
+
+bool ClusterServer::shard_dark(std::size_t shard) const {
+  return active_replica(shard) == config_.replicas;
+}
+
+void ClusterServer::kill_replica(std::size_t shard, std::size_t replica) {
+  if (!pending_.empty()) {
+    throw std::logic_error("cluster: kill_replica between drains only");
+  }
+  up_[replica_index(shard, replica)] = 0;
+}
+
+void ClusterServer::recover_replica(std::size_t shard, std::size_t replica) {
+  if (!pending_.empty()) {
+    throw std::logic_error("cluster: recover_replica between drains only");
+  }
+  up_[replica_index(shard, replica)] = 1;
+}
+
+void ClusterServer::set_queue_pressure(std::size_t capacity) {
+  for (QueryServer& replica : replicas_) {
+    replica.set_queue_pressure(capacity);
+  }
+}
+
+ServerStats ClusterServer::replica_stats(std::size_t shard,
+                                         std::size_t replica) const {
+  return replicas_[replica_index(shard, replica)].stats_snapshot();
+}
+
+ServerStats ClusterServer::aggregate_server_stats() const {
+  ServerStats total;
+  for (const QueryServer& replica : replicas_) {
+    const ServerStats s = replica.stats_snapshot();
+    total.stale_served += s.stale_served;
+    for (std::size_t t = 0; t < kRequestTypeCount; ++t) {
+      total.per_type[t] += s.per_type[t];
+    }
+    for (std::size_t c = 0; c < kPriorityCount; ++c) {
+      total.admitted_by_class[c] += s.admitted_by_class[c];
+      total.rejected_by_class[c] += s.rejected_by_class[c];
+      total.shed_by_class[c] += s.shed_by_class[c];
+    }
+    total.cache.hits += s.cache.hits;
+    total.cache.stale_hits += s.cache.stale_hits;
+    total.cache.misses += s.cache.misses;
+    total.cache.evictions += s.cache.evictions;
+    total.cache.entries += s.cache.entries;
+  }
+  // Admission and terminal-outcome counts come from the router: it sees
+  // every request (terminal-at-router answers never reach a replica).
+  total.accepted = stats_.accepted;
+  total.rejected = stats_.rejected;
+  total.served = stats_.served;
+  const auto status_of = [&](ServeStatus st) {
+    return stats_.by_status[static_cast<std::size_t>(st)];
+  };
+  total.shed = status_of(ServeStatus::kShed);
+  total.deadline_exceeded = status_of(ServeStatus::kDeadlineExceeded);
+  total.fault_injected = status_of(ServeStatus::kFaultInjected);
+  total.unavailable = status_of(ServeStatus::kUnavailable);
+  return total;
+}
+
+ServeStatus ClusterServer::submit(const Request& request, bool inject_fault) {
+  ClusterMetrics& metrics = ClusterMetrics::get();
+  Slot slot;
+  slot.request = request;
+  const auto cls =
+      static_cast<std::size_t>(request.priority) % kPriorityCount;
+  if (slot.request.cost_budget == 0) {
+    slot.request.cost_budget = config_.server.default_cost_budget[cls];
+  }
+  const std::size_t n = node_count();
+  const auto type_index = static_cast<std::size_t>(request.type);
+
+  if (inject_fault) {
+    // Server-level fault: terminal, never executed — mirrors QueryServer.
+    slot.route = Route::kTerminal;
+    slot.terminal = ServeStatus::kFaultInjected;
+  } else if (type_index >= kRequestTypeCount) {
+    slot.route = Route::kTerminal;
+    slot.terminal = ServeStatus::kInvalidRequest;
+    slot.terminal_cost = 1;  // the engine's dispatch charge
+  } else if (scatter_type(request.type)) {
+    if (request.type == RequestType::kShortestPath &&
+        (request.user >= n || request.target >= n)) {
+      slot.route = Route::kTerminal;
+      slot.terminal = ServeStatus::kInvalidNode;
+      slot.terminal_cost = 1;
+    } else if (router_queued_ >= router_capacity()) {
+      ++stats_.rejected;
+      metrics.rejected.add(1);
+      metrics.status[static_cast<std::size_t>(ServeStatus::kRejected)]->add(1);
+      return ServeStatus::kRejected;
+    } else {
+      slot.route = Route::kScatter;
+      ++router_queued_;
+    }
+  } else if (request.user >= n) {
+    slot.route = Route::kTerminal;
+    slot.terminal = ServeStatus::kInvalidNode;
+    slot.terminal_cost = 1;
+  } else {
+    const std::size_t shard = routing_->owner[request.user];
+    const std::size_t replica = active_replica(shard);
+    if (replica == config_.replicas) {
+      // Dark shard: a degraded terminal answer, never a silent drop.
+      slot.route = Route::kTerminal;
+      slot.terminal = ServeStatus::kUnavailable;
+      slot.terminal_flags = kResponseShardDark;
+    } else {
+      QueryServer& qs = replicas_[replica_index(shard, replica)];
+      if (qs.submit(slot.request) == ServeStatus::kRejected) {
+        ++stats_.rejected;
+        metrics.rejected.add(1);
+        metrics.status[static_cast<std::size_t>(ServeStatus::kRejected)]->add(
+            1);
+        return ServeStatus::kRejected;
+      }
+      slot.route = Route::kReplica;
+      slot.shard = static_cast<std::uint16_t>(shard);
+      slot.replica = static_cast<std::uint16_t>(replica);
+      // Each accepted replica submit appends exactly one queue entry, so
+      // the replica's drain answers it at this local index.
+      slot.local = static_cast<std::uint32_t>(qs.queued() - 1);
+    }
+  }
+  pending_.push_back(std::move(slot));
+  if (pending_.back().route == Route::kScatter) {
+    scatter_slots_.push_back(static_cast<std::uint32_t>(pending_.size() - 1));
+  }
+  ++stats_.accepted;
+  metrics.accepted.add(1);
+  return ServeStatus::kOk;
+}
+
+void ClusterServer::drain(std::vector<Response>& responses,
+                          std::vector<std::uint64_t>* latency_ns) {
+  const std::size_t batch = pending_.size();
+  responses.resize(batch);
+  if (latency_ns != nullptr) latency_ns->assign(batch, 0);
+  if (batch == 0) return;
+
+  ClusterMetrics& metrics = ClusterMetrics::get();
+  auto& trace = obs::TraceLog::global();
+  obs::TraceLog::Scope drain_span(trace, "serve.cluster.drain");
+
+  // Phase A (coordinator): drain every replica with queued work, in
+  // (shard, replica) order. Each drain is QueryServer's bit-identical
+  // three-phase drain; running them in a fixed serial order keeps every
+  // cache/counter mutation deterministically ordered.
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    for (std::size_t r = 0; r < config_.replicas; ++r) {
+      const std::size_t idx = replica_index(s, r);
+      if (replicas_[idx].queued() == 0) continue;
+      replicas_[idx].drain(replica_responses_[idx],
+                           latency_ns != nullptr ? &replica_latency_[idx]
+                                                 : nullptr);
+    }
+  }
+
+  // Phase B (parallel): scatter-gather executions. Pure reads of the
+  // shard views + per-slot writes, so payloads are lane-count
+  // independent; per-slot message counts land in scratch and are tallied
+  // serially in phase C.
+  scatter_messages_.assign(scatter_slots_.size(), 0);
+  core::parallel_for(
+      scatter_slots_.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) {
+          const std::uint32_t i = scatter_slots_[j];
+          const std::uint64_t start = latency_ns != nullptr ? now_ns() : 0;
+          execute_scatter(pending_[i].request, responses[i],
+                          scatter_messages_[j]);
+          if (latency_ns != nullptr) {
+            (*latency_ns)[i] = now_ns() - start;
+          }
+        }
+      });
+
+  // Phase C (coordinator, admission order): place replica answers and
+  // terminal answers, then tally all router counters serially.
+  std::uint64_t scatter_cost = 0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    Slot& slot = pending_[i];
+    Response& resp = responses[i];
+    switch (slot.route) {
+      case Route::kReplica: {
+        const std::size_t idx = replica_index(slot.shard, slot.replica);
+        resp = std::move(replica_responses_[idx][slot.local]);
+        if (latency_ns != nullptr) {
+          (*latency_ns)[i] = replica_latency_[idx][slot.local];
+        }
+        break;
+      }
+      case Route::kScatter:
+        scatter_cost += resp.cost;
+        break;
+      case Route::kTerminal:
+        resp.status = slot.terminal;
+        resp.flags = slot.terminal_flags;
+        resp.payload.clear();
+        resp.cost = slot.terminal_cost;
+        break;
+    }
+    ++stats_.by_status[static_cast<std::size_t>(resp.status) %
+                       kServeStatusCount];
+    metrics.status[static_cast<std::size_t>(resp.status) % kServeStatusCount]
+        ->add(1);
+    if ((resp.flags & kResponseShardDark) != 0) {
+      ++stats_.dark_answers;
+      metrics.dark.add(1);
+    }
+  }
+  std::uint64_t message_total = 0;
+  for (const std::uint64_t m : scatter_messages_) message_total += m;
+  stats_.messages += message_total;
+  stats_.scatter += scatter_slots_.size();
+  stats_.served += batch;
+  metrics.messages.add(message_total);
+  metrics.scatter.add(scatter_slots_.size());
+  metrics.served.add(batch);
+
+  // Replica drains advanced the virtual clock by their own batch costs;
+  // the router adds the scatter work it executed itself.
+  trace.advance(scatter_cost);
+  drain_span.attr("batch", batch);
+  drain_span.attr("scatter", scatter_slots_.size());
+  drain_span.attr("messages", message_total);
+
+  pending_.clear();
+  scatter_slots_.clear();
+  router_queued_ = 0;
+}
+
+void ClusterServer::execute_scatter(const Request& request, Response& response,
+                                    std::uint64_t& messages) const {
+  response.status = ServeStatus::kOk;
+  response.flags = 0;
+  response.payload.clear();
+  response.cost = 0;
+  if (request.type == RequestType::kShortestPath) {
+    scatter_shortest_path(request, response, messages);
+  } else {
+    scatter_top_k(request, response, messages);
+  }
+}
+
+// The engine's bidirectional BFS (engine.cpp), with one difference: every
+// frontier node's adjacency comes from its OWNER shard's view (the
+// simulated frontier exchange — one message per distinct owner shard per
+// level). Owned rows are complete and sorted, so discovery order, meter
+// charges and payload bytes are identical to the unsharded engine when
+// every shard is up. A dark owner shard degrades: its frontier nodes are
+// skipped, the answer keeps kOk but is flagged kResponseShardDark|partial.
+void ClusterServer::scatter_shortest_path(const Request& request,
+                                          Response& r,
+                                          std::uint64_t& messages) const {
+  const EngineConfig& config = config_.server.engine;
+  RequestEngine::Meter meter;
+  if (request.cost_budget != 0) meter.budget = request.cost_budget;
+  meter.charge(1);
+  const graph::NodeId u = request.user;
+  const graph::NodeId v = request.target;
+  if (u == v) {
+    meter.charge(1);
+    put_u32(r.payload, 0);
+    put_u64(r.payload, 1);
+    r.cost = meter.spent;
+    return;
+  }
+  std::unordered_map<graph::NodeId, std::uint32_t> fwd{{u, 0}};
+  std::unordered_map<graph::NodeId, std::uint32_t> bwd{{v, 0}};
+  std::vector<graph::NodeId> fwd_frontier{u};
+  std::vector<graph::NodeId> bwd_frontier{v};
+  std::vector<graph::NodeId> next;
+  std::uint32_t fwd_depth = 0;
+  std::uint32_t bwd_depth = 0;
+  std::uint64_t expanded = 2;
+  std::uint32_t best = kPathUnreachable;
+  bool dark = false;
+  bool deadline = !meter.charge(2);
+  // One message per distinct owner shard whose rows a level touches.
+  std::array<std::uint64_t, 4> shard_mask{};
+
+  while (!deadline && !fwd_frontier.empty() && !bwd_frontier.empty() &&
+         fwd_depth + bwd_depth < config.path_max_hops &&
+         expanded < config.path_node_budget) {
+    const bool forward = fwd_frontier.size() <= bwd_frontier.size();
+    auto& frontier = forward ? fwd_frontier : bwd_frontier;
+    auto& mine = forward ? fwd : bwd;
+    auto& other = forward ? bwd : fwd;
+    const std::uint32_t depth = (forward ? fwd_depth : bwd_depth) + 1;
+    next.clear();
+    shard_mask.fill(0);
+    for (const graph::NodeId x : frontier) {
+      const std::size_t shard = routing_->owner[x];
+      if (shard_dark(shard)) {
+        dark = true;
+        continue;
+      }
+      shard_mask[shard >> 6] |= std::uint64_t{1} << (shard & 63);
+      NeighborScan neighbors =
+          forward ? views_[shard]->out_scan(x) : views_[shard]->in_scan(x);
+      graph::NodeId y = 0;
+      while (neighbors.next(y)) {
+        if (!mine.emplace(y, depth).second) continue;
+        ++expanded;
+        if (!meter.charge(1)) deadline = true;
+        if (const auto hit = other.find(y); hit != other.end()) {
+          best = std::min(best, depth + hit->second);
+        }
+        next.push_back(y);
+        if (deadline || expanded >= config.path_node_budget) break;
+      }
+      if (deadline || expanded >= config.path_node_budget) break;
+    }
+    for (const std::uint64_t word : shard_mask) {
+      messages += static_cast<std::uint64_t>(__builtin_popcountll(word));
+    }
+    frontier.swap(next);
+    (forward ? fwd_depth : bwd_depth) = depth;
+    if (best != kPathUnreachable && best <= fwd_depth + bwd_depth) break;
+  }
+  if (deadline) {
+    r.status = ServeStatus::kDeadlineExceeded;
+    r.flags |= kResponsePartial;
+  }
+  if (dark) {
+    r.flags |= kResponseShardDark | kResponsePartial;
+  }
+  put_u32(r.payload, best);
+  put_u64(r.payload, expanded);
+  r.cost = meter.spent;
+}
+
+// The engine's top_k (engine.cpp) over a K-way partial merge of the
+// per-shard owned-node lists — one message per live shard. Meter charges
+// (1 dispatch + 1 per entry) replicate the engine's exactly; message
+// accounting never touches the meter, so deadline outcomes match the
+// unsharded engine. Dark shards drop out of the merge: fewer candidates,
+// flagged kResponseShardDark|partial.
+void ClusterServer::scatter_top_k(const Request& request, Response& r,
+                                  std::uint64_t& messages) const {
+  const EngineConfig& config = config_.server.engine;
+  RequestEngine::Meter meter;
+  if (request.cost_budget != 0) meter.budget = request.cost_budget;
+  meter.charge(1);
+  const std::uint32_t k =
+      request.limit == 0 ? config.topk_cap : request.limit;
+  if (k > config.topk_cap) {
+    r.status = ServeStatus::kInvalidRequest;
+    r.cost = meter.spent;
+    return;
+  }
+  bool dark = false;
+  std::uint64_t candidates = 0;
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    if (shard_dark(s)) {
+      dark = true;
+      continue;
+    }
+    candidates += shard_topk_[s].size();
+    ++messages;
+  }
+  const std::uint32_t count = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(k, candidates));
+  put_u32(r.payload, count);
+  std::vector<std::size_t> head(shard_count(), 0);
+  bool deadline = false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!meter.charge(1)) {
+      r.status = ServeStatus::kDeadlineExceeded;
+      r.flags |= kResponsePartial;
+      r.payload[0] = static_cast<std::uint8_t>(i);
+      r.payload[1] = static_cast<std::uint8_t>(i >> 8);
+      r.payload[2] = static_cast<std::uint8_t>(i >> 16);
+      r.payload[3] = static_cast<std::uint8_t>(i >> 24);
+      deadline = true;
+      break;
+    }
+    // Pick the strongest head (degree desc, id asc) among live shards.
+    std::size_t best_shard = shard_count();
+    for (std::size_t s = 0; s < shard_count(); ++s) {
+      if (shard_dark(s) || head[s] >= shard_topk_[s].size()) continue;
+      if (best_shard == shard_count()) {
+        best_shard = s;
+        continue;
+      }
+      const auto& a = shard_topk_[s][head[s]];
+      const auto& b = shard_topk_[best_shard][head[best_shard]];
+      if (a.second != b.second ? a.second > b.second : a.first < b.first) {
+        best_shard = s;
+      }
+    }
+    const auto& entry = shard_topk_[best_shard][head[best_shard]];
+    ++head[best_shard];
+    put_u32(r.payload, entry.first);
+    put_u64(r.payload, entry.second);
+  }
+  if (dark && !deadline) {
+    r.flags |= kResponseShardDark | kResponsePartial;
+  } else if (dark) {
+    r.flags |= kResponseShardDark;
+  }
+  r.cost = meter.spent;
+}
+
+// --- Cluster storm --------------------------------------------------------
+
+namespace {
+
+std::uint64_t fold_response(std::uint64_t h, const Response& r) noexcept {
+  auto fold_byte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  };
+  fold_byte(static_cast<std::uint8_t>(r.status));
+  fold_byte(r.flags);
+  const auto size = static_cast<std::uint32_t>(r.payload.size());
+  for (std::size_t i = 0; i < 4; ++i) {
+    fold_byte(static_cast<std::uint8_t>(size >> (8 * i)));
+  }
+  for (const std::uint8_t b : r.payload) fold_byte(b);
+  return h;
+}
+
+// Same storm request shape as resilience.cpp's: every type, all priority
+// classes, ~2% out-of-range ids.
+Request storm_request(stats::Rng& rng, std::size_t n) {
+  Request q;
+  q.type = static_cast<RequestType>(rng.next_below(kRequestTypeCount));
+  q.user = static_cast<graph::NodeId>(rng.next_below(n));
+  q.priority = static_cast<Priority>(rng.next_below(kPriorityCount));
+  switch (q.type) {
+    case RequestType::kShortestPath:
+      q.target = static_cast<graph::NodeId>(rng.next_below(n));
+      break;
+    case RequestType::kGetOutCircle:
+    case RequestType::kGetInCircle:
+      q.limit = 50;
+      break;
+    case RequestType::kTopK:
+      q.limit = 10;
+      break;
+    default:
+      break;
+  }
+  if (rng.next_double() < 0.02) {
+    q.user = static_cast<graph::NodeId>(n + rng.next_below(8));
+  }
+  return q;
+}
+
+// Chaos-free probe stream (huge budgets, high priority) folded to a
+// checksum — runs against the recovered cluster AND the unsharded server
+// so the two can be compared answer-for-answer.
+template <typename ServerT>
+std::uint64_t run_probe_stream(ServerT& server, std::uint64_t seed,
+                               std::uint64_t count, std::size_t n) {
+  stats::Rng rng(seed);
+  std::vector<Response> responses;
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  std::uint64_t issued = 0;
+  while (issued < count) {
+    const std::uint64_t batch =
+        std::min<std::uint64_t>(count - issued, server.queue_capacity());
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      Request q = storm_request(rng, n);
+      q.priority = Priority::kHigh;
+      q.cost_budget = ~std::uint32_t{0};
+      server.submit(q);
+    }
+    server.drain(responses);
+    for (const Response& r : responses) checksum = fold_response(checksum, r);
+    issued += batch;
+  }
+  return checksum;
+}
+
+void expect(std::vector<std::string>& violations, bool ok,
+            const std::string& what) {
+  if (!ok) violations.push_back(what);
+}
+
+void expect_metric(std::vector<std::string>& violations,
+                   const obs::MetricsSnapshot& d, const std::string& name,
+                   std::uint64_t want) {
+  const auto got = static_cast<std::uint64_t>(d.value(name));
+  if (got != want) {
+    violations.push_back("registry " + name + " = " + std::to_string(got) +
+                         ", bookkeeping says " + std::to_string(want));
+  }
+}
+
+}  // namespace
+
+ClusterStormReport run_cluster_storm(const ShardedSnapshot& sharded,
+                                     const SnapshotView& full,
+                                     const ClusterStormConfig& config) {
+  ClusterStormReport report;
+  const std::size_t shards = sharded.shards.size();
+  std::vector<SnapshotView> views;
+  views.reserve(shards);
+  for (const SnapshotBuffer& shard : sharded.shards) {
+    views.emplace_back(shard.bytes());
+  }
+  std::vector<const SnapshotView*> view_ptrs;
+  view_ptrs.reserve(shards);
+  for (const SnapshotView& view : views) view_ptrs.push_back(&view);
+
+  ClusterConfig cc;
+  cc.server = config.server;
+  cc.replicas = config.replicas;
+  ClusterServer cluster(&sharded.routing, view_ptrs, cc);
+  const ChaosSchedule chaos(config.chaos);
+  const std::size_t n = cluster.node_count();
+
+  // Scripted shard events: replica-0 kills (failover window) at R/4, one
+  // shard fully dark at R/2, dark shard back at 5R/8, everything back at
+  // 3R/4 — chaos faults/slowdowns/pressure run throughout.
+  const std::uint64_t kill_primaries = config.rounds / 4;
+  const std::uint64_t kill_dark = config.rounds / 2;
+  const std::uint64_t recover_dark = config.rounds * 5 / 8;
+  const std::uint64_t recover_all = config.rounds * 3 / 4;
+  const std::size_t dark_shard = 1 % shards;
+
+  auto& registry = obs::MetricsRegistry::global();
+  const auto before = registry.snapshot();
+
+  stats::Rng rng(config.seed);
+  std::vector<Response> responses;
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  std::uint64_t seq = 0;
+
+  for (std::uint64_t round = 0; round < config.rounds; ++round) {
+    if (round == kill_primaries && config.replicas >= 2) {
+      for (std::size_t s = 0; s < shards; ++s) cluster.kill_replica(s, 0);
+    }
+    if (round == kill_dark) {
+      for (std::size_t r = 0; r < config.replicas; ++r) {
+        cluster.kill_replica(dark_shard, r);
+      }
+    }
+    if (round == recover_dark) {
+      // Replica 0 stays in its failover window (when there is one).
+      const std::size_t first = config.replicas >= 2 ? 1 : 0;
+      for (std::size_t r = first; r < config.replicas; ++r) {
+        cluster.recover_replica(dark_shard, r);
+      }
+    }
+    if (round == recover_all) {
+      for (std::size_t s = 0; s < shards; ++s) {
+        for (std::size_t r = 0; r < config.replicas; ++r) {
+          cluster.recover_replica(s, r);
+        }
+      }
+    }
+    cluster.set_queue_pressure(chaos.pressure(round));
+    for (std::size_t c = 0; c < config.clients; ++c) {
+      Request q = storm_request(rng, n);
+      const ChaosSchedule::RequestEvents events = chaos.request_events(seq++);
+      if (events.slow) q.cost_budget = chaos.config().slow_budget;
+      ++report.offered;
+      if (cluster.submit(q, events.fault) == ServeStatus::kRejected) {
+        ++report.rejected;
+      } else {
+        ++report.accepted;
+      }
+    }
+    cluster.drain(responses);
+    report.responses += responses.size();
+    for (const Response& r : responses) {
+      ++report.by_status[static_cast<std::size_t>(r.status) %
+                         kServeStatusCount];
+      if ((r.flags & kResponseShardDark) != 0) ++report.dark_answers;
+      checksum = fold_response(checksum, r);
+    }
+    expect(report.violations, cluster.queued() == 0,
+           "queue not empty after drain");
+  }
+  report.checksum = checksum;
+
+  // Reconcile registry deltas BEFORE the probe traffic muddies them:
+  // every replica's scoped slice must equal its own stats exactly (the
+  // no-double-counting contract), and the router counters must equal the
+  // cluster's bookkeeping.
+  const auto after = registry.snapshot();
+  const auto d = obs::delta(after, before);
+  report.cluster = cluster.stats_snapshot();
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t r = 0; r < config.replicas; ++r) {
+      const ServerStats st = cluster.replica_stats(s, r);
+      report.replica_stats.push_back(st);
+      const std::string prefix =
+          "serve." + ClusterServer::replica_scope(s, r) + ".";
+      expect_metric(report.violations, d, prefix + "accepted", st.accepted);
+      expect_metric(report.violations, d, prefix + "served", st.served);
+      expect_metric(report.violations, d, prefix + "rejected", st.rejected);
+      expect_metric(report.violations, d, prefix + "shed", st.shed);
+      expect_metric(report.violations, d, prefix + "deadline_exceeded",
+                    st.deadline_exceeded);
+      expect_metric(report.violations, d, prefix + "fault_injected",
+                    st.fault_injected);
+      expect_metric(report.violations, d, prefix + "stale_served",
+                    st.stale_served);
+      expect_metric(report.violations, d, prefix + "unavailable",
+                    st.unavailable);
+      expect_metric(report.violations, d, prefix + "cache.hits",
+                    st.cache.hits);
+      expect_metric(report.violations, d, prefix + "cache.stale_hits",
+                    st.cache.stale_hits);
+      expect_metric(report.violations, d, prefix + "cache.misses",
+                    st.cache.misses);
+      expect_metric(report.violations, d, prefix + "cache.evictions",
+                    st.cache.evictions);
+    }
+  }
+  expect_metric(report.violations, d, "serve.cluster.accepted",
+                report.cluster.accepted);
+  expect_metric(report.violations, d, "serve.cluster.rejected",
+                report.cluster.rejected);
+  expect_metric(report.violations, d, "serve.cluster.served",
+                report.cluster.served);
+  expect_metric(report.violations, d, "serve.cluster.scatter",
+                report.cluster.scatter);
+  expect_metric(report.violations, d, "serve.cluster.messages",
+                report.cluster.messages);
+  expect_metric(report.violations, d, "serve.cluster.dark",
+                report.cluster.dark_answers);
+
+  // Core storm invariants: every admitted request reached exactly one
+  // terminal status; nothing dropped silently.
+  expect(report.violations, report.offered == report.accepted + report.rejected,
+         "offered != accepted + rejected");
+  expect(report.violations, report.responses == report.accepted,
+         "responses != accepted (silent drop or duplicate)");
+  std::uint64_t by_status_total = 0;
+  for (const std::uint64_t v : report.by_status) by_status_total += v;
+  expect(report.violations, by_status_total == report.responses,
+         "per-status totals != responses");
+  if (config.rounds >= 16 && config.replicas >= 1) {
+    expect(report.violations, report.dark_answers > 0,
+           "dark window produced no kShardDark answers");
+  }
+
+  // Post-storm probes: fully recovered cluster vs a fresh unsharded
+  // server — every request family must answer identically.
+  if (config.probes > 0) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::size_t r = 0; r < config.replicas; ++r) {
+        cluster.recover_replica(s, r);
+      }
+    }
+    cluster.set_queue_pressure(0);
+    const std::uint64_t probe_seed = config.seed ^ 0x9E3779B97F4A7C15ULL;
+    report.post_probe_checksum =
+        run_probe_stream(cluster, probe_seed, config.probes, n);
+    QueryServer fresh(&full, config.server);
+    report.unsharded_probe_checksum =
+        run_probe_stream(fresh, probe_seed, config.probes, n);
+    expect(report.violations,
+           report.post_probe_checksum == report.unsharded_probe_checksum,
+           "cluster probe answers diverged from the unsharded engine");
+  }
+  return report;
+}
+
+}  // namespace gplus::serve

@@ -89,6 +89,10 @@ std::string_view serve_status_name(ServeStatus status) noexcept;
 
 /// Response flag bits.
 inline constexpr std::uint8_t kResponsePartial = 1U << 0;
+/// Set by the sharded cluster when one or more shards were dark (no live
+/// replica) while this answer was assembled: the payload is a degraded
+/// best-effort over the shards that were up (DESIGN.md §13).
+inline constexpr std::uint8_t kResponseShardDark = 1U << 1;
 
 /// Response: status + encoded payload (empty unless kOk or a partial
 /// kDeadlineExceeded). Payload layouts are documented in DESIGN.md §9;

@@ -10,21 +10,18 @@
 
 namespace gplus::serve {
 
-namespace {
-
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+namespace detail {
 
 // Every ServerStats increment is mirrored into the global registry so
 // tests/benches can reconcile server bookkeeping against one uniform
 // surface. All serve counters are coordinator-ordered (drain phases 1 and
 // 3 run serially in request order), hence deterministic at any lane count;
-// the per-type histograms record virtual cost, never wall time.
-struct ServeMetrics {
+// the per-type histograms record virtual cost, never wall time. Each
+// server resolves its own refs under `ServerConfig::metrics_scope`: the
+// default "" scope keeps the historical process-wide "serve.*" names,
+// while cluster replicas get disjoint "serve.s<i>.r<j>.*" slices that
+// reconcile one-to-one against that replica's ServerStats.
+struct ServeMetricsRefs {
   obs::Counter& accepted;
   obs::Counter& rejected;
   obs::Counter& served;
@@ -36,50 +33,64 @@ struct ServeMetrics {
   obs::Gauge& queue_depth;
   std::array<obs::Counter*, kServeStatusCount> status;
   std::array<obs::Histogram*, kRequestTypeCount> cost;
-
-  static ServeMetrics& get() {
-    static ServeMetrics* m = [] {
-      auto& reg = obs::MetricsRegistry::global();
-      auto* out = new ServeMetrics{
-          reg.counter("serve.accepted"),
-          reg.counter("serve.rejected"),
-          reg.counter("serve.served"),
-          reg.counter("serve.shed"),
-          reg.counter("serve.deadline_exceeded"),
-          reg.counter("serve.fault_injected"),
-          reg.counter("serve.stale_served"),
-          reg.counter("serve.unavailable"),
-          reg.gauge("serve.queue.depth"),
-          {},
-          {},
-      };
-      for (std::size_t s = 0; s < kServeStatusCount; ++s) {
-        const std::string name =
-            "serve.status." +
-            std::string(serve_status_name(static_cast<ServeStatus>(s)));
-        out->status[s] = &reg.counter(name);
-      }
-      // Virtual-cost buckets: 1 dispatch unit up through BFS-sized walks.
-      const std::vector<std::uint64_t> bounds{1,   2,   4,    8,    16,   32,
-                                              64,  128, 256,  512,  1024, 4096,
-                                              16384, 65536};
-      for (std::size_t t = 0; t < kRequestTypeCount; ++t) {
-        const std::string name =
-            "serve.cost." +
-            std::string(request_type_name(static_cast<RequestType>(t)));
-        out->cost[t] = &reg.histogram(name, bounds);
-      }
-      return out;
-    }();
-    return *m;
-  }
 };
+
+}  // namespace detail
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::shared_ptr<detail::ServeMetricsRefs> resolve_serve_metrics(
+    const std::string& scope) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string prefix =
+      scope.empty() ? "serve." : "serve." + scope + ".";
+  auto out = std::make_shared<detail::ServeMetricsRefs>(
+      detail::ServeMetricsRefs{
+          reg.counter(prefix + "accepted"),
+          reg.counter(prefix + "rejected"),
+          reg.counter(prefix + "served"),
+          reg.counter(prefix + "shed"),
+          reg.counter(prefix + "deadline_exceeded"),
+          reg.counter(prefix + "fault_injected"),
+          reg.counter(prefix + "stale_served"),
+          reg.counter(prefix + "unavailable"),
+          reg.gauge(prefix + "queue.depth"),
+          {},
+          {},
+      });
+  for (std::size_t s = 0; s < kServeStatusCount; ++s) {
+    const std::string name =
+        prefix + "status." +
+        std::string(serve_status_name(static_cast<ServeStatus>(s)));
+    out->status[s] = &reg.counter(name);
+  }
+  // Virtual-cost buckets: 1 dispatch unit up through BFS-sized walks.
+  const std::vector<std::uint64_t> bounds{1,   2,   4,    8,    16,   32,
+                                          64,  128, 256,  512,  1024, 4096,
+                                          16384, 65536};
+  for (std::size_t t = 0; t < kRequestTypeCount; ++t) {
+    const std::string name =
+        prefix + "cost." +
+        std::string(request_type_name(static_cast<RequestType>(t)));
+    out->cost[t] = &reg.histogram(name, bounds);
+  }
+  return out;
+}
 
 }  // namespace
 
 QueryServer::QueryServer(const SnapshotView* snapshot, ServerConfig config)
     : config_(config),
-      cache_(config.cache_capacity, config.cache_shards) {
+      metrics_(resolve_serve_metrics(config.metrics_scope)),
+      cache_(config.cache_capacity, config.cache_shards,
+             config.metrics_scope) {
   if (snapshot != nullptr) engine_.emplace(snapshot, config_.engine);
   queue_.reserve(config_.queue_capacity);
 }
@@ -99,7 +110,7 @@ std::size_t QueryServer::find_victim(Priority incoming) const noexcept {
 }
 
 ServeStatus QueryServer::submit(const Request& request, bool inject_fault) {
-  ServeMetrics& metrics = ServeMetrics::get();
+  detail::ServeMetricsRefs& metrics = *metrics_;
   Request admitted = request;
   const auto cls = static_cast<std::size_t>(admitted.priority) % kPriorityCount;
   if (admitted.cost_budget == 0) {
@@ -149,7 +160,7 @@ void QueryServer::drain(std::vector<Response>& responses,
   if (latency_ns != nullptr) latency_ns->assign(batch, 0);
   if (batch == 0) return;
 
-  ServeMetrics& metrics = ServeMetrics::get();
+  detail::ServeMetricsRefs& metrics = *metrics_;
   metrics.queue_depth.set(static_cast<std::int64_t>(batch));
   auto& trace = obs::TraceLog::global();
   obs::TraceLog::Scope drain_span(trace, "serve.drain");

@@ -33,13 +33,19 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "serve/cache.h"
 #include "serve/engine.h"
 
 namespace gplus::serve {
+
+namespace detail {
+struct ServeMetricsRefs;
+}  // namespace detail
 
 /// Server knobs.
 struct ServerConfig {
@@ -53,6 +59,12 @@ struct ServerConfig {
   /// Per-priority default deadline (virtual cost units, 0 = unlimited),
   /// applied at submit to requests that carry no explicit cost_budget.
   std::array<std::uint32_t, kPriorityCount> default_cost_budget{};
+  /// Registry name qualifier. "" keeps the historical process-wide
+  /// "serve.*" metric names; a cluster replica sets e.g. "s2.r0" so its
+  /// counters land under "serve.s2.r0.*" and per-shard registries
+  /// reconcile exactly against that replica's ServerStats — no
+  /// double-counting across shards (DESIGN.md §13).
+  std::string metrics_scope;
   EngineConfig engine;
 };
 
@@ -166,6 +178,9 @@ class QueryServer {
   std::size_t find_victim(Priority incoming) const noexcept;
 
   ServerConfig config_;
+  // Scope-resolved registry refs (cells are registry-owned and live for
+  // the process; shared_ptr keeps the header free of obs types).
+  std::shared_ptr<detail::ServeMetricsRefs> metrics_;
   std::optional<RequestEngine> engine_;
   ShardedLruCache cache_;
   std::vector<Pending> queue_;

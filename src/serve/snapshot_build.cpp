@@ -9,12 +9,15 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
+#include <numeric>
 #include <queue>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "core/parallel.h"
 #include "geo/countries.h"
 #include "serve/snapshot_format.h"
 #include "serve/varint.h"
@@ -28,6 +31,8 @@ using detail::adjacency_section_bytes;
 using detail::fnv1a64;
 using detail::kChecksumOffset;
 using detail::kHeaderBytes;
+using detail::load_u32;
+using detail::load_u64;
 using detail::magic_for;
 using detail::pad8;
 using detail::store_u32;
@@ -627,6 +632,295 @@ OutOfCoreStats OutOfCoreSnapshotBuilder::finish(
   stats.run_count = run_count_;
   stats.resumed_edges = resumed_edges_;
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Shard splitter (see snapshot_build.h for the E_s contract).
+// ---------------------------------------------------------------------------
+
+std::string_view sharding_policy_name(ShardingPolicy policy) noexcept {
+  switch (policy) {
+    case ShardingPolicy::kRankStripe: return "rank-stripe";
+    case ShardingPolicy::kRankRange: return "rank-range";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr char kRoutingMagic[8] = {'G', 'P', 'R', 'O', 'U', 'T', 'E', '1'};
+
+/// Degree rank order: total degree descending, ties by ascending id — the
+/// same total order the v3 relabeling uses, recomputed here from the view
+/// so sharding is format-version independent.
+std::vector<std::uint8_t> assign_owners(const SnapshotView& full,
+                                        const ShardingOptions& options) {
+  const std::size_t n = full.node_count();
+  const std::size_t k = options.shard_count;
+  std::vector<std::uint64_t> deg(n);
+  core::parallel_for(n, 4096, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      const auto id = static_cast<graph::NodeId>(u);
+      deg[u] = full.out_degree(id) + full.in_degree(id);
+    }
+  });
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), graph::NodeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              if (deg[a] != deg[b]) return deg[a] > deg[b];
+              return a < b;
+            });
+  std::vector<std::uint8_t> owner(n, 0);
+  if (options.policy == ShardingPolicy::kRankStripe) {
+    for (std::size_t r = 0; r < n; ++r) {
+      owner[order[r]] = static_cast<std::uint8_t>(r % k);
+    }
+    return owner;
+  }
+  // kRankRange: contiguous rank ranges cut so each carries ~1/K of the
+  // total degree mass (+1 per node keeps zero-degree tails spreading).
+  std::uint64_t total_mass = 0;
+  for (std::size_t u = 0; u < n; ++u) total_mass += deg[u] + 1;
+  std::uint64_t seen = 0;
+  std::size_t s = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const graph::NodeId u = order[r];
+    seen += deg[u] + 1;
+    owner[u] = static_cast<std::uint8_t>(s);
+    while (s + 1 < k && seen * k >= total_mass * (s + 1)) ++s;
+  }
+  return owner;
+}
+
+/// Builds shard `s` as a self-contained v2 snapshot over the global id
+/// space, holding exactly E_s = {(a,b) : owner(a)==s or owner(b)==s}.
+SnapshotBuffer build_shard_buffer(const SnapshotView& full,
+                                  const std::vector<std::uint8_t>& owner,
+                                  std::size_t s) {
+  const std::size_t n = full.node_count();
+  const auto mine = static_cast<std::uint8_t>(s);
+
+  // Filtered per-node degrees (parallel, disjoint writes), then serial
+  // prefix sums. Membership is symmetric in (a,b), so both CSRs hold the
+  // same arc count — the flat-open validation the view enforces.
+  std::vector<std::uint64_t> out_deg(n, 0);
+  std::vector<std::uint64_t> in_deg(n, 0);
+  core::parallel_for(n, 1024, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      const auto id = static_cast<graph::NodeId>(u);
+      if (owner[u] == mine) {
+        out_deg[u] = full.out_degree(id);
+        in_deg[u] = full.in_degree(id);
+        continue;
+      }
+      NeighborScan out = full.out_scan(id);
+      graph::NodeId v = 0;
+      std::uint64_t kept = 0;
+      while (out.next(v)) kept += owner[v] == mine ? 1 : 0;
+      out_deg[u] = kept;
+      NeighborScan in = full.in_scan(id);
+      kept = 0;
+      while (in.next(v)) kept += owner[v] == mine ? 1 : 0;
+      in_deg[u] = kept;
+    }
+  });
+
+  std::uint64_t m_s = 0;
+  std::uint64_t m_in = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    m_s += out_deg[u];
+    m_in += in_deg[u];
+  }
+  if (m_s != m_in) fail("shard split: out/in arc counts diverged");
+
+  // v2 layout, minus the country index (shards never serve it).
+  std::size_t at = kHeaderBytes;
+  const std::size_t off_out_offsets = at;
+  at += (n + 1) * 8;
+  const std::size_t off_out_targets = at;
+  at += pad8(m_s * 4);
+  const std::size_t off_in_offsets = at;
+  at += (n + 1) * 8;
+  const std::size_t off_in_targets = at;
+  at += pad8(m_s * 4);
+  const std::size_t off_recip = at;
+  const std::size_t recip_words = (m_s + 63) / 64;
+  at += recip_words * 8;
+  const std::size_t off_profiles = at;
+  at += pad8(n * sizeof(PackedProfile));
+  const std::size_t off_digests = at;
+  at += kSnapshotDigestBytes;
+  const std::size_t total = at;
+
+  SnapshotBuffer buffer(std::vector<std::uint64_t>((total + 7) / 8, 0), total);
+  std::byte* base = buffer.data();
+
+  std::memcpy(base, magic_for(kSnapshotVersion2), 8);
+  store_u32(base + 8, kSnapshotVersion2);
+  store_u32(base + 12, 0);
+  store_u64(base + 16, n);
+  store_u64(base + 24, m_s);
+  store_u64(base + 32, off_out_offsets);
+  store_u64(base + 40, off_out_targets);
+  store_u64(base + 48, off_in_offsets);
+  store_u64(base + 56, off_in_targets);
+  store_u64(base + 64, off_recip);
+  store_u64(base + 72, off_profiles);
+  store_u64(base + 80, 0);
+  store_u64(base + 88, 0);
+  store_u64(base + 96, total);
+  store_u64(base + kChecksumOffset, fnv1a64(base, kChecksumOffset));
+
+  auto* out_offsets = reinterpret_cast<std::uint64_t*>(base + off_out_offsets);
+  auto* in_offsets = reinterpret_cast<std::uint64_t*>(base + off_in_offsets);
+  for (std::size_t u = 0; u < n; ++u) {
+    out_offsets[u + 1] = out_offsets[u] + out_deg[u];
+    in_offsets[u + 1] = in_offsets[u] + in_deg[u];
+  }
+
+  // Targets and profiles: parallel, each node writes its own slices.
+  // Source scans are ascending, filtering preserves that, so shard rows
+  // keep the sorted-adjacency invariant the engine depends on.
+  auto* out_targets = reinterpret_cast<graph::NodeId*>(base + off_out_targets);
+  auto* in_targets = reinterpret_cast<graph::NodeId*>(base + off_in_targets);
+  auto* profiles = reinterpret_cast<PackedProfile*>(base + off_profiles);
+  core::parallel_for(n, 1024, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      const auto id = static_cast<graph::NodeId>(u);
+      const bool owned = owner[u] == mine;
+      NeighborScan out = full.out_scan(id);
+      graph::NodeId v = 0;
+      std::size_t w = out_offsets[u];
+      while (out.next(v)) {
+        if (owned || owner[v] == mine) out_targets[w++] = v;
+      }
+      NeighborScan in = full.in_scan(id);
+      w = in_offsets[u];
+      while (in.next(v)) {
+        if (owned || owner[v] == mine) in_targets[w++] = v;
+      }
+      if (owned) profiles[u] = full.profile(id);
+      // Non-owned profile rows stay zero: they are never served.
+    }
+  });
+
+  // Reciprocal bitmap over the shard's out CSR, against the FULL graph:
+  // (a,b) in E_s and (b,a) in E implies (b,a) in E_s too (membership is
+  // symmetric), so owned rows report globally-correct reciprocity.
+  std::vector<std::uint8_t> recip_bytes(m_s, 0);
+  core::parallel_for(n, 256, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      const auto id = static_cast<graph::NodeId>(u);
+      for (std::size_t e = out_offsets[u]; e < out_offsets[u + 1]; ++e) {
+        if (full.has_out_edge(out_targets[e], id)) recip_bytes[e] = 1;
+      }
+    }
+  });
+  auto* recip = reinterpret_cast<std::uint64_t*>(base + off_recip);
+  for (std::size_t e = 0; e < m_s; ++e) {
+    if (recip_bytes[e]) recip[e >> 6] |= std::uint64_t{1} << (e & 63);
+  }
+
+  const std::pair<std::size_t, std::size_t> sections[kSnapshotSectionCount] = {
+      {off_out_offsets, (n + 1) * 8},
+      {off_out_targets, pad8(m_s * 4)},
+      {off_in_offsets, (n + 1) * 8},
+      {off_in_targets, pad8(m_s * 4)},
+      {off_recip, recip_words * 8},
+      {off_profiles, pad8(n * sizeof(PackedProfile))},
+      {0, 0},
+      {0, 0},
+  };
+  auto* digests = base + off_digests;
+  for (std::size_t sec = 0; sec < kSnapshotSectionCount; ++sec) {
+    const auto [off, len] = sections[sec];
+    store_u64(digests + sec * 8, off == 0 ? 0 : fnv1a64(base + off, len));
+  }
+  store_u64(digests + kSnapshotSectionCount * 8,
+            fnv1a64(digests, kSnapshotSectionCount * 8));
+  return buffer;
+}
+
+}  // namespace
+
+ShardedSnapshot split_snapshot(const SnapshotView& full,
+                               const ShardingOptions& options) {
+  const std::size_t n = full.node_count();
+  if (options.shard_count == 0) fail("shard split: shard_count 0");
+  if (options.shard_count > 256) fail("shard split: more than 256 shards");
+  if (options.shard_count > n) {
+    fail("shard split: more shards than nodes");
+  }
+  ShardedSnapshot result;
+  result.routing.shard_count = static_cast<std::uint32_t>(options.shard_count);
+  result.routing.policy = options.policy;
+  result.routing.owner = assign_owners(full, options);
+  result.shards.reserve(options.shard_count);
+  for (std::size_t s = 0; s < options.shard_count; ++s) {
+    result.shards.push_back(build_shard_buffer(full, result.routing.owner, s));
+  }
+  return result;
+}
+
+void save_routing_table(const RoutingTable& table,
+                        const std::filesystem::path& path) {
+  if (table.shard_count == 0 || table.shard_count > 256) {
+    fail("routing table: bad shard_count");
+  }
+  const std::size_t n = table.owner.size();
+  // Magic 8B | shard_count u32 | policy u8 | pad 3B | node_count u64 |
+  // owner bytes padded to 8 | FNV-1a u64 over everything preceding.
+  const std::size_t body = 8 + 4 + 4 + 8 + pad8(n);
+  std::vector<std::byte> bytes(body + 8, std::byte{0});
+  std::memcpy(bytes.data(), kRoutingMagic, 8);
+  store_u32(bytes.data() + 8, table.shard_count);
+  bytes[12] = static_cast<std::byte>(table.policy);
+  store_u64(bytes.data() + 16, n);
+  for (std::size_t u = 0; u < n; ++u) {
+    bytes[24 + u] = static_cast<std::byte>(table.owner[u]);
+  }
+  store_u64(bytes.data() + body, fnv1a64(bytes.data(), body));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("routing table: cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) fail("routing table: short write to " + path.string());
+}
+
+RoutingTable load_routing_table(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("routing table: cannot open " + path.string());
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  const auto* bytes = reinterpret_cast<const std::byte*>(raw.data());
+  if (raw.size() < 32) fail("routing table: truncated");
+  if (std::memcmp(raw.data(), kRoutingMagic, 8) != 0) {
+    fail("routing table: bad magic");
+  }
+  RoutingTable table;
+  table.shard_count = load_u32(bytes + 8);
+  const auto policy = static_cast<std::uint8_t>(bytes[12]);
+  const std::uint64_t n = load_u64(bytes + 16);
+  const std::size_t body = 8 + 4 + 4 + 8 + pad8(n);
+  if (raw.size() != body + 8) fail("routing table: size mismatch");
+  if (load_u64(bytes + body) != fnv1a64(bytes, body)) {
+    fail("routing table: checksum mismatch");
+  }
+  if (table.shard_count == 0 || table.shard_count > 256) {
+    fail("routing table: bad shard_count");
+  }
+  if (policy > static_cast<std::uint8_t>(ShardingPolicy::kRankRange)) {
+    fail("routing table: unknown policy");
+  }
+  table.policy = static_cast<ShardingPolicy>(policy);
+  table.owner.resize(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto o = static_cast<std::uint8_t>(bytes[24 + u]);
+    if (o >= table.shard_count) fail("routing table: owner out of range");
+    table.owner[u] = o;
+  }
+  return table;
 }
 
 }  // namespace gplus::serve

@@ -116,4 +116,69 @@ class OutOfCoreSnapshotBuilder {
   bool finished_ = false;
 };
 
+// ---------------------------------------------------------------------------
+// Shard splitter: one snapshot -> K self-contained vertex-shard snapshots.
+//
+// Ownership is assigned over the degree-ordered rank space (total degree
+// descending, ties by ascending id — the same total order v3 relabels by),
+// so hubs spread evenly across shards regardless of id layout:
+//
+//   kRankStripe  owner(u) = rank(u) % K       (round-robin over ranks)
+//   kRankRange   contiguous rank ranges balanced by total-degree mass
+//
+// Shard s stores the edge set E_s = {(a,b) : owner(a)==s or owner(b)==s}
+// as a standard v2 snapshot with the GLOBAL node id space (node_count = n,
+// edge_count = |E_s|). That makes every owned row complete on both sides:
+// out/in circles, degrees and the reciprocal bitmap of an owned node are
+// bit-equal to the unsharded snapshot — the invariant that lets the
+// cluster answer single-shard request families answer-identically to the
+// unsharded engine (DESIGN.md §13). Non-owned rows are partial and are
+// never served directly. Shards carry no country index.
+// ---------------------------------------------------------------------------
+
+/// Shard-ownership policy over the degree rank space.
+enum class ShardingPolicy : std::uint8_t {
+  kRankStripe = 0,
+  kRankRange = 1,
+};
+
+/// Display name ("rank-stripe", "rank-range").
+std::string_view sharding_policy_name(ShardingPolicy policy) noexcept;
+
+/// Node -> owning shard map, shared by the splitter, the router and the
+/// on-disk shard set. At most 256 shards (owner ids are one byte).
+struct RoutingTable {
+  std::uint32_t shard_count = 0;
+  ShardingPolicy policy = ShardingPolicy::kRankStripe;
+  std::vector<std::uint8_t> owner;  // indexed by global node id
+
+  std::size_t node_count() const noexcept { return owner.size(); }
+  std::size_t owner_shard(graph::NodeId u) const noexcept { return owner[u]; }
+};
+
+struct ShardingOptions {
+  std::size_t shard_count = 4;
+  ShardingPolicy policy = ShardingPolicy::kRankStripe;
+};
+
+/// A split snapshot: the routing table plus one self-contained v2 shard
+/// snapshot per shard (open each with SnapshotView over shard.bytes()).
+struct ShardedSnapshot {
+  RoutingTable routing;
+  std::vector<SnapshotBuffer> shards;
+};
+
+/// Splits `full` into `options.shard_count` vertex shards. Deterministic
+/// in (snapshot bytes, options) at any GPLUS_THREADS; works on any
+/// readable snapshot version (v1/v2/v3). Throws std::runtime_error on
+/// shard_count of 0, > 256, or > node_count.
+ShardedSnapshot split_snapshot(const SnapshotView& full,
+                               const ShardingOptions& options);
+
+/// Routing-table file ("GPROUTE1" magic, little-endian, trailing FNV-1a
+/// checksum). load throws std::runtime_error on any corruption.
+void save_routing_table(const RoutingTable& table,
+                        const std::filesystem::path& path);
+RoutingTable load_routing_table(const std::filesystem::path& path);
+
 }  // namespace gplus::serve

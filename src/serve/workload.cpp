@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "serve/cluster.h"
 #include "stats/rng.h"
 
 namespace gplus::serve {
@@ -43,6 +44,15 @@ struct Client {
   Request in_flight;
   bool retrying = false;
 };
+
+// The report's ServerStats for each serving surface: a cluster reports
+// the replica-summed aggregate with router-level admission counts.
+ServerStats final_server_stats(const QueryServer& server) {
+  return server.stats_snapshot();
+}
+ServerStats final_server_stats(const ClusterServer& cluster) {
+  return cluster.aggregate_server_stats();
+}
 
 }  // namespace
 
@@ -92,12 +102,14 @@ WorkloadMix WorkloadMix::by_name(std::string_view name) {
                               " (expected degree-profile, read, path or mixed)");
 }
 
-LoadReport run_closed_loop(QueryServer& server, const WorkloadConfig& config) {
-  const RequestEngine* engine = server.engine();
-  if (engine == nullptr) {
-    throw std::invalid_argument("workload: server degraded (no snapshot)");
-  }
-  const std::size_t n = engine->snapshot().node_count();
+// The closed-loop harness itself, generic over the serving surface:
+// QueryServer and ClusterServer share the submit/drain/queue_capacity
+// shape, so one template drives both and the checksums stay directly
+// comparable (the cluster-equivalence tests rely on that).
+template <typename ServerT>
+LoadReport closed_loop_impl(ServerT& server, const SnapshotView& snapshot,
+                            const WorkloadConfig& config) {
+  const std::size_t n = snapshot.node_count();
   if (n == 0) throw std::invalid_argument("workload: empty snapshot");
   if (config.clients == 0) throw std::invalid_argument("workload: 0 clients");
   if (server.queue_capacity() == 0) {
@@ -106,7 +118,6 @@ LoadReport run_closed_loop(QueryServer& server, const WorkloadConfig& config) {
 
   // In-degree ranking (descending, ties by ascending id — Table 1 order):
   // Zipf rank r maps to the r-th most-followed user.
-  const SnapshotView& snapshot = engine->snapshot();
   std::vector<graph::NodeId> ranked(n);
   std::iota(ranked.begin(), ranked.end(), graph::NodeId{0});
   std::sort(ranked.begin(), ranked.end(),
@@ -207,8 +218,26 @@ LoadReport run_closed_loop(QueryServer& server, const WorkloadConfig& config) {
     report.p99_us = percentile_us(latencies, 0.99);
   }
   report.checksum = checksum;
-  report.server = server.stats_snapshot();
+  report.server = final_server_stats(server);
   return report;
+}
+
+LoadReport run_closed_loop(QueryServer& server, const WorkloadConfig& config) {
+  const RequestEngine* engine = server.engine();
+  if (engine == nullptr) {
+    throw std::invalid_argument("workload: server degraded (no snapshot)");
+  }
+  return closed_loop_impl(server, engine->snapshot(), config);
+}
+
+LoadReport run_closed_loop(ClusterServer& cluster,
+                           const SnapshotView& ranking_view,
+                           const WorkloadConfig& config) {
+  if (ranking_view.node_count() != cluster.node_count()) {
+    throw std::invalid_argument(
+        "workload: ranking view node count != cluster node count");
+  }
+  return closed_loop_impl(cluster, ranking_view, config);
 }
 
 }  // namespace gplus::serve

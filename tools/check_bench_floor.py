@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""CI bench gate: compare published BENCH_*.json reports against the
+checked-in throughput floors (bench/floors.json).
+
+Usage: check_bench_floor.py <floors.json> <report.json> [<report.json> ...]
+
+floors.json maps report basenames to {field: floor} objects. A report
+fails the gate when any floored field measures below floor * (1 -
+TOLERANCE) — i.e. more than a 30% drop against the floor. Fields in the
+report but not in the floors file are ignored; a floored field missing
+from the report is an error (the bench stopped publishing it). Exits
+nonzero on any failure so the workflow step fails loudly.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.30
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as fh:
+        floors = json.load(fh)
+    failures = 0
+    for path in argv[2:]:
+        name = path.rsplit("/", 1)[-1]
+        expected = floors.get(name)
+        if expected is None:
+            print(f"{name}: no floors registered, skipping")
+            continue
+        with open(path) as fh:
+            report = json.load(fh)
+        for field, floor in expected.items():
+            if field not in report:
+                print(f"FAIL {name}: floored field '{field}' missing")
+                failures += 1
+                continue
+            measured = float(report[field])
+            gate = floor * (1.0 - TOLERANCE)
+            verdict = "ok" if measured >= gate else "FAIL"
+            print(
+                f"{verdict:>4} {name}: {field} = {measured:.0f} "
+                f"(floor {floor:.0f}, gate {gate:.0f})"
+            )
+            if measured < gate:
+                failures += 1
+    if failures:
+        print(f"{failures} bench floor violation(s)")
+        return 1
+    print("all bench floors held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

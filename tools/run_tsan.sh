@@ -12,7 +12,10 @@ SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 # Default to an absolute path inside the repo so the build lands under the
 # gitignored build*/ pattern no matter where the script is invoked from.
 BUILD_DIR="${1:-$SRC_DIR/build-$SANITIZER}"
-TARGETS="test_parallel test_parallel_equivalence test_bfs test_serve test_serve_equivalence test_snapshot test_snapshot_equivalence test_serve_chaos test_obs test_golden_trace"
+TARGETS="test_parallel test_parallel_equivalence test_bfs test_serve test_serve_equivalence test_snapshot test_snapshot_equivalence test_serve_chaos test_cluster test_cluster_equivalence test_obs test_golden_trace"
+# Lane-equivalence binaries get a second pass pinned to one lane, so the
+# serial fallback is sanitized too (mirrors the CTest ".threads1" variants).
+SINGLE_THREAD_TARGETS="test_cluster test_cluster_equivalence test_serve_equivalence"
 
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DGPLUS_SANITIZE="$SANITIZER" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -23,5 +26,9 @@ status=0
 for t in $TARGETS; do
   echo "== $SANITIZER: $t =="
   "$BUILD_DIR/tests/$t" || status=1
+done
+for t in $SINGLE_THREAD_TARGETS; do
+  echo "== $SANITIZER: $t (GPLUS_THREADS=1) =="
+  GPLUS_THREADS=1 "$BUILD_DIR/tests/$t" || status=1
 done
 exit $status
