@@ -6,6 +6,10 @@
 // roll back to A); hot-swap to B for real; kill the active snapshot (a
 // degraded stretch served from the stale cache); roll back; keep serving.
 //
+// Storm traffic, probe streams and the canary cover every request family
+// — including the 2-hop kSuggest scatter path — so a regression in any
+// handler trips the checksum or registry reconciliation below.
+//
 // The run *asserts* the resilience invariants rather than just printing
 // numbers — this binary exits nonzero when any is violated:
 //   1. every admitted request reaches exactly one terminal status, and

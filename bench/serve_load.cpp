@@ -15,13 +15,17 @@
 // `--smoke` shrinks the dataset and request counts for the CI bench gate,
 // which publishes the JSON report (default BENCH_serve.json, override
 // with GPLUS_BENCH_SERVE_JSON) and compares the throughput fields against
-// bench/floors.json. Scale with GPLUS_SCALE / GPLUS_SEED; request count
-// with GPLUS_REQUESTS. The final section offers the queue past capacity
-// and shows bounded, explicit rejection.
+// bench/floors.json. `--mix NAME` runs a single named mix leg instead of
+// the full sweep (point GPLUS_BENCH_SERVE_JSON elsewhere so the
+// restricted report doesn't shadow the full one's floored fields). Scale
+// with GPLUS_SCALE / GPLUS_SEED; request count with GPLUS_REQUESTS. The
+// final section offers the queue past capacity and shows bounded,
+// explicit rejection.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.h"
@@ -84,11 +88,14 @@ int main(int argc, char** argv) {
   using namespace gplus;
   bool smoke = false;
   std::size_t shards = 0;
+  const char* only_mix = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--mix") == 0 && i + 1 < argc) {
+      only_mix = argv[++i];
     }
   }
 
@@ -103,17 +110,35 @@ int main(int argc, char** argv) {
 
   const std::uint64_t requests =
       bench::env_or("GPLUS_REQUESTS", smoke ? 100'000 : 1'000'000);
+  // Path and suggest legs carry multi-hop traversals per request; a tenth
+  // of the request count keeps their wall time in line with the cheap legs.
+  const auto leg_requests = [&](std::string_view name) {
+    return (name == "path" || name == "suggest") ? requests / 10 : requests;
+  };
   std::vector<MixResult> results;
-  results.push_back(run_mix(view, "degree-profile",
-                            serve::WorkloadMix::degree_profile(), requests));
-  results.push_back(run_mix(view, "read", serve::WorkloadMix::read(), requests));
-  results.push_back(
-      run_mix(view, "mixed", serve::WorkloadMix::mixed(), requests));
-  results.push_back(
-      run_mix(view, "path", serve::WorkloadMix::path(), requests / 10));
+  std::size_t cluster_ref = 2;  // index of the leg the cluster re-runs
+  if (only_mix != nullptr) {
+    results.push_back(run_mix(view, only_mix,
+                              serve::WorkloadMix::by_name(only_mix),
+                              leg_requests(only_mix)));
+    cluster_ref = 0;
+  } else {
+    results.push_back(run_mix(view, "degree-profile",
+                              serve::WorkloadMix::degree_profile(), requests));
+    results.push_back(
+        run_mix(view, "read", serve::WorkloadMix::read(), requests));
+    results.push_back(
+        run_mix(view, "mixed", serve::WorkloadMix::mixed(), requests));
+    results.push_back(
+        run_mix(view, "path", serve::WorkloadMix::path(), requests / 10));
+    results.push_back(run_mix(view, "suggest", serve::WorkloadMix::suggest(),
+                              requests / 10));
+  }
+  const std::string cluster_leg = results[cluster_ref].name;
 
-  // Sharded cluster leg: same mixed workload through the K-shard router.
-  // Answer-identical to the unsharded run — checksum equality is asserted.
+  // Sharded cluster leg: the reference workload (mixed, or the --mix
+  // selection) re-driven through the K-shard router. Answer-identical to
+  // the unsharded run — checksum equality is asserted.
   int failures = 0;
   double qps_cluster = 0.0;
   std::uint64_t checksum_cluster = 0;
@@ -130,25 +155,27 @@ int main(int argc, char** argv) {
     for (const auto& sv : shard_views) ptrs.push_back(&sv);
     serve::ClusterServer cluster(&sharded.routing, ptrs);
     serve::WorkloadConfig workload;
-    workload.mix = serve::WorkloadMix::mixed();
-    workload.requests = requests;
+    workload.mix = serve::WorkloadMix::by_name(cluster_leg);
+    workload.requests = leg_requests(cluster_leg);
     const auto report = serve::run_closed_loop(cluster, view, workload);
     qps_cluster = report.qps;
     checksum_cluster = report.checksum;
     const auto stats = cluster.stats_snapshot();
+    const std::string label = "cluster-" + cluster_leg;
     std::printf(
         "%-15s %9.0f q/s  p50 %6.2fus  p95 %6.2fus  p99 %6.2fus  "
         "scatter %llu  messages %llu  checksum %016llx  (%zu shards)\n",
-        "cluster-mixed", report.qps, report.p50_us, report.p95_us,
+        label.c_str(), report.qps, report.p50_us, report.p95_us,
         report.p99_us, static_cast<unsigned long long>(stats.scatter),
         static_cast<unsigned long long>(stats.messages),
         static_cast<unsigned long long>(report.checksum), shards);
-    const std::uint64_t checksum_mixed = results[2].checksum;
-    if (checksum_cluster != checksum_mixed) {
-      std::printf("VIOLATION: cluster mixed checksum %016llx != unsharded "
+    const std::uint64_t checksum_ref = results[cluster_ref].checksum;
+    if (checksum_cluster != checksum_ref) {
+      std::printf("VIOLATION: cluster %s checksum %016llx != unsharded "
                   "%016llx\n",
+                  cluster_leg.c_str(),
                   static_cast<unsigned long long>(checksum_cluster),
-                  static_cast<unsigned long long>(checksum_mixed));
+                  static_cast<unsigned long long>(checksum_ref));
       ++failures;
     }
   }
@@ -171,11 +198,11 @@ int main(int argc, char** argv) {
     for (const MixResult& r : results) {
       out << "  \"qps_" << r.name << "\": " << r.qps << ",\n";
     }
-    out << "  \"qps_cluster_mixed\": " << qps_cluster << ",\n"
-        << "  \"checksum_mixed\": \"" << std::hex << results[2].checksum
-        << std::dec << "\",\n"
-        << "  \"checksum_cluster_mixed\": \"" << std::hex << checksum_cluster
-        << std::dec << "\"\n"
+    out << "  \"qps_cluster_" << cluster_leg << "\": " << qps_cluster << ",\n"
+        << "  \"checksum_" << cluster_leg << "\": \"" << std::hex
+        << results[cluster_ref].checksum << std::dec << "\",\n"
+        << "  \"checksum_cluster_" << cluster_leg << "\": \"" << std::hex
+        << checksum_cluster << std::dec << "\"\n"
         << "}\n";
   }
   std::printf("\nwrote %s\n", json_path.c_str());

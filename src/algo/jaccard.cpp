@@ -1,47 +1,57 @@
 #include "algo/jaccard.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "algo/intersect.h"
 
 namespace gplus::algo {
 
 namespace {
 
 template <typename T>
-double jaccard_impl(std::span<const T> a, std::span<const T> b) {
-  std::vector<T> sa(a.begin(), a.end());
-  std::vector<T> sb(b.begin(), b.end());
-  std::sort(sa.begin(), sa.end());
-  sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
-  std::sort(sb.begin(), sb.end());
-  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
-  if (sa.empty() && sb.empty()) return 1.0;
+std::vector<T> sorted_unique(std::span<const T> values) {
+  std::vector<T> s(values.begin(), values.end());
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  return s;
+}
 
-  std::size_t inter = 0;
-  std::size_t i = 0, j = 0;
-  while (i < sa.size() && j < sb.size()) {
-    if (sa[i] < sb[j]) {
-      ++i;
-    } else if (sb[j] < sa[i]) {
-      ++j;
-    } else {
-      ++inter;
-      ++i;
-      ++j;
-    }
-  }
-  const std::size_t uni = sa.size() + sb.size() - inter;
+double jaccard_from_counts(std::size_t na, std::size_t nb, std::size_t inter) {
+  if (na == 0 && nb == 0) return 1.0;
+  const std::size_t uni = na + nb - inter;
   return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+// Order-preserving map from int to u32 (flip the sign bit), letting the
+// shared u32 intersection kernels serve the integer overload.
+std::vector<graph::NodeId> to_biased_u32(std::span<const int> sorted) {
+  std::vector<graph::NodeId> biased(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    biased[i] = static_cast<std::uint32_t>(sorted[i]) ^ 0x80000000U;
+  }
+  return biased;
 }
 
 }  // namespace
 
 double jaccard_index(std::span<const int> a, std::span<const int> b) {
-  return jaccard_impl(a, b);
+  const std::vector<int> sa = sorted_unique(a);
+  const std::vector<int> sb = sorted_unique(b);
+  const std::vector<graph::NodeId> ba = to_biased_u32(sa);
+  const std::vector<graph::NodeId> bb = to_biased_u32(sb);
+  // Shared kernel layer (algo/intersect.h): variant-independent count.
+  const std::size_t inter = intersect_count(ba, bb);
+  return jaccard_from_counts(sa.size(), sb.size(), inter);
 }
 
 double jaccard_index(std::span<const std::string> a,
                      std::span<const std::string> b) {
-  return jaccard_impl(a, b);
+  const std::vector<std::string> sa = sorted_unique(a);
+  const std::vector<std::string> sb = sorted_unique(b);
+  const std::size_t inter = merge_intersect_count(
+      std::span<const std::string>(sa), std::span<const std::string>(sb));
+  return jaccard_from_counts(sa.size(), sb.size(), inter);
 }
 
 }  // namespace gplus::algo

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "algo/intersect.h"
 #include "core/parallel.h"
 
 namespace gplus::algo {
@@ -83,20 +84,9 @@ TriangleCensus count_triangles(const DiGraph& g) {
         for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
           const auto& fu = forward[u];
           for (NodeId v : fu) {
-            const auto& fv = forward[v];
-            // Merge-intersect fu and fv.
-            std::size_t i = 0, j = 0;
-            while (i < fu.size() && j < fv.size()) {
-              if (fu[i] < fv[j]) {
-                ++i;
-              } else if (fu[i] > fv[j]) {
-                ++j;
-              } else {
-                ++acc;
-                ++i;
-                ++j;
-              }
-            }
+            // Shared intersection kernel (algo/intersect.h): every variant
+            // returns the same count, so the census is dispatch-invariant.
+            acc += intersect_count(fu, forward[v]);
           }
         }
       },

@@ -434,7 +434,7 @@ int cmd_serve_bench(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_option("clients", "256", "closed-loop clients (1 in flight each)");
   parser.add_option("workload-seed", "1", "request-stream seed");
   parser.add_option("mix", "degree-profile",
-                    "request mix: degree-profile, read, path or mixed");
+                    "request mix: degree-profile, read, path, mixed or suggest");
   parser.add_option("zipf", "1.3", "Zipf exponent over the in-degree ranking");
   parser.add_option("queue", "4096", "bounded request-queue capacity");
   parser.add_option("cache", "65536", "result-cache entries (0 disables)");

@@ -9,6 +9,7 @@
 #include "core/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/suggest.h"
 #include "stats/rng.h"
 
 namespace gplus::serve {
@@ -131,7 +132,9 @@ ClusterServer::ClusterServer(const RoutingTable* routing,
     top.reserve(cap + 1);
     for (graph::NodeId u = 0; u < n; ++u) {
       if (routing_->owner[u] != s) continue;
-      top.emplace_back(u, views_[s]->in_degree(u));
+      const std::uint64_t in_degree = views_[s]->in_degree(u);
+      max_in_degree_ = std::max(max_in_degree_, in_degree);
+      top.emplace_back(u, in_degree);
       std::push_heap(top.begin(), top.end(), weaker);
       if (top.size() > cap) {
         std::pop_heap(top.begin(), top.end(), weaker);
@@ -240,8 +243,12 @@ ServeStatus ClusterServer::submit(const Request& request, bool inject_fault) {
     slot.terminal = ServeStatus::kInvalidRequest;
     slot.terminal_cost = 1;  // the engine's dispatch charge
   } else if (scatter_type(request.type)) {
-    if (request.type == RequestType::kShortestPath &&
-        (request.user >= n || request.target >= n)) {
+    // Mirror the engine's id validation so terminal statuses match it.
+    const bool invalid_node =
+        (request.type == RequestType::kShortestPath &&
+         (request.user >= n || request.target >= n)) ||
+        (request.type == RequestType::kSuggest && request.user >= n);
+    if (invalid_node) {
       slot.route = Route::kTerminal;
       slot.terminal = ServeStatus::kInvalidNode;
       slot.terminal_cost = 1;
@@ -398,6 +405,8 @@ void ClusterServer::execute_scatter(const Request& request, Response& response,
   response.cost = 0;
   if (request.type == RequestType::kShortestPath) {
     scatter_shortest_path(request, response, messages);
+  } else if (request.type == RequestType::kSuggest) {
+    scatter_suggest(request, response, messages);
   } else {
     scatter_top_k(request, response, messages);
   }
@@ -563,6 +572,34 @@ void ClusterServer::scatter_top_k(const Request& request, Response& r,
   r.cost = meter.spent;
 }
 
+// The engine's suggest (suggest.cpp) with every row fetched from its
+// owner shard — the same templated core, so charges and payload bytes are
+// identical to the unsharded engine when every shard is up. Message
+// accounting mirrors ShortestPath's frontier exchange: one message per
+// distinct owner shard touched per phase (root fetch, 2-hop expansion,
+// candidate scoring). Dark owners degrade the answer (their rows are
+// unreadable this drain): flagged kResponseShardDark|partial, never
+// silently dropped.
+void ClusterServer::scatter_suggest(const Request& request, Response& r,
+                                    std::uint64_t& messages) const {
+  const EngineConfig& config = config_.server.engine;
+  RequestEngine::Meter meter;
+  if (request.cost_budget != 0) meter.budget = request.cost_budget;
+  meter.charge(1);  // the engine's dispatch charge
+  // Shard up/down state is fixed for the whole drain (kill/recover are
+  // legal only between drains), so this per-request resolve is pure.
+  std::vector<std::uint8_t> dark(shard_count(), 0);
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    dark[s] = shard_dark(s) ? 1 : 0;
+  }
+  const SuggestShardContext context{routing_->owner.data(), views_.data(),
+                                    dark.data(), shard_count()};
+  const SuggestParams params{config.suggest_cap, config.suggest_frontier_cap,
+                             config.suggest_expand_budget, max_in_degree_};
+  suggest_scatter(context, params, request, r, meter, messages);
+  r.cost = meter.spent;
+}
+
 // --- Cluster storm --------------------------------------------------------
 
 namespace {
@@ -599,6 +636,9 @@ Request storm_request(stats::Rng& rng, std::size_t n) {
       break;
     case RequestType::kTopK:
       q.limit = 10;
+      break;
+    case RequestType::kSuggest:
+      q.limit = 8;
       break;
     default:
       break;

@@ -155,7 +155,8 @@ class ClusterServer {
   }
 
   static bool scatter_type(RequestType type) noexcept {
-    return type == RequestType::kShortestPath || type == RequestType::kTopK;
+    return type == RequestType::kShortestPath ||
+           type == RequestType::kTopK || type == RequestType::kSuggest;
   }
 
   /// Executes one scatter request (pure; runs on any lane). `messages`
@@ -166,6 +167,8 @@ class ClusterServer {
                              std::uint64_t& messages) const;
   void scatter_top_k(const Request& request, Response& response,
                      std::uint64_t& messages) const;
+  void scatter_suggest(const Request& request, Response& response,
+                       std::uint64_t& messages) const;
 
   const RoutingTable* routing_;
   std::vector<const SnapshotView*> views_;
@@ -180,6 +183,9 @@ class ClusterServer {
   /// (degree desc, id asc): merging them over the live shards recovers
   /// the unsharded engine's TopK list exactly when all shards are up.
   std::vector<std::vector<std::pair<graph::NodeId, std::uint64_t>>> shard_topk_;
+  /// Global maximum in-degree over owned rows — equal to the unsharded
+  /// engine's value, so Suggest reciprocation scores match it exactly.
+  std::uint64_t max_in_degree_ = 0;
   // Drain scratch, reused across batches.
   std::vector<std::vector<Response>> replica_responses_;
   std::vector<std::vector<std::uint64_t>> replica_latency_;

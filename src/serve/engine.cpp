@@ -4,6 +4,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "serve/suggest.h"
 #include "stats/rng.h"
 
 namespace gplus::serve {
@@ -40,6 +41,7 @@ std::string_view request_type_name(RequestType type) noexcept {
     case RequestType::kDegree: return "degree";
     case RequestType::kShortestPath: return "shortest-path";
     case RequestType::kTopK: return "top-k";
+    case RequestType::kSuggest: return "suggest";
   }
   return "?";
 }
@@ -96,7 +98,9 @@ RequestEngine::RequestEngine(const SnapshotView* snapshot, EngineConfig config)
   // order, including the plain id order this reduces to on flat formats.
   for (std::uint32_t r = 0; r < n; ++r) {
     const graph::NodeId u = snapshot_->rank_to_node(r);
-    topk_.emplace_back(u, snapshot_->in_degree(u));
+    const std::uint64_t in_degree = snapshot_->in_degree(u);
+    max_in_degree_ = std::max(max_in_degree_, in_degree);
+    topk_.emplace_back(u, in_degree);
     std::push_heap(topk_.begin(), topk_.end(), weaker);
     if (topk_.size() > k) {
       std::pop_heap(topk_.begin(), topk_.end(), weaker);
@@ -154,6 +158,11 @@ void RequestEngine::execute(const Request& request, Response& response) const {
       return;
     case RequestType::kTopK:
       top_k(request.limit, response, meter);
+      response.cost = meter.spent;
+      return;
+    case RequestType::kSuggest:
+      if (request.user >= n) break;
+      suggest(request, response, meter);
       response.cost = meter.spent;
       return;
     default:
@@ -331,6 +340,14 @@ void RequestEngine::top_k(std::uint32_t limit, Response& r,
     put_u32(r.payload, topk_[i].first);
     put_u64(r.payload, topk_[i].second);
   }
+}
+
+// Payload layout and cost model in serve/suggest.h (DESIGN.md §14).
+void RequestEngine::suggest(const Request& q, Response& r,
+                            Meter& meter) const {
+  const SuggestParams params{config_.suggest_cap, config_.suggest_frontier_cap,
+                             config_.suggest_expand_budget, max_in_degree_};
+  suggest_execute(*snapshot_, params, q, r, meter);
 }
 
 }  // namespace gplus::serve

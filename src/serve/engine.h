@@ -33,8 +33,9 @@ enum class RequestType : std::uint8_t {
   kDegree,           // in/out degree pair
   kShortestPath,     // bounded bidirectional BFS user -> target
   kTopK,             // global top-k users by in-degree
+  kSuggest,          // friend-of-friend suggestions with reciprocation score
 };
-inline constexpr std::size_t kRequestTypeCount = 7;
+inline constexpr std::size_t kRequestTypeCount = 8;
 
 /// Display name ("get-profile", ...).
 std::string_view request_type_name(RequestType type) noexcept;
@@ -52,7 +53,8 @@ inline constexpr std::size_t kPriorityCount = 3;
 std::string_view priority_name(Priority priority) noexcept;
 
 /// One query. `target` is the ShortestPath destination; `offset`/`limit`
-/// page the circle lists and bound TopK. `priority` steers load shedding;
+/// page the circle lists and bound TopK/Suggest. `priority` steers load
+/// shedding;
 /// `cost_budget` is the per-request deadline in deterministic virtual cost
 /// units (0 = unlimited): a pure function of (request, snapshot), never of
 /// wall-clock, so deadline outcomes are bit-identical at any GPLUS_THREADS.
@@ -123,6 +125,13 @@ struct EngineConfig {
   std::uint64_t path_node_budget = 100'000;
   /// Largest TopK list served.
   std::uint32_t topk_cap = 100;
+  /// Largest Suggest list served (DESIGN.md §14).
+  std::uint32_t suggest_cap = 50;
+  /// Suggest expands at most this many 1-hop neighbors (ascending id).
+  std::uint32_t suggest_frontier_cap = 256;
+  /// Suggest stops scanning 2-hop edges beyond this budget (the
+  /// path_node_budget analogue: a hard cap, not a deadline).
+  std::uint64_t suggest_expand_budget = 65'536;
 };
 
 /// Stateless-per-request executor. Holds the snapshot view plus a
@@ -169,12 +178,16 @@ class RequestEngine {
   void shortest_path(graph::NodeId u, graph::NodeId v, Response& r,
                      Meter& meter) const;
   void top_k(std::uint32_t limit, Response& r, Meter& meter) const;
+  void suggest(const Request& q, Response& r, Meter& meter) const;
 
   const SnapshotView* snapshot_;
   EngineConfig config_;
   /// Precomputed (node, in_degree) ranking, descending degree, ties by
   /// ascending id — the Table 1 ordering.
   std::vector<std::pair<graph::NodeId, std::uint64_t>> topk_;
+  /// Global maximum in-degree (the Suggest hub-feature normalizer),
+  /// found during the same construction walk that builds topk_.
+  std::uint64_t max_in_degree_ = 0;
 };
 
 /// 64-bit cache/dedup key of a request (splitmix64-mixed fields).

@@ -277,6 +277,31 @@ std::string ResilientServer::run_canary(bool force_failure) const {
     if (deg > prev) return "canary: top-k not sorted";
     prev = deg;
   }
+
+  // Suggest probe: friend-of-friend candidates for the middle user must
+  // come back well-formed (header + 24-byte entries, emitted <= found,
+  // reciprocation scores within the [0, 1000] milli range).
+  q.type = RequestType::kSuggest;
+  q.user = ids[1];
+  q.limit = 8;
+  Response suggest;
+  engine->execute(q, suggest);
+  if (suggest.status != ServeStatus::kOk || suggest.payload.size() < 16) {
+    return "canary: suggest probe failed";
+  }
+  const std::uint32_t found = payload_u32(suggest, 0);
+  const std::uint32_t emitted = payload_u32(suggest, 4);
+  if (emitted > found || emitted > q.limit ||
+      suggest.payload.size() != 16 + std::size_t{emitted} * 24) {
+    return "canary: suggest page malformed";
+  }
+  for (std::uint32_t i = 0; i < emitted; ++i) {
+    const std::size_t at = 16 + std::size_t{i} * 24;
+    if (payload_u32(suggest, at) >= n) return "canary: suggest id out of range";
+    if (payload_u32(suggest, at + 12) > 1000) {
+      return "canary: suggest reciprocation score out of range";
+    }
+  }
   return "";
 }
 
@@ -324,6 +349,9 @@ Request storm_request(stats::Rng& rng, std::size_t n) {
       break;
     case RequestType::kTopK:
       q.limit = 10;
+      break;
+    case RequestType::kSuggest:
+      q.limit = 8;
       break;
     default:
       break;

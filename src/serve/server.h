@@ -163,7 +163,8 @@ class QueryServer {
 
   static bool cacheable(RequestType type) noexcept {
     return type == RequestType::kGetProfile ||
-           type == RequestType::kShortestPath;
+           type == RequestType::kShortestPath ||
+           type == RequestType::kSuggest;
   }
 
   std::size_t effective_capacity() const noexcept {

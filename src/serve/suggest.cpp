@@ -1,0 +1,252 @@
+#include "serve/suggest.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "algo/intersect.h"
+
+namespace gplus::serve {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Row source for the unsharded engine: one view, always live, no
+/// message accounting. The core below is templated over this shape so the
+/// single-view and scatter paths are literally the same code — which is
+/// what makes their charges and payload bytes identical.
+struct SingleSource {
+  const SnapshotView* view;
+
+  bool live(graph::NodeId) const noexcept { return true; }
+  const SnapshotView& at(graph::NodeId) const noexcept { return *view; }
+  void touch(graph::NodeId) noexcept {}
+  void end_phase() noexcept {}
+};
+
+/// Row source for the cluster scatter: owner-shard views, dark shards
+/// degrade, one simulated message per distinct owner shard per phase.
+struct ShardSource {
+  const SuggestShardContext* ctx;
+  std::uint64_t* messages;
+  std::array<std::uint64_t, 4> mask{};  // 256 shards, like ShortestPath
+
+  bool live(graph::NodeId u) const noexcept {
+    return ctx->dark[ctx->owner[u]] == 0;
+  }
+  const SnapshotView& at(graph::NodeId u) const noexcept {
+    return *ctx->views[ctx->owner[u]];
+  }
+  void touch(graph::NodeId u) noexcept {
+    const std::size_t shard = ctx->owner[u];
+    mask[shard >> 6] |= std::uint64_t{1} << (shard & 63);
+  }
+  void end_phase() noexcept {
+    for (std::uint64_t& word : mask) {
+      *messages += static_cast<std::uint64_t>(__builtin_popcountll(word));
+      word = 0;
+    }
+  }
+};
+
+struct Candidate {
+  graph::NodeId node = 0;
+  std::uint32_t common = 0;
+  std::int64_t aa_micro = 0;
+};
+
+/// Gong-style reciprocation likelihood in [0, 1000]: saturating
+/// mutual-neighbor evidence dominates, out/in balance second (parasocial
+/// in-heavy profiles reciprocate less), hub-ness penalized last. All
+/// inputs are exact integers, so the double math is reproducible.
+std::uint32_t reciprocation_milli(std::uint64_t mutual, std::uint64_t in_w,
+                                  std::uint64_t out_w,
+                                  std::uint64_t max_in) noexcept {
+  const double m = static_cast<double>(mutual);
+  const double mutual_f = m / (m + 4.0);
+  const double balance = std::min(
+      1.0, static_cast<double>(out_w + 1) / static_cast<double>(in_w + 1));
+  const double hub =
+      max_in > 0 ? std::log2(1.0 + static_cast<double>(in_w)) /
+                       std::log2(1.0 + static_cast<double>(max_in))
+                 : 0.0;
+  const double score =
+      0.55 * mutual_f + 0.30 * balance + 0.15 * (1.0 - hub);
+  return static_cast<std::uint32_t>(std::llround(score * 1000.0));
+}
+
+template <typename RowSource>
+void suggest_core(RowSource& rows, const SuggestParams& params,
+                  const Request& request, Response& r,
+                  RequestEngine::Meter& meter) {
+  const std::uint32_t k = request.limit == 0 ? params.cap : request.limit;
+  if (k > params.cap) {
+    r.status = ServeStatus::kInvalidRequest;
+    return;
+  }
+  const graph::NodeId u = request.user;
+  bool dark = false;
+  bool deadline = false;
+
+  // Phase 1 — root fetch: materialize out(u) (ascending; both the
+  // exclusion filter and the mutual-neighbor kernel operand).
+  std::vector<graph::NodeId> friends;
+  if (rows.live(u)) {
+    rows.touch(u);
+    const SnapshotView& view = rows.at(u);
+    friends.reserve(static_cast<std::size_t>(view.out_degree(u)));
+    NeighborScan scan = view.out_scan(u);
+    graph::NodeId v = 0;
+    while (scan.next(v)) friends.push_back(v);
+  } else {
+    dark = true;
+  }
+  rows.end_phase();
+
+  // Phase 2 — 2-hop expansion in fixed ascending order: candidate w earns
+  // +1 common-neighbor and +1/ln(deg(v)) Adamic-Adar per shared neighbor
+  // v. The per-candidate accumulation order is the generation order, so
+  // the doubles are reproducible; they are frozen to fixed point before
+  // ranking.
+  std::unordered_map<graph::NodeId, std::pair<std::uint32_t, double>> scores;
+  std::uint64_t scanned = 0;
+  const std::size_t frontier =
+      std::min<std::size_t>(friends.size(), params.frontier_cap);
+  for (std::size_t i = 0; i < frontier && !deadline; ++i) {
+    const graph::NodeId v = friends[i];
+    if (!meter.charge(1)) {  // 1 unit per 1-hop neighbor expanded
+      deadline = true;
+      break;
+    }
+    if (!rows.live(v)) {
+      dark = true;
+      continue;
+    }
+    rows.touch(v);
+    const SnapshotView& view = rows.at(v);
+    const std::uint64_t deg_v = view.out_degree(v) + view.in_degree(v);
+    const double aa_term =
+        1.0 / std::log(static_cast<double>(std::max<std::uint64_t>(deg_v, 2)));
+    NeighborScan scan = view.out_scan(v);
+    graph::NodeId w = 0;
+    while (scan.next(w)) {
+      if (scanned >= params.expand_budget) break;  // hard cap, not a deadline
+      ++scanned;
+      if (!meter.charge(1)) {  // 1 unit per 2-hop edge scanned
+        deadline = true;
+        break;
+      }
+      if (w == u) continue;
+      if (std::binary_search(friends.begin(), friends.end(), w)) continue;
+      auto& cell = scores[w];
+      cell.first += 1;
+      cell.second += aa_term;
+    }
+    if (scanned >= params.expand_budget) break;
+  }
+  rows.end_phase();
+
+  // Rank: (adamic-adar desc, common desc, id asc) — a total order on the
+  // distinct candidates, so the sorted sequence is independent of the
+  // hash map's iteration order. Dark-owned candidates drop out here
+  // (their rows are unreadable this drain), flagged below.
+  std::vector<Candidate> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [w, cell] : scores) {
+    if (!rows.live(w)) {
+      dark = true;
+      continue;
+    }
+    ranked.push_back(Candidate{
+        w, cell.first,
+        static_cast<std::int64_t>(std::llround(cell.second * 1e6))});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.aa_micro != b.aa_micro) return a.aa_micro > b.aa_micro;
+              if (a.common != b.common) return a.common > b.common;
+              return a.node < b.node;
+            });
+
+  // Phase 3 — score + emit. Header: candidates u32, count u32, scanned
+  // u64; entries are 24 bytes each. A deadline mid-emission patches the
+  // count field (payload[4..7]) and keeps the entries that fit.
+  const std::uint32_t count = static_cast<std::uint32_t>(
+      std::min<std::size_t>(k, ranked.size()));
+  put_u32(r.payload, static_cast<std::uint32_t>(ranked.size()));
+  put_u32(r.payload, count);
+  put_u64(r.payload, scanned);
+  std::vector<graph::NodeId> their_friends;
+  std::uint32_t emitted = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (deadline || !meter.charge(1)) {  // 1 unit per suggestion emitted
+      deadline = true;
+      r.payload[4] = static_cast<std::uint8_t>(emitted);
+      r.payload[5] = static_cast<std::uint8_t>(emitted >> 8);
+      r.payload[6] = static_cast<std::uint8_t>(emitted >> 16);
+      r.payload[7] = static_cast<std::uint8_t>(emitted >> 24);
+      break;
+    }
+    const Candidate& c = ranked[i];
+    rows.touch(c.node);
+    const SnapshotView& view = rows.at(c.node);
+    their_friends.clear();
+    their_friends.reserve(static_cast<std::size_t>(view.out_degree(c.node)));
+    NeighborScan scan = view.out_scan(c.node);
+    graph::NodeId x = 0;
+    while (scan.next(x)) their_friends.push_back(x);
+    // Mutual-neighbor evidence via the shared kernel layer: every variant
+    // returns the same count, so the payload is dispatch-invariant.
+    const std::uint64_t mutual = algo::intersect_count(friends, their_friends);
+    const std::uint64_t in_w = view.in_degree(c.node);
+    const std::uint64_t out_w = view.out_degree(c.node);
+    put_u32(r.payload, c.node);
+    put_u32(r.payload, c.common);
+    put_u32(r.payload, static_cast<std::uint32_t>(mutual));
+    put_u32(r.payload,
+            reciprocation_milli(mutual, in_w, out_w, params.max_in_degree));
+    put_u64(r.payload, static_cast<std::uint64_t>(c.aa_micro));
+    ++emitted;
+  }
+  rows.end_phase();
+
+  if (deadline) {
+    r.status = ServeStatus::kDeadlineExceeded;
+    r.flags |= kResponsePartial;
+  }
+  if (dark) {
+    r.flags |= kResponseShardDark | kResponsePartial;
+  }
+}
+
+}  // namespace
+
+void suggest_execute(const SnapshotView& view, const SuggestParams& params,
+                     const Request& request, Response& response,
+                     RequestEngine::Meter& meter) {
+  SingleSource rows{&view};
+  suggest_core(rows, params, request, response, meter);
+}
+
+void suggest_scatter(const SuggestShardContext& context,
+                     const SuggestParams& params, const Request& request,
+                     Response& response, RequestEngine::Meter& meter,
+                     std::uint64_t& messages) {
+  ShardSource rows{&context, &messages};
+  suggest_core(rows, params, request, response, meter);
+}
+
+}  // namespace gplus::serve

@@ -93,13 +93,23 @@ WorkloadMix WorkloadMix::mixed() {
   return mix;
 }
 
+WorkloadMix WorkloadMix::suggest() {
+  WorkloadMix mix;
+  mix.weights[idx(RequestType::kSuggest)] = 0.50;
+  mix.weights[idx(RequestType::kGetProfile)] = 0.30;
+  mix.weights[idx(RequestType::kDegree)] = 0.20;
+  return mix;
+}
+
 WorkloadMix WorkloadMix::by_name(std::string_view name) {
   if (name == "degree-profile") return degree_profile();
   if (name == "read") return read();
   if (name == "path") return path();
   if (name == "mixed") return mixed();
-  throw std::invalid_argument("unknown workload mix: " + std::string(name) +
-                              " (expected degree-profile, read, path or mixed)");
+  if (name == "suggest") return suggest();
+  throw std::invalid_argument(
+      "unknown workload mix: " + std::string(name) +
+      " (expected degree-profile, read, path, mixed or suggest)");
 }
 
 // The closed-loop harness itself, generic over the serving surface:
@@ -163,6 +173,9 @@ LoadReport closed_loop_impl(ServerT& server, const SnapshotView& snapshot,
         break;
       case RequestType::kTopK:
         q.limit = 20;
+        break;
+      case RequestType::kSuggest:
+        q.limit = 10;
         break;
       default:
         break;

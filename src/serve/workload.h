@@ -37,9 +37,13 @@ struct WorkloadMix {
   static WorkloadMix path();
   /// Every request type, weighted toward the cheap ones.
   static WorkloadMix mixed();
+  /// Suggest-heavy recommendation mix (DESIGN.md §14): half kSuggest, the
+  /// rest cheap profile/degree lookups — the Zipf celebrity skew makes
+  /// this the 2-hop-expansion stress load.
+  static WorkloadMix suggest();
 
-  /// Parses a preset name ("degree-profile", "read", "path", "mixed");
-  /// throws std::invalid_argument on anything else.
+  /// Parses a preset name ("degree-profile", "read", "path", "mixed",
+  /// "suggest"); throws std::invalid_argument on anything else.
   static WorkloadMix by_name(std::string_view name);
 };
 

@@ -77,6 +77,7 @@ std::vector<Request> probe_batch() {
     add(RequestType::kDegree, u, 0, 0, 0, 0);
     add(RequestType::kShortestPath, u, v, 0, 0, 0);
     add(RequestType::kTopK, 0, 0, 0, 1 + i % 20, 0);
+    add(RequestType::kSuggest, u, 0, 0, 1 + i % 20, 0);
   }
   // Edge cases.
   add(RequestType::kGetProfile, n, 0, 0, 0, 0);          // invalid user
@@ -91,6 +92,11 @@ std::vector<Request> probe_batch() {
   add(RequestType::kTopK, 0, 0, 0, 1'000'000, 0);        // k > cap
   add(RequestType::kTopK, n + 1, 0, 0, 10, 0);           // user ignored
   add(RequestType::kTopK, 0, 0, 0, 50, 7);               // budget partial
+  add(RequestType::kSuggest, n, 0, 0, 10, 0);            // invalid user
+  add(RequestType::kSuggest, 8, 0, 0, 0, 0);             // k = 0 -> cap
+  add(RequestType::kSuggest, 8, 0, 0, 1'000'000, 0);     // k > cap
+  add(RequestType::kSuggest, 13, 0, 0, 20, 30);          // budget partial
+  add(RequestType::kSuggest, 17, 0, 0, 20, 2);           // budget at root
   return batch;
 }
 
@@ -159,12 +165,15 @@ TEST(ClusterEquivalence, ScatterCostsMatchTheEngineExactly) {
   // Deadline outcomes are a pure function of virtual cost, so scatter
   // executions must meter the exact engine cost, not an approximation.
   std::vector<Request> batch;
-  for (std::uint32_t i = 0; i < 200; ++i) {
+  const RequestType scatter_types[] = {RequestType::kShortestPath,
+                                       RequestType::kTopK,
+                                       RequestType::kSuggest};
+  for (std::uint32_t i = 0; i < 300; ++i) {
     Request q;
-    q.type = i % 2 == 0 ? RequestType::kShortestPath : RequestType::kTopK;
+    q.type = scatter_types[i % 3];
     q.user = (i * 89) % kNodes;
     q.target = (i * 17 + 5) % kNodes;
-    q.limit = q.type == RequestType::kTopK ? 1 + i % 30 : 0;
+    q.limit = q.type == RequestType::kShortestPath ? 0 : 1 + i % 30;
     q.cost_budget = i % 4 == 0 ? 5 + i % 40 : 0;
     batch.push_back(q);
   }
@@ -210,7 +219,8 @@ ClusterRun run_cluster_workload(std::size_t shards,
 TEST(ClusterEquivalence, WorkloadChecksumMatchesUnshardedServer) {
   for (const auto& [name, mix] :
        {std::pair{"mixed", WorkloadMix::mixed()},
-        std::pair{"path", WorkloadMix::path()}}) {
+        std::pair{"path", WorkloadMix::path()},
+        std::pair{"suggest", WorkloadMix::suggest()}}) {
     ServerConfig config;
     QueryServer server(&full_view(), config);
     WorkloadConfig workload;

@@ -138,6 +138,14 @@ std::vector<Response> run_families(const SnapshotView& view) {
          .user = u,
          .target = static_cast<graph::NodeId>((u + 1) % n),
          .cost_budget = 25});
+    // Suggest: full 2-hop walk, a default-limit page, and a
+    // deadline-clipped partial (header patching must agree byte-for-byte).
+    run({.type = RequestType::kSuggest, .user = u, .limit = 10});
+    run({.type = RequestType::kSuggest, .user = u});
+    run({.type = RequestType::kSuggest,
+         .user = u,
+         .limit = 25,
+         .cost_budget = 40});
   }
   run({.type = RequestType::kTopK, .limit = 50});
   run({.type = RequestType::kTopK, .limit = 7, .cost_budget = 4});
@@ -145,6 +153,8 @@ std::vector<Response> run_families(const SnapshotView& view) {
   run({.type = RequestType::kGetProfile, .user = n});
   run({.type = RequestType::kGetOutCircle, .user = n + 5, .limit = 10});
   run({.type = RequestType::kShortestPath, .user = 0, .target = n});
+  run({.type = RequestType::kSuggest, .user = n, .limit = 5});
+  run({.type = RequestType::kSuggest, .user = 0, .limit = 10'000});
   return trace;
 }
 
