@@ -27,10 +27,22 @@
 // drops, per-replica registry reconciliation, and byte-identical state
 // (including the deterministic metrics JSON) at 1 vs N lanes.
 //
-// `--smoke` shrinks the dataset and round count for the CI matrix.
+// `--transport` additionally runs the cluster storm over a seeded faulty
+// transport (drops, delays, duplicates, reordering between router and
+// replicas): timeouts, capped retries, hedged sends, circuit breakers and
+// quorum-degraded answers all fire, and the same invariants must still
+// hold — every accepted request one terminal status, serve.transport.*
+// registry deltas reconciling exactly, the whole storm byte-identical at
+// 1 vs N lanes.
+//
+// `--smoke` shrinks the dataset and round count for the CI matrix. Every
+// run writes a machine-readable report (default BENCH_chaos.json,
+// override with GPLUS_BENCH_CHAOS_JSON).
 // Scale with GPLUS_SCALE / GPLUS_SEED / GPLUS_ROUNDS.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "bench_common.h"
@@ -138,12 +150,13 @@ void print_cluster_report(const char* label,
                           const serve::ClusterStormReport& report) {
   std::printf(
       "%-10s offered %llu  accepted %llu  rejected %llu  responses %llu  "
-      "dark %llu  checksum %016llx\n",
+      "dark %llu  quorum %llu  checksum %016llx\n",
       label, static_cast<unsigned long long>(report.offered),
       static_cast<unsigned long long>(report.accepted),
       static_cast<unsigned long long>(report.rejected),
       static_cast<unsigned long long>(report.responses),
       static_cast<unsigned long long>(report.dark_answers),
+      static_cast<unsigned long long>(report.quorum_answers),
       static_cast<unsigned long long>(report.checksum));
   std::printf("           by status:");
   for (std::size_t s = 0; s < serve::kServeStatusCount; ++s) {
@@ -160,6 +173,40 @@ void print_cluster_report(const char* label,
               static_cast<unsigned long long>(report.cluster.messages),
               static_cast<unsigned long long>(report.post_probe_checksum),
               static_cast<unsigned long long>(report.unsharded_probe_checksum));
+  const serve::TransportStats& t = report.transport;
+  if (t.rpcs == 0) return;
+  std::printf("           transport: rpcs %llu  delivered %llu  failed %llu  "
+              "timeouts %llu  retries %llu  hedges %llu (won %llu)\n",
+              static_cast<unsigned long long>(t.rpcs),
+              static_cast<unsigned long long>(t.delivered),
+              static_cast<unsigned long long>(t.failed),
+              static_cast<unsigned long long>(t.timeouts),
+              static_cast<unsigned long long>(t.retries),
+              static_cast<unsigned long long>(t.hedges),
+              static_cast<unsigned long long>(t.hedge_wins));
+  std::printf("           breaker: open %llu  close %llu  probes %llu  "
+              "skips %llu  dup %llu  reorder %llu  ticks %llu\n",
+              static_cast<unsigned long long>(t.breaker_open),
+              static_cast<unsigned long long>(t.breaker_close),
+              static_cast<unsigned long long>(t.breaker_probes),
+              static_cast<unsigned long long>(t.breaker_skips),
+              static_cast<unsigned long long>(t.duplicates),
+              static_cast<unsigned long long>(t.reorders),
+              static_cast<unsigned long long>(t.ticks));
+}
+
+bool equal_transport_stats(const serve::TransportStats& a,
+                           const serve::TransportStats& b) {
+  return a.rpcs == b.rpcs && a.attempts == b.attempts &&
+         a.delivered == b.delivered && a.failed == b.failed &&
+         a.dropped == b.dropped && a.delayed == b.delayed &&
+         a.timeouts == b.timeouts && a.retries == b.retries &&
+         a.hedges == b.hedges && a.hedge_wins == b.hedge_wins &&
+         a.duplicates == b.duplicates && a.dup_suppressed == b.dup_suppressed &&
+         a.reorders == b.reorders && a.breaker_open == b.breaker_open &&
+         a.breaker_close == b.breaker_close &&
+         a.breaker_probes == b.breaker_probes &&
+         a.breaker_skips == b.breaker_skips && a.ticks == b.ticks;
 }
 
 bool equal_cluster_state(const serve::ClusterStormReport& a,
@@ -167,9 +214,12 @@ bool equal_cluster_state(const serve::ClusterStormReport& a,
   if (a.checksum != b.checksum || a.by_status != b.by_status ||
       a.offered != b.offered || a.accepted != b.accepted ||
       a.rejected != b.rejected || a.dark_answers != b.dark_answers ||
+      a.quorum_answers != b.quorum_answers ||
       a.post_probe_checksum != b.post_probe_checksum ||
       a.cluster.scatter != b.cluster.scatter ||
       a.cluster.messages != b.cluster.messages ||
+      a.cluster.quorum_answers != b.cluster.quorum_answers ||
+      !equal_transport_stats(a.transport, b.transport) ||
       a.replica_stats.size() != b.replica_stats.size()) {
     return false;
   }
@@ -210,13 +260,22 @@ bool equal_state(const serve::StormReport& a, const serve::StormReport& b) {
 int main(int argc, char** argv) {
   using namespace gplus;
   bool smoke = false;
+  bool transport = false;
   std::size_t shards = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--transport") == 0) {
+      transport = true;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::strtoull(argv[++i], nullptr, 10);
     }
+  }
+  if (transport && shards == 0) {
+    std::fprintf(stderr,
+                 "serve_chaos: --transport needs --shards K (the fault model "
+                 "sits between router and shard replicas)\n");
+    return 1;
   }
 
   bench::banner("serve_chaos",
@@ -312,8 +371,10 @@ int main(int argc, char** argv) {
   // recovery, then probe equivalence against the unsharded engine. Run at
   // N lanes and again at 1 lane; state and the deterministic metrics JSON
   // must be byte-identical.
+  serve::ClusterStormReport cluster_report;
   if (shards > 0) {
-    std::printf("\n--- cluster storm: %zu shards x 2 replicas ---\n", shards);
+    std::printf("\n--- cluster storm: %zu shards x 2 replicas%s ---\n", shards,
+                transport ? " over a faulty transport" : "");
     const serve::SnapshotView primary_view(primary.bytes());
     serve::ShardingOptions opts;
     opts.shard_count = shards;
@@ -327,6 +388,16 @@ int main(int argc, char** argv) {
     cluster_config.replicas = 2;
     cluster_config.chaos = config.chaos;
     cluster_config.server = config.server;
+    if (transport) {
+      cluster_config.transport.enabled = true;
+      cluster_config.transport.seed = config.seed ^ 0x7E5AULL;
+      cluster_config.transport.profile.drop_rate = 0.03;
+      cluster_config.transport.profile.delay_rate = 0.10;
+      cluster_config.transport.profile.delay_min = 4;
+      cluster_config.transport.profile.delay_max = 40;
+      cluster_config.transport.profile.duplicate_rate = 0.02;
+      cluster_config.transport.profile.reorder_rate = 0.05;
+    }
 
     const auto before_cluster = registry.snapshot();
     const auto cluster_storm =
@@ -368,7 +439,53 @@ int main(int argc, char** argv) {
     std::printf("\ncluster metrics delta (deterministic, byte-identical at 1 "
                 "and %zu lanes):\n%s",
                 lanes, cluster_json.c_str());
+    cluster_report = cluster_storm;
   }
+
+  // Machine-readable report for the CI artifact: the storm totals, the
+  // cluster degradation counts and the full transport counter set.
+  const char* json_env = std::getenv("GPLUS_BENCH_CHAOS_JSON");
+  const std::string json_path =
+      json_env != nullptr && *json_env != '\0' ? json_env : "BENCH_chaos.json";
+  {
+    const serve::TransportStats& t = cluster_report.transport;
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"serve_chaos\",\n"
+        << "  \"nodes\": " << nodes << ",\n"
+        << "  \"rounds\": " << config.rounds << ",\n"
+        << "  \"threads\": " << lanes << ",\n"
+        << "  \"shards\": " << shards << ",\n"
+        << "  \"transport\": " << (transport ? 1 : 0) << ",\n"
+        << "  \"offered\": " << storm.offered << ",\n"
+        << "  \"accepted\": " << storm.accepted << ",\n"
+        << "  \"responses\": " << storm.responses << ",\n"
+        << "  \"checksum\": \"" << std::hex << storm.checksum << std::dec
+        << "\",\n"
+        << "  \"cluster_offered\": " << cluster_report.offered << ",\n"
+        << "  \"cluster_accepted\": " << cluster_report.accepted << ",\n"
+        << "  \"cluster_responses\": " << cluster_report.responses << ",\n"
+        << "  \"cluster_dark\": " << cluster_report.dark_answers << ",\n"
+        << "  \"cluster_quorum\": " << cluster_report.quorum_answers << ",\n"
+        << "  \"cluster_checksum\": \"" << std::hex << cluster_report.checksum
+        << std::dec << "\",\n"
+        << "  \"transport_rpcs\": " << t.rpcs << ",\n"
+        << "  \"transport_attempts\": " << t.attempts << ",\n"
+        << "  \"transport_delivered\": " << t.delivered << ",\n"
+        << "  \"transport_failed\": " << t.failed << ",\n"
+        << "  \"transport_dropped\": " << t.dropped << ",\n"
+        << "  \"transport_timeouts\": " << t.timeouts << ",\n"
+        << "  \"transport_retries\": " << t.retries << ",\n"
+        << "  \"transport_hedges\": " << t.hedges << ",\n"
+        << "  \"transport_hedge_wins\": " << t.hedge_wins << ",\n"
+        << "  \"transport_duplicates\": " << t.duplicates << ",\n"
+        << "  \"transport_reorders\": " << t.reorders << ",\n"
+        << "  \"transport_breaker_open\": " << t.breaker_open << ",\n"
+        << "  \"transport_breaker_close\": " << t.breaker_close << ",\n"
+        << "  \"transport_ticks\": " << t.ticks << "\n"
+        << "}\n";
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
 
   if (failures == 0) {
     std::printf("\nall invariants held: one terminal status per request, "

@@ -12,6 +12,13 @@
 // (DESIGN.md §13). The cluster's response-stream checksum must equal the
 // unsharded server's — the harness exits nonzero when it does not.
 //
+// `--transport` (with --shards) re-runs the cluster leg over a seeded
+// faulty transport (DESIGN.md §15): drops, delays, duplicates and
+// reordering between router and replicas. That leg's checksum is NOT
+// asserted against the unsharded run — degraded answers are the point —
+// but every request still reaches a terminal status, and the harness
+// reports how many responses carried an explicit degradation flag.
+//
 // `--smoke` shrinks the dataset and request counts for the CI bench gate,
 // which publishes the JSON report (default BENCH_serve.json, override
 // with GPLUS_BENCH_SERVE_JSON) and compares the throughput fields against
@@ -87,16 +94,25 @@ void overload_demo(const serve::SnapshotView& view) {
 int main(int argc, char** argv) {
   using namespace gplus;
   bool smoke = false;
+  bool transport = false;
   std::size_t shards = 0;
   const char* only_mix = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--transport") == 0) {
+      transport = true;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--mix") == 0 && i + 1 < argc) {
       only_mix = argv[++i];
     }
+  }
+  if (transport && shards == 0) {
+    std::fprintf(stderr,
+                 "serve_load: --transport needs --shards K (the fault model "
+                 "sits between router and shard replicas)\n");
+    return 1;
   }
 
   bench::banner("serve_load",
@@ -141,7 +157,9 @@ int main(int argc, char** argv) {
   // the unsharded run — checksum equality is asserted.
   int failures = 0;
   double qps_cluster = 0.0;
+  double qps_faulty = 0.0;
   std::uint64_t checksum_cluster = 0;
+  std::uint64_t degraded_faulty = 0;
   if (shards > 0) {
     serve::ShardingOptions opts;
     opts.shard_count = shards;
@@ -178,6 +196,47 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(checksum_ref));
       ++failures;
     }
+
+    // Faulty-transport leg: the same workload through a cluster whose
+    // router↔replica channel drops, delays, duplicates and reorders.
+    // Checksum equality is deliberately NOT asserted here — some answers
+    // are explicitly degraded — but nothing may hang or vanish. The drop
+    // rate sits above the chaos storm's cruising profile on purpose:
+    // retries + hedging fully mask light loss, and a leg whose degraded
+    // count is always zero demonstrates nothing.
+    if (transport) {
+      serve::ClusterConfig faulty_config;
+      faulty_config.replicas = 2;
+      faulty_config.transport.enabled = true;
+      faulty_config.transport.seed = bench::seed() ^ 0x7E5AULL;
+      faulty_config.transport.profile.drop_rate = 0.12;
+      faulty_config.transport.profile.delay_rate = 0.10;
+      faulty_config.transport.profile.delay_min = 4;
+      faulty_config.transport.profile.delay_max = 40;
+      faulty_config.transport.profile.duplicate_rate = 0.02;
+      faulty_config.transport.profile.reorder_rate = 0.05;
+      serve::ClusterServer faulty(&sharded.routing, ptrs, faulty_config);
+      const auto faulty_report = serve::run_closed_loop(faulty, view, workload);
+      qps_faulty = faulty_report.qps;
+      degraded_faulty = faulty_report.degraded;
+      const auto& t = faulty.transport_stats();
+      const std::string faulty_label = "faulty-" + cluster_leg;
+      std::printf(
+          "%-15s %9.0f q/s  p50 %6.2fus  p95 %6.2fus  p99 %6.2fus  "
+          "degraded %llu  rpcs %llu  hedges %llu  checksum %016llx\n",
+          faulty_label.c_str(), faulty_report.qps, faulty_report.p50_us,
+          faulty_report.p95_us, faulty_report.p99_us,
+          static_cast<unsigned long long>(degraded_faulty),
+          static_cast<unsigned long long>(t.rpcs),
+          static_cast<unsigned long long>(t.hedges),
+          static_cast<unsigned long long>(faulty_report.checksum));
+      if (faulty_report.served < workload.requests) {
+        std::printf("VIOLATION: faulty leg served %llu < %llu requested\n",
+                    static_cast<unsigned long long>(faulty_report.served),
+                    static_cast<unsigned long long>(workload.requests));
+        ++failures;
+      }
+    }
   }
   std::printf("\n");
   overload_demo(view);
@@ -198,8 +257,13 @@ int main(int argc, char** argv) {
     for (const MixResult& r : results) {
       out << "  \"qps_" << r.name << "\": " << r.qps << ",\n";
     }
-    out << "  \"qps_cluster_" << cluster_leg << "\": " << qps_cluster << ",\n"
-        << "  \"checksum_" << cluster_leg << "\": \"" << std::hex
+    out << "  \"qps_cluster_" << cluster_leg << "\": " << qps_cluster << ",\n";
+    if (transport) {
+      out << "  \"qps_faulty_" << cluster_leg << "\": " << qps_faulty << ",\n"
+          << "  \"degraded_faulty_" << cluster_leg << "\": " << degraded_faulty
+          << ",\n";
+    }
+    out << "  \"checksum_" << cluster_leg << "\": \"" << std::hex
         << results[cluster_ref].checksum << std::dec << "\",\n"
         << "  \"checksum_cluster_" << cluster_leg << "\": \"" << std::hex
         << checksum_cluster << std::dec << "\"\n"

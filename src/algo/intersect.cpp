@@ -1,6 +1,8 @@
 #include "algo/intersect.h"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -200,11 +202,24 @@ __attribute__((target("avx2"))) std::size_t run_avx2(
 IntersectKernel env_default() {
   const char* raw = std::getenv("GPLUS_INTERSECT");
   if (raw == nullptr) return IntersectKernel::kAuto;
-  return intersect_kernel_by_name(raw);
+  return intersect_kernel_from_env(raw);
 }
 
 std::atomic<IntersectKernel>& default_slot() {
   static std::atomic<IntersectKernel> slot{env_default()};
+  return slot;
+}
+
+inline constexpr std::size_t kDefaultSkewThreshold = 32;
+
+std::size_t env_skew_default() {
+  const char* raw = std::getenv("GPLUS_INTERSECT_SKEW");
+  if (raw == nullptr || *raw == '\0') return kDefaultSkewThreshold;
+  return parse_intersect_skew_env(raw);
+}
+
+std::atomic<std::size_t>& skew_slot() {
+  static std::atomic<std::size_t> slot{env_skew_default()};
   return slot;
 }
 
@@ -216,7 +231,9 @@ IntersectKernel pick_auto(std::size_t na, std::size_t nb) noexcept {
   const std::size_t small = std::min(na, nb);
   const std::size_t large = std::max(na, nb);
   if (small == 0) return IntersectKernel::kScalar;
-  if (large / small >= 32) return IntersectKernel::kGalloping;
+  if (large / small >= intersect_skew_threshold()) {
+    return IntersectKernel::kGalloping;
+  }
   if (avx2_intersect_available()) return IntersectKernel::kAvx2;
   if (sse_intersect_available()) return IntersectKernel::kSse;
   return IntersectKernel::kScalar;
@@ -267,6 +284,42 @@ IntersectKernel intersect_kernel_by_name(std::string_view name) noexcept {
     if (name == intersect_kernel_name(kernel)) return kernel;
   }
   return IntersectKernel::kAuto;
+}
+
+IntersectKernel intersect_kernel_from_env(const char* raw) {
+  for (std::size_t k = 0; k < kIntersectKernelCount; ++k) {
+    const auto kernel = static_cast<IntersectKernel>(k);
+    if (raw == intersect_kernel_name(kernel)) return kernel;
+  }
+  std::fprintf(stderr,
+               "gplus: invalid GPLUS_INTERSECT='%s' (want auto, scalar, "
+               "galloping, sse, avx2 or bitset)\n",
+               raw);
+  std::exit(2);
+}
+
+std::size_t parse_intersect_skew_env(const char* raw) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE || parsed < 2 ||
+      parsed > 1'000'000) {
+    std::fprintf(stderr,
+                 "gplus: invalid GPLUS_INTERSECT_SKEW='%s' (want integer "
+                 "in [2, 1000000])\n",
+                 raw);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+void set_intersect_skew_threshold(std::size_t ratio) noexcept {
+  skew_slot().store(ratio == 0 ? env_skew_default() : ratio,
+                    std::memory_order_relaxed);
+}
+
+std::size_t intersect_skew_threshold() noexcept {
+  return skew_slot().load(std::memory_order_relaxed);
 }
 
 bool sse_intersect_available() noexcept {

@@ -54,6 +54,12 @@ std::string_view intersect_kernel_name(IntersectKernel kernel) noexcept;
 /// Parses a kernel name; returns kAuto for unknown strings.
 IntersectKernel intersect_kernel_by_name(std::string_view name) noexcept;
 
+/// Strict variant for environment input: an unknown name prints a
+/// one-line diagnostic (listing the valid names) to stderr and exits
+/// with status 2 instead of silently degrading to kAuto — a typo'd
+/// GPLUS_INTERSECT must not quietly benchmark the wrong kernel.
+IntersectKernel intersect_kernel_from_env(const char* raw);
+
 /// True when the named SIMD tier will actually run vectorised on this
 /// host (false means the variant silently falls back — still correct).
 bool sse_intersect_available() noexcept;
@@ -65,6 +71,17 @@ bool avx2_intersect_available() noexcept;
 /// intended for benches and the variant-equivalence tests.
 void set_default_intersect_kernel(IntersectKernel kernel) noexcept;
 IntersectKernel default_intersect_kernel() noexcept;
+
+/// kAuto's skew threshold: length ratios at or above it pick galloping.
+/// Initialised once from the GPLUS_INTERSECT_SKEW env var (strictly
+/// parsed — integer in [2, 1000000], else a one-line stderr diagnostic
+/// and exit 2) when set, else 32. `set_intersect_skew_threshold(0)`
+/// restores that initial value. Thread-safe; for benches and tests.
+void set_intersect_skew_threshold(std::size_t ratio) noexcept;
+std::size_t intersect_skew_threshold() noexcept;
+
+/// Strict GPLUS_INTERSECT_SKEW parser (exposed for death tests).
+std::size_t parse_intersect_skew_env(const char* raw);
 
 /// |a ∩ b| for ascending duplicate-free lists.
 std::size_t intersect_count(std::span<const graph::NodeId> a,

@@ -1,7 +1,9 @@
 #include "core/parallel.h"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -56,8 +58,7 @@ std::atomic<std::size_t> g_threads_spawned{0};
 std::size_t default_lanes() {
   if (const char* env = std::getenv("GPLUS_THREADS");
       env != nullptr && *env != '\0') {
-    const unsigned long long parsed = std::strtoull(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+    return parse_thread_count_env(env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
@@ -229,6 +230,23 @@ void set_thread_count(std::size_t n) { ThreadPool::instance().set_lanes(n); }
 
 std::size_t pool_threads_spawned() noexcept {
   return g_threads_spawned.load(std::memory_order_relaxed);
+}
+
+std::size_t parse_thread_count_env(const char* raw) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  // The [1, 4096] ceiling also catches negative inputs, which strtoull
+  // silently wraps to huge unsigned values.
+  if (end == raw || *end != '\0' || errno == ERANGE || parsed < 1 ||
+      parsed > 4096) {
+    std::fprintf(stderr,
+                 "gplus: invalid GPLUS_THREADS='%s' (want integer in "
+                 "[1, 4096])\n",
+                 raw);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 namespace detail {

@@ -60,6 +60,14 @@ void set_thread_count(std::size_t n);
 /// introspection for oversubscription regression tests.
 std::size_t pool_threads_spawned() noexcept;
 
+/// Strict GPLUS_THREADS parser: accepts a decimal integer in [1, 4096]
+/// with no trailing garbage, else prints a one-line diagnostic to stderr
+/// and exits with status 2. A typo'd lane count must never silently fall
+/// back to hardware concurrency — the determinism contract is per lane
+/// count, so running at the wrong one invalidates a reproduction. Exposed
+/// (rather than buried in the pool) so tests can exercise it directly.
+std::size_t parse_thread_count_env(const char* raw);
+
 namespace detail {
 
 /// Number of chunks in the static grid over [0, n) with the given grain:

@@ -46,6 +46,7 @@ struct ClusterMetrics {
   obs::Counter& scatter;
   obs::Counter& messages;
   obs::Counter& dark;
+  obs::Counter& quorum;
   std::array<obs::Counter*, kServeStatusCount> status;
 
   static ClusterMetrics& get() {
@@ -58,6 +59,7 @@ struct ClusterMetrics {
           reg.counter("serve.cluster.scatter"),
           reg.counter("serve.cluster.messages"),
           reg.counter("serve.cluster.dark"),
+          reg.counter("serve.cluster.quorum"),
           {},
       };
       for (std::size_t s = 0; s < kServeStatusCount; ++s) {
@@ -86,7 +88,11 @@ std::string ClusterServer::replica_scope(std::size_t shard,
 ClusterServer::ClusterServer(const RoutingTable* routing,
                              std::vector<const SnapshotView*> shard_views,
                              ClusterConfig config)
-    : routing_(routing), views_(std::move(shard_views)), config_(config) {
+    : routing_(routing),
+      views_(std::move(shard_views)),
+      config_(config),
+      transport_(config_.transport, views_.size(),
+                 config_.replicas > 0 ? config_.replicas : 1) {
   if (routing_ == nullptr) {
     throw std::invalid_argument("cluster: null routing table");
   }
@@ -114,6 +120,7 @@ ClusterServer::ClusterServer(const RoutingTable* routing,
   up_.assign(count, 1);
   replica_responses_.resize(count);
   replica_latency_.resize(count);
+  replica_reversed_.assign(count, 0);
 
   // Per-shard TopK over owned nodes. Owned in-degrees are globally
   // correct (the shard holds every in-edge of an owned node), and the
@@ -183,6 +190,20 @@ void ClusterServer::set_queue_pressure(std::size_t capacity) {
   }
 }
 
+void ClusterServer::set_transport_profile(const FaultProfile& profile) {
+  if (!pending_.empty()) {
+    throw std::logic_error("cluster: set_transport_profile between drains");
+  }
+  if (transport_.enabled()) transport_.set_profile(profile);
+}
+
+void ClusterServer::heal_transport() {
+  if (!pending_.empty()) {
+    throw std::logic_error("cluster: heal_transport between drains only");
+  }
+  if (transport_.enabled()) transport_.heal();
+}
+
 ServerStats ClusterServer::replica_stats(std::size_t shard,
                                          std::size_t replica) const {
   return replicas_[replica_index(shard, replica)].stats_snapshot();
@@ -225,6 +246,10 @@ ServerStats ClusterServer::aggregate_server_stats() const {
 ServeStatus ClusterServer::submit(const Request& request, bool inject_fault) {
   ClusterMetrics& metrics = ClusterMetrics::get();
   Slot slot;
+  // Every submit consumes one router sequence number — the transport
+  // fault stream is keyed on it, so a client retry of the same request
+  // rolls fresh faults (request id + attempt, never wall clock).
+  slot.seq = transport_seq_++;
   slot.request = request;
   const auto cls =
       static_cast<std::size_t>(request.priority) % kPriorityCount;
@@ -267,12 +292,30 @@ ServeStatus ClusterServer::submit(const Request& request, bool inject_fault) {
     slot.terminal_cost = 1;
   } else {
     const std::size_t shard = routing_->owner[request.user];
-    const std::size_t replica = active_replica(shard);
-    if (replica == config_.replicas) {
-      // Dark shard: a degraded terminal answer, never a silent drop.
+    std::size_t replica = active_replica(shard);
+    bool unreachable = false;
+    if (replica != config_.replicas && transport_.enabled()) {
+      // Route the dispatch rpc through the fault layer: the target is the
+      // lowest live replica whose breaker admits sends (breaker-open
+      // primaries fail over organically), a slow primary is hedged to the
+      // sibling, and an rpc that exhausts every attempt degrades the
+      // answer instead of hanging.
+      const RpcOutcome rpc = transport_.dispatch(
+          FaultyTransport::rpc_key(slot.seq, 0, shard), shard,
+          &up_[replica_index(shard, 0)]);
+      if (rpc.ok) {
+        replica = rpc.replica();
+      } else {
+        unreachable = true;
+      }
+    }
+    if (replica == config_.replicas || unreachable) {
+      // Dark or unreachable shard: a degraded terminal answer (flagged
+      // with the failure mode), never a silent drop.
       slot.route = Route::kTerminal;
       slot.terminal = ServeStatus::kUnavailable;
-      slot.terminal_flags = kResponseShardDark;
+      slot.terminal_flags =
+          unreachable ? kResponseQuorumPartial : kResponseShardDark;
     } else {
       QueryServer& qs = replicas_[replica_index(shard, replica)];
       if (qs.submit(slot.request) == ServeStatus::kRejected) {
@@ -304,38 +347,64 @@ void ClusterServer::drain(std::vector<Response>& responses,
   const std::size_t batch = pending_.size();
   responses.resize(batch);
   if (latency_ns != nullptr) latency_ns->assign(batch, 0);
-  if (batch == 0) return;
+  if (batch == 0) {
+    // Breaker cooldowns advance per drain tick even when idle — an open
+    // breaker must eventually half-open with no traffic behind it.
+    if (transport_.enabled()) transport_.tick();
+    return;
+  }
 
   ClusterMetrics& metrics = ClusterMetrics::get();
   auto& trace = obs::TraceLog::global();
   obs::TraceLog::Scope drain_span(trace, "serve.cluster.drain");
 
+  // Scatter target selection is frozen now (serial): the parallel phase-B
+  // rolls read only this snapshot, and the breaker transitions folded in
+  // phase C model responses already in flight when a breaker tripped.
+  if (transport_.enabled()) transport_.freeze(up_.data());
+
   // Phase A (coordinator): drain every replica with queued work, in
   // (shard, replica) order. Each drain is QueryServer's bit-identical
   // three-phase drain; running them in a fixed serial order keeps every
-  // cache/counter mutation deterministically ordered.
+  // cache/counter mutation deterministically ordered. The transport may
+  // deliver a replica's response batch in reverse order — phase C
+  // re-matches responses by their request id (the local index carried on
+  // the wire), so reordering is absorbed, never misattributed.
   for (std::size_t s = 0; s < shard_count(); ++s) {
     for (std::size_t r = 0; r < config_.replicas; ++r) {
       const std::size_t idx = replica_index(s, r);
+      replica_reversed_[idx] = 0;
       if (replicas_[idx].queued() == 0) continue;
       replicas_[idx].drain(replica_responses_[idx],
                            latency_ns != nullptr ? &replica_latency_[idx]
                                                  : nullptr);
+      if (transport_.enabled() &&
+          transport_.reorder_batch(s, r, replica_responses_[idx].size())) {
+        replica_reversed_[idx] = 1;
+        std::reverse(replica_responses_[idx].begin(),
+                     replica_responses_[idx].end());
+        if (latency_ns != nullptr) {
+          std::reverse(replica_latency_[idx].begin(),
+                       replica_latency_[idx].end());
+        }
+      }
     }
   }
 
   // Phase B (parallel): scatter-gather executions. Pure reads of the
   // shard views + per-slot writes, so payloads are lane-count
-  // independent; per-slot message counts land in scratch and are tallied
-  // serially in phase C.
+  // independent; per-slot message counts and transport rolls land in
+  // scratch and are tallied serially in phase C.
   scatter_messages_.assign(scatter_slots_.size(), 0);
+  scatter_rpcs_.resize(scatter_slots_.size());
   core::parallel_for(
       scatter_slots_.size(), 1, [&](std::size_t begin, std::size_t end) {
         for (std::size_t j = begin; j < end; ++j) {
           const std::uint32_t i = scatter_slots_[j];
+          scatter_rpcs_[j].clear();
           const std::uint64_t start = latency_ns != nullptr ? now_ns() : 0;
-          execute_scatter(pending_[i].request, responses[i],
-                          scatter_messages_[j]);
+          execute_scatter(pending_[i].request, pending_[i].seq, responses[i],
+                          scatter_messages_[j], scatter_rpcs_[j]);
           if (latency_ns != nullptr) {
             (*latency_ns)[i] = now_ns() - start;
           }
@@ -345,20 +414,31 @@ void ClusterServer::drain(std::vector<Response>& responses,
   // Phase C (coordinator, admission order): place replica answers and
   // terminal answers, then tally all router counters serially.
   std::uint64_t scatter_cost = 0;
+  std::size_t scatter_j = 0;
   for (std::size_t i = 0; i < batch; ++i) {
     Slot& slot = pending_[i];
     Response& resp = responses[i];
     switch (slot.route) {
       case Route::kReplica: {
         const std::size_t idx = replica_index(slot.shard, slot.replica);
-        resp = std::move(replica_responses_[idx][slot.local]);
+        const std::size_t local =
+            replica_reversed_[idx] != 0
+                ? replica_responses_[idx].size() - 1 - slot.local
+                : slot.local;
+        resp = std::move(replica_responses_[idx][local]);
         if (latency_ns != nullptr) {
-          (*latency_ns)[i] = replica_latency_[idx][slot.local];
+          (*latency_ns)[i] = replica_latency_[idx][local];
         }
         break;
       }
       case Route::kScatter:
         scatter_cost += resp.cost;
+        if (transport_.enabled()) {
+          for (const ShardRpc& rpc : scatter_rpcs_[scatter_j]) {
+            transport_.commit(rpc.shard, rpc.outcome);
+          }
+        }
+        ++scatter_j;
         break;
       case Route::kTerminal:
         resp.status = slot.terminal;
@@ -375,6 +455,10 @@ void ClusterServer::drain(std::vector<Response>& responses,
       ++stats_.dark_answers;
       metrics.dark.add(1);
     }
+    if ((resp.flags & kResponseQuorumPartial) != 0) {
+      ++stats_.quorum_answers;
+      metrics.quorum.add(1);
+    }
   }
   std::uint64_t message_total = 0;
   for (const std::uint64_t m : scatter_messages_) message_total += m;
@@ -386,29 +470,38 @@ void ClusterServer::drain(std::vector<Response>& responses,
   metrics.served.add(batch);
 
   // Replica drains advanced the virtual clock by their own batch costs;
-  // the router adds the scatter work it executed itself.
+  // the router adds the scatter work it executed itself, plus whatever
+  // the transport burned on timeouts, delays, retries and hedges.
   trace.advance(scatter_cost);
   drain_span.attr("batch", batch);
   drain_span.attr("scatter", scatter_slots_.size());
   drain_span.attr("messages", message_total);
+  if (transport_.enabled()) {
+    transport_.tick();
+    const std::uint64_t transport_ticks = transport_.take_ticks();
+    trace.advance(transport_ticks);
+    drain_span.attr("transport_ticks", transport_ticks);
+  }
 
   pending_.clear();
   scatter_slots_.clear();
   router_queued_ = 0;
 }
 
-void ClusterServer::execute_scatter(const Request& request, Response& response,
-                                    std::uint64_t& messages) const {
+void ClusterServer::execute_scatter(const Request& request, std::uint64_t seq,
+                                    Response& response,
+                                    std::uint64_t& messages,
+                                    std::vector<ShardRpc>& rpcs) const {
   response.status = ServeStatus::kOk;
   response.flags = 0;
   response.payload.clear();
   response.cost = 0;
   if (request.type == RequestType::kShortestPath) {
-    scatter_shortest_path(request, response, messages);
+    scatter_shortest_path(request, seq, response, messages, rpcs);
   } else if (request.type == RequestType::kSuggest) {
-    scatter_suggest(request, response, messages);
+    scatter_suggest(request, seq, response, messages, rpcs);
   } else {
-    scatter_top_k(request, response, messages);
+    scatter_top_k(request, seq, response, messages, rpcs);
   }
 }
 
@@ -419,9 +512,15 @@ void ClusterServer::execute_scatter(const Request& request, Response& response,
 // charges and payload bytes are identical to the unsharded engine when
 // every shard is up. A dark owner shard degrades: its frontier nodes are
 // skipped, the answer keeps kOk but is flagged kResponseShardDark|partial.
+// Under the faulty transport each level's first contact with a shard rolls
+// one RPC (keyed on seq + level, so retries of the same exchange are the
+// same schedule at any lane count); an exhausted RPC makes the shard
+// unreachable for that level — frontier nodes it owns are skipped and the
+// answer degrades to kResponseQuorumPartial|partial.
 void ClusterServer::scatter_shortest_path(const Request& request,
-                                          Response& r,
-                                          std::uint64_t& messages) const {
+                                          std::uint64_t seq, Response& r,
+                                          std::uint64_t& messages,
+                                          std::vector<ShardRpc>& rpcs) const {
   const EngineConfig& config = config_.server.engine;
   RequestEngine::Meter meter;
   if (request.cost_budget != 0) meter.budget = request.cost_budget;
@@ -445,9 +544,14 @@ void ClusterServer::scatter_shortest_path(const Request& request,
   std::uint64_t expanded = 2;
   std::uint32_t best = kPathUnreachable;
   bool dark = false;
+  bool quorum = false;
   bool deadline = !meter.charge(2);
   // One message per distinct owner shard whose rows a level touches.
   std::array<std::uint64_t, 4> shard_mask{};
+  // Per-level transport reachability memo: 0 unprobed, 1 delivered,
+  // 2 exhausted (one RPC per shard per level, whatever it owns).
+  std::vector<std::uint8_t> reach;
+  std::uint32_t level = 0;
 
   while (!deadline && !fwd_frontier.empty() && !bwd_frontier.empty() &&
          fwd_depth + bwd_depth < config.path_max_hops &&
@@ -457,13 +561,28 @@ void ClusterServer::scatter_shortest_path(const Request& request,
     auto& mine = forward ? fwd : bwd;
     auto& other = forward ? bwd : fwd;
     const std::uint32_t depth = (forward ? fwd_depth : bwd_depth) + 1;
+    ++level;
     next.clear();
     shard_mask.fill(0);
+    if (transport_.enabled()) reach.assign(shard_count(), 0);
     for (const graph::NodeId x : frontier) {
       const std::size_t shard = routing_->owner[x];
       if (shard_dark(shard)) {
         dark = true;
         continue;
+      }
+      if (transport_.enabled()) {
+        std::uint8_t& state = reach[shard];
+        if (state == 0) {
+          const RpcOutcome rpc = transport_.probe_shard(
+              FaultyTransport::rpc_key(seq, level, shard), shard);
+          rpcs.push_back({static_cast<std::uint16_t>(shard), rpc});
+          state = rpc.ok ? 1 : 2;
+        }
+        if (state == 2) {
+          quorum = true;
+          continue;
+        }
       }
       shard_mask[shard >> 6] |= std::uint64_t{1} << (shard & 63);
       NeighborScan neighbors =
@@ -495,6 +614,9 @@ void ClusterServer::scatter_shortest_path(const Request& request,
   if (dark) {
     r.flags |= kResponseShardDark | kResponsePartial;
   }
+  if (quorum) {
+    r.flags |= kResponseQuorumPartial | kResponsePartial;
+  }
   put_u32(r.payload, best);
   put_u64(r.payload, expanded);
   r.cost = meter.spent;
@@ -505,9 +627,13 @@ void ClusterServer::scatter_shortest_path(const Request& request,
 // (1 dispatch + 1 per entry) replicate the engine's exactly; message
 // accounting never touches the meter, so deadline outcomes match the
 // unsharded engine. Dark shards drop out of the merge: fewer candidates,
-// flagged kResponseShardDark|partial.
-void ClusterServer::scatter_top_k(const Request& request, Response& r,
-                                  std::uint64_t& messages) const {
+// flagged kResponseShardDark|partial. Under the faulty transport each
+// live shard's candidate fetch is one rolled RPC; an exhausted shard
+// drops out of the merge exactly like a dark one, flagged
+// kResponseQuorumPartial instead.
+void ClusterServer::scatter_top_k(const Request& request, std::uint64_t seq,
+                                  Response& r, std::uint64_t& messages,
+                                  std::vector<ShardRpc>& rpcs) const {
   const EngineConfig& config = config_.server.engine;
   RequestEngine::Meter meter;
   if (request.cost_budget != 0) meter.budget = request.cost_budget;
@@ -520,11 +646,24 @@ void ClusterServer::scatter_top_k(const Request& request, Response& r,
     return;
   }
   bool dark = false;
+  bool quorum = false;
   std::uint64_t candidates = 0;
+  std::vector<std::uint8_t> usable(shard_count(), 1);
   for (std::size_t s = 0; s < shard_count(); ++s) {
     if (shard_dark(s)) {
+      usable[s] = 0;
       dark = true;
       continue;
+    }
+    if (transport_.enabled()) {
+      const RpcOutcome rpc = transport_.probe_shard(
+          FaultyTransport::rpc_key(seq, 0, s), s);
+      rpcs.push_back({static_cast<std::uint16_t>(s), rpc});
+      if (!rpc.ok) {
+        usable[s] = 0;
+        quorum = true;
+        continue;
+      }
     }
     candidates += shard_topk_[s].size();
     ++messages;
@@ -545,10 +684,10 @@ void ClusterServer::scatter_top_k(const Request& request, Response& r,
       deadline = true;
       break;
     }
-    // Pick the strongest head (degree desc, id asc) among live shards.
+    // Pick the strongest head (degree desc, id asc) among usable shards.
     std::size_t best_shard = shard_count();
     for (std::size_t s = 0; s < shard_count(); ++s) {
-      if (shard_dark(s) || head[s] >= shard_topk_[s].size()) continue;
+      if (usable[s] == 0 || head[s] >= shard_topk_[s].size()) continue;
       if (best_shard == shard_count()) {
         best_shard = s;
         continue;
@@ -569,6 +708,11 @@ void ClusterServer::scatter_top_k(const Request& request, Response& r,
   } else if (dark) {
     r.flags |= kResponseShardDark;
   }
+  if (quorum && !deadline) {
+    r.flags |= kResponseQuorumPartial | kResponsePartial;
+  } else if (quorum) {
+    r.flags |= kResponseQuorumPartial;
+  }
   r.cost = meter.spent;
 }
 
@@ -579,21 +723,35 @@ void ClusterServer::scatter_top_k(const Request& request, Response& r,
 // distinct owner shard touched per phase (root fetch, 2-hop expansion,
 // candidate scoring). Dark owners degrade the answer (their rows are
 // unreadable this drain): flagged kResponseShardDark|partial, never
-// silently dropped.
-void ClusterServer::scatter_suggest(const Request& request, Response& r,
-                                    std::uint64_t& messages) const {
+// silently dropped. Under the faulty transport the router opens one
+// connection (one rolled RPC) per live shard up front — Suggest's walk is
+// data-dependent, so eager connection setup is what keeps the schedule a
+// pure function of (seq, shard) — and shards whose RPC exhausts are
+// blocked with kResponseQuorumPartial.
+void ClusterServer::scatter_suggest(const Request& request, std::uint64_t seq,
+                                    Response& r, std::uint64_t& messages,
+                                    std::vector<ShardRpc>& rpcs) const {
   const EngineConfig& config = config_.server.engine;
   RequestEngine::Meter meter;
   if (request.cost_budget != 0) meter.budget = request.cost_budget;
   meter.charge(1);  // the engine's dispatch charge
   // Shard up/down state is fixed for the whole drain (kill/recover are
   // legal only between drains), so this per-request resolve is pure.
-  std::vector<std::uint8_t> dark(shard_count(), 0);
+  std::vector<std::uint8_t> blocked(shard_count(), 0);
   for (std::size_t s = 0; s < shard_count(); ++s) {
-    dark[s] = shard_dark(s) ? 1 : 0;
+    if (shard_dark(s)) {
+      blocked[s] = kResponseShardDark;
+      continue;
+    }
+    if (transport_.enabled()) {
+      const RpcOutcome rpc = transport_.probe_shard(
+          FaultyTransport::rpc_key(seq, 0, s), s);
+      rpcs.push_back({static_cast<std::uint16_t>(s), rpc});
+      if (!rpc.ok) blocked[s] = kResponseQuorumPartial;
+    }
   }
   const SuggestShardContext context{routing_->owner.data(), views_.data(),
-                                    dark.data(), shard_count()};
+                                    blocked.data(), shard_count()};
   const SuggestParams params{config.suggest_cap, config.suggest_frontier_cap,
                              config.suggest_expand_budget, max_in_degree_};
   suggest_scatter(context, params, request, r, meter, messages);
@@ -709,17 +867,22 @@ ClusterStormReport run_cluster_storm(const ShardedSnapshot& sharded,
   ClusterConfig cc;
   cc.server = config.server;
   cc.replicas = config.replicas;
+  cc.transport = config.transport;
   ClusterServer cluster(&sharded.routing, view_ptrs, cc);
   const ChaosSchedule chaos(config.chaos);
   const std::size_t n = cluster.node_count();
 
   // Scripted shard events: replica-0 kills (failover window) at R/4, one
   // shard fully dark at R/2, dark shard back at 5R/8, everything back at
-  // 3R/4 — chaos faults/slowdowns/pressure run throughout.
+  // 3R/4 — chaos faults/slowdowns/pressure run throughout. With the
+  // transport enabled, a network brownout (drop 0.9) runs over
+  // [R/8, R/4): heavy enough to open breakers, exhaust retries and force
+  // quorum-partial gathers, lifted exactly when the replica-0 kills land.
   const std::uint64_t kill_primaries = config.rounds / 4;
   const std::uint64_t kill_dark = config.rounds / 2;
   const std::uint64_t recover_dark = config.rounds * 5 / 8;
   const std::uint64_t recover_all = config.rounds * 3 / 4;
+  const std::uint64_t brownout_start = config.rounds / 8;
   const std::size_t dark_shard = 1 % shards;
 
   auto& registry = obs::MetricsRegistry::global();
@@ -731,6 +894,14 @@ ClusterStormReport run_cluster_storm(const ShardedSnapshot& sharded,
   std::uint64_t seq = 0;
 
   for (std::uint64_t round = 0; round < config.rounds; ++round) {
+    if (config.transport.enabled && round == brownout_start) {
+      FaultProfile heavy = config.transport.profile;
+      heavy.drop_rate = 0.9;
+      cluster.set_transport_profile(heavy);
+    }
+    if (config.transport.enabled && round == kill_primaries) {
+      cluster.set_transport_profile(config.transport.profile);
+    }
     if (round == kill_primaries && config.replicas >= 2) {
       for (std::size_t s = 0; s < shards; ++s) cluster.kill_replica(s, 0);
     }
@@ -771,6 +942,7 @@ ClusterStormReport run_cluster_storm(const ShardedSnapshot& sharded,
       ++report.by_status[static_cast<std::size_t>(r.status) %
                          kServeStatusCount];
       if ((r.flags & kResponseShardDark) != 0) ++report.dark_answers;
+      if ((r.flags & kResponseQuorumPartial) != 0) ++report.quorum_answers;
       checksum = fold_response(checksum, r);
     }
     expect(report.violations, cluster.queued() == 0,
@@ -825,6 +997,41 @@ ClusterStormReport run_cluster_storm(const ShardedSnapshot& sharded,
                 report.cluster.messages);
   expect_metric(report.violations, d, "serve.cluster.dark",
                 report.cluster.dark_answers);
+  expect_metric(report.violations, d, "serve.cluster.quorum",
+                report.cluster.quorum_answers);
+  report.transport = cluster.transport_stats();
+  if (config.transport.enabled) {
+    const TransportStats& t = report.transport;
+    expect_metric(report.violations, d, "serve.transport.rpcs", t.rpcs);
+    expect_metric(report.violations, d, "serve.transport.attempts",
+                  t.attempts);
+    expect_metric(report.violations, d, "serve.transport.delivered",
+                  t.delivered);
+    expect_metric(report.violations, d, "serve.transport.failed", t.failed);
+    expect_metric(report.violations, d, "serve.transport.dropped", t.dropped);
+    expect_metric(report.violations, d, "serve.transport.delayed", t.delayed);
+    expect_metric(report.violations, d, "serve.transport.timeouts",
+                  t.timeouts);
+    expect_metric(report.violations, d, "serve.transport.retries", t.retries);
+    expect_metric(report.violations, d, "serve.transport.hedges", t.hedges);
+    expect_metric(report.violations, d, "serve.transport.hedge_wins",
+                  t.hedge_wins);
+    expect_metric(report.violations, d, "serve.transport.duplicates",
+                  t.duplicates);
+    expect_metric(report.violations, d, "serve.transport.dup_suppressed",
+                  t.dup_suppressed);
+    expect_metric(report.violations, d, "serve.transport.reorders",
+                  t.reorders);
+    expect_metric(report.violations, d, "serve.transport.breaker_open",
+                  t.breaker_open);
+    expect_metric(report.violations, d, "serve.transport.breaker_close",
+                  t.breaker_close);
+    expect_metric(report.violations, d, "serve.transport.breaker_probes",
+                  t.breaker_probes);
+    expect_metric(report.violations, d, "serve.transport.breaker_skips",
+                  t.breaker_skips);
+    expect_metric(report.violations, d, "serve.transport.ticks", t.ticks);
+  }
 
   // Core storm invariants: every admitted request reached exactly one
   // terminal status; nothing dropped silently.
@@ -840,15 +1047,27 @@ ClusterStormReport run_cluster_storm(const ShardedSnapshot& sharded,
     expect(report.violations, report.dark_answers > 0,
            "dark window produced no kShardDark answers");
   }
+  if (config.transport.enabled && config.rounds >= 32) {
+    expect(report.violations, report.quorum_answers > 0,
+           "transport brownout produced no quorum-partial answers");
+    expect(report.violations, report.transport.breaker_open > 0,
+           "transport brownout opened no breakers");
+    expect(report.violations, report.transport.breaker_close > 0,
+           "no breaker recovered (half-open probe never closed one)");
+  }
 
   // Post-storm probes: fully recovered cluster vs a fresh unsharded
-  // server — every request family must answer identically.
+  // server — every request family must answer identically. A healed
+  // zero-rate transport delivers every message first try to the lowest
+  // live replica, so transport-routed probe answers match the unsharded
+  // engine byte for byte.
   if (config.probes > 0) {
     for (std::size_t s = 0; s < shards; ++s) {
       for (std::size_t r = 0; r < config.replicas; ++r) {
         cluster.recover_replica(s, r);
       }
     }
+    cluster.heal_transport();
     cluster.set_queue_pressure(0);
     const std::uint64_t probe_seed = config.seed ^ 0x9E3779B97F4A7C15ULL;
     report.post_probe_checksum =

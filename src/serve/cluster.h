@@ -26,6 +26,15 @@
 // kUnavailable with the kResponseShardDark flag, scatter answers degrade
 // to best-effort over the live shards and carry the same flag — degraded
 // partial answers, never silent drops.
+//
+// Transport faults (DESIGN.md §15): when ClusterConfig::transport is
+// enabled, every router↔replica message passes through a FaultyTransport
+// (drop/delay/duplicate/reorder on a seeded schedule, per-rpc timeouts
+// with retries, hedged sends to the sibling replica, per-replica circuit
+// breakers). A shard whose live replicas stay unreachable degrades the
+// answer with kResponseQuorumPartial — quorum-style partial gathers for
+// the scatter families, terminal kUnavailable for single-shard dispatch —
+// still never a silent drop, still bit-identical at any GPLUS_THREADS.
 #pragma once
 
 #include <array>
@@ -36,6 +45,7 @@
 #include "serve/resilience.h"
 #include "serve/server.h"
 #include "serve/snapshot_build.h"
+#include "serve/transport.h"
 #include "serve/workload.h"
 
 namespace gplus::serve {
@@ -48,6 +58,8 @@ struct ClusterConfig {
   std::size_t replicas = 1;
   /// Router-held scatter requests per drain; 0 = server.queue_capacity.
   std::size_t router_queue_capacity = 0;
+  /// Router↔replica transport fault model; disabled = perfect network.
+  TransportConfig transport;
 };
 
 /// Router-level lifetime counters. Replica-level counters live in each
@@ -57,8 +69,9 @@ struct ClusterStats {
   std::uint64_t rejected = 0;       // replica queue full or router full
   std::uint64_t served = 0;         // terminal responses delivered
   std::uint64_t scatter = 0;        // scatter-gather executions
-  std::uint64_t messages = 0;       // simulated inter-shard messages
+  std::uint64_t messages = 0;       // delivered inter-shard messages
   std::uint64_t dark_answers = 0;   // responses flagged kResponseShardDark
+  std::uint64_t quorum_answers = 0; // responses flagged kResponseQuorumPartial
   std::array<std::uint64_t, kServeStatusCount> by_status{};
 };
 
@@ -102,6 +115,20 @@ class ClusterServer {
   /// Chaos hook: queue-pressure cap applied to every replica.
   void set_queue_pressure(std::size_t capacity);
 
+  /// Transport chaos hooks (coordinator-side, between drains only, like
+  /// kill/recover). set_transport_profile swaps the fault channels;
+  /// heal_transport zeroes them AND closes every breaker — the post-storm
+  /// probe precondition. Both are no-ops with the transport disabled.
+  void set_transport_profile(const FaultProfile& profile);
+  void heal_transport();
+  /// One replica's breaker state (kClosed always when disabled).
+  BreakerState transport_breaker(std::size_t shard, std::size_t replica) const {
+    return transport_.breaker_state(shard, replica);
+  }
+  const TransportStats& transport_stats() const noexcept {
+    return transport_.stats();
+  }
+
   std::size_t shard_count() const noexcept { return views_.size(); }
   std::size_t replicas_per_shard() const noexcept { return config_.replicas; }
   std::size_t node_count() const noexcept { return routing_->owner.size(); }
@@ -141,7 +168,15 @@ class ClusterServer {
     ServeStatus terminal = ServeStatus::kOk;
     std::uint8_t terminal_flags = 0;
     std::uint64_t terminal_cost = 0;
+    std::uint64_t seq = 0;            // router sequence (transport keying)
     Request request;                  // kept for scatter execution
+  };
+
+  /// One scatter-side shard contact rolled in drain phase B, committed
+  /// into transport stats/breakers serially in phase C.
+  struct ShardRpc {
+    std::uint16_t shard = 0;
+    RpcOutcome outcome;
   };
 
   std::size_t replica_index(std::size_t shard, std::size_t replica) const {
@@ -160,15 +195,20 @@ class ClusterServer {
   }
 
   /// Executes one scatter request (pure; runs on any lane). `messages`
-  /// receives the simulated inter-shard message count.
-  void execute_scatter(const Request& request, Response& response,
-                       std::uint64_t& messages) const;
-  void scatter_shortest_path(const Request& request, Response& response,
-                             std::uint64_t& messages) const;
-  void scatter_top_k(const Request& request, Response& response,
-                     std::uint64_t& messages) const;
-  void scatter_suggest(const Request& request, Response& response,
-                       std::uint64_t& messages) const;
+  /// receives the delivered inter-shard message count, `rpcs` every
+  /// transport contact rolled (empty with the transport disabled).
+  void execute_scatter(const Request& request, std::uint64_t seq,
+                       Response& response, std::uint64_t& messages,
+                       std::vector<ShardRpc>& rpcs) const;
+  void scatter_shortest_path(const Request& request, std::uint64_t seq,
+                             Response& response, std::uint64_t& messages,
+                             std::vector<ShardRpc>& rpcs) const;
+  void scatter_top_k(const Request& request, std::uint64_t seq,
+                     Response& response, std::uint64_t& messages,
+                     std::vector<ShardRpc>& rpcs) const;
+  void scatter_suggest(const Request& request, std::uint64_t seq,
+                       Response& response, std::uint64_t& messages,
+                       std::vector<ShardRpc>& rpcs) const;
 
   const RoutingTable* routing_;
   std::vector<const SnapshotView*> views_;
@@ -186,10 +226,16 @@ class ClusterServer {
   /// Global maximum in-degree over owned rows — equal to the unsharded
   /// engine's value, so Suggest reciprocation scores match it exactly.
   std::uint64_t max_in_degree_ = 0;
+  FaultyTransport transport_;
+  /// Router sequence number: every submit consumes one, giving each
+  /// request attempt its own transport fault stream.
+  std::uint64_t transport_seq_ = 0;
   // Drain scratch, reused across batches.
   std::vector<std::vector<Response>> replica_responses_;
   std::vector<std::vector<std::uint64_t>> replica_latency_;
+  std::vector<std::uint8_t> replica_reversed_;  // batch delivered reversed
   std::vector<std::uint64_t> scatter_messages_;
+  std::vector<std::vector<ShardRpc>> scatter_rpcs_;
 };
 
 /// Cluster chaos storm knobs. The storm scripts staggered replica kills
@@ -205,6 +251,11 @@ struct ClusterStormConfig {
   std::size_t replicas = 2;
   ChaosConfig chaos;
   ServerConfig server;
+  /// Transport fault model for the storm. When enabled, the storm also
+  /// scripts a heavy-loss *brownout* window ([rounds/8, rounds/4): drop
+  /// rate 0.9) so circuit breakers demonstrably open and then close
+  /// again via half-open probes once the window lifts.
+  TransportConfig transport;
 };
 
 /// What the cluster storm produced. Empty `violations` means every
@@ -221,9 +272,12 @@ struct ClusterStormReport {
   /// FNV-1a over the terminal response stream (status, flags, payload).
   std::uint64_t checksum = 0;
   std::uint64_t dark_answers = 0;
+  std::uint64_t quorum_answers = 0;
   std::uint64_t post_probe_checksum = 0;      // recovered cluster
   std::uint64_t unsharded_probe_checksum = 0; // fresh unsharded server
   ClusterStats cluster;
+  /// Transport counters at end-of-storm (pre-probe; zero when disabled).
+  TransportStats transport;
   std::vector<ServerStats> replica_stats;     // shard-major order
   std::vector<std::string> violations;
 };

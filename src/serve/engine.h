@@ -95,6 +95,11 @@ inline constexpr std::uint8_t kResponsePartial = 1U << 0;
 /// replica) while this answer was assembled: the payload is a degraded
 /// best-effort over the shards that were up (DESIGN.md §13).
 inline constexpr std::uint8_t kResponseShardDark = 1U << 1;
+/// Set by the sharded cluster when a shard with live replicas stayed
+/// unreachable over the faulty transport (timeouts/retries/hedges all
+/// exhausted, or every replica breaker-open): the answer is a quorum-style
+/// partial gather over the shards that responded (DESIGN.md §15).
+inline constexpr std::uint8_t kResponseQuorumPartial = 1U << 2;
 
 /// Response: status + encoded payload (empty unless kOk or a partial
 /// kDeadlineExceeded). Payload layouts are documented in DESIGN.md §9;

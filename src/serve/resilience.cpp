@@ -7,19 +7,20 @@
 
 namespace gplus::serve {
 
-namespace {
-
-// Uniform [0,1) drawn from a splitmix64 chain over the key words — the
-// same construction as the crawler fault schedule (service.cpp), so a
-// chaos run replays exactly from its seed.
-double chaos_unit(std::uint64_t seed, std::uint64_t a,
-                  std::uint64_t salt) noexcept {
+std::uint64_t chaos_word(std::uint64_t seed, std::uint64_t stream,
+                         std::uint64_t salt) noexcept {
   std::uint64_t state = seed;
-  state ^= stats::splitmix64_next(state) + a;
+  state ^= stats::splitmix64_next(state) + stream;
   state ^= stats::splitmix64_next(state) + salt;
-  const std::uint64_t h = stats::splitmix64_next(state);
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
+  return stats::splitmix64_next(state);
 }
+
+double chaos_unit(std::uint64_t seed, std::uint64_t stream,
+                  std::uint64_t salt) noexcept {
+  return static_cast<double>(chaos_word(seed, stream, salt) >> 11) * 0x1.0p-53;
+}
+
+namespace {
 
 std::uint32_t payload_u32(const Response& r, std::size_t at) noexcept {
   std::uint32_t v = 0;

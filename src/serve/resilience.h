@@ -134,6 +134,17 @@ class SnapshotManager {
   std::uint64_t next_epoch_ = 1;
 };
 
+/// The shared seeded-misfortune primitive: a splitmix64 chain over
+/// (seed, stream, salt), the same construction as the crawler fault
+/// schedule (service.cpp). ChaosSchedule and the cluster transport layer
+/// (transport.h) both draw from it, so every injected event in the system
+/// replays exactly from its seed.
+std::uint64_t chaos_word(std::uint64_t seed, std::uint64_t stream,
+                         std::uint64_t salt) noexcept;
+/// Uniform [0,1) off the same chain.
+double chaos_unit(std::uint64_t seed, std::uint64_t stream,
+                  std::uint64_t salt) noexcept;
+
 /// Chaos knobs. Rates in [0,1]; 0 disables the channel.
 struct ChaosConfig {
   std::uint64_t seed = 0;

@@ -24,28 +24,29 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   }
 }
 
-/// Row source for the unsharded engine: one view, always live, no
+/// Row source for the unsharded engine: one view, always reachable, no
 /// message accounting. The core below is templated over this shape so the
 /// single-view and scatter paths are literally the same code — which is
 /// what makes their charges and payload bytes identical.
 struct SingleSource {
   const SnapshotView* view;
 
-  bool live(graph::NodeId) const noexcept { return true; }
+  std::uint8_t blocked(graph::NodeId) const noexcept { return 0; }
   const SnapshotView& at(graph::NodeId) const noexcept { return *view; }
   void touch(graph::NodeId) noexcept {}
   void end_phase() noexcept {}
 };
 
-/// Row source for the cluster scatter: owner-shard views, dark shards
-/// degrade, one simulated message per distinct owner shard per phase.
+/// Row source for the cluster scatter: owner-shard views; blocked shards
+/// (dark or transport-unreachable) degrade the answer with their flag
+/// bits; one simulated message per distinct owner shard per phase.
 struct ShardSource {
   const SuggestShardContext* ctx;
   std::uint64_t* messages;
   std::array<std::uint64_t, 4> mask{};  // 256 shards, like ShortestPath
 
-  bool live(graph::NodeId u) const noexcept {
-    return ctx->dark[ctx->owner[u]] == 0;
+  std::uint8_t blocked(graph::NodeId u) const noexcept {
+    return ctx->blocked[ctx->owner[u]];
   }
   const SnapshotView& at(graph::NodeId u) const noexcept {
     return *ctx->views[ctx->owner[u]];
@@ -98,13 +99,13 @@ void suggest_core(RowSource& rows, const SuggestParams& params,
     return;
   }
   const graph::NodeId u = request.user;
-  bool dark = false;
+  std::uint8_t degrade = 0;  // blocked-shard flag bits encountered
   bool deadline = false;
 
   // Phase 1 — root fetch: materialize out(u) (ascending; both the
   // exclusion filter and the mutual-neighbor kernel operand).
   std::vector<graph::NodeId> friends;
-  if (rows.live(u)) {
+  if (const std::uint8_t b = rows.blocked(u); b == 0) {
     rows.touch(u);
     const SnapshotView& view = rows.at(u);
     friends.reserve(static_cast<std::size_t>(view.out_degree(u)));
@@ -112,7 +113,7 @@ void suggest_core(RowSource& rows, const SuggestParams& params,
     graph::NodeId v = 0;
     while (scan.next(v)) friends.push_back(v);
   } else {
-    dark = true;
+    degrade |= b;
   }
   rows.end_phase();
 
@@ -131,8 +132,8 @@ void suggest_core(RowSource& rows, const SuggestParams& params,
       deadline = true;
       break;
     }
-    if (!rows.live(v)) {
-      dark = true;
+    if (const std::uint8_t b = rows.blocked(v); b != 0) {
+      degrade |= b;
       continue;
     }
     rows.touch(v);
@@ -161,13 +162,13 @@ void suggest_core(RowSource& rows, const SuggestParams& params,
 
   // Rank: (adamic-adar desc, common desc, id asc) — a total order on the
   // distinct candidates, so the sorted sequence is independent of the
-  // hash map's iteration order. Dark-owned candidates drop out here
+  // hash map's iteration order. Blocked-owned candidates drop out here
   // (their rows are unreadable this drain), flagged below.
   std::vector<Candidate> ranked;
   ranked.reserve(scores.size());
   for (const auto& [w, cell] : scores) {
-    if (!rows.live(w)) {
-      dark = true;
+    if (const std::uint8_t b = rows.blocked(w); b != 0) {
+      degrade |= b;
       continue;
     }
     ranked.push_back(Candidate{
@@ -227,8 +228,8 @@ void suggest_core(RowSource& rows, const SuggestParams& params,
     r.status = ServeStatus::kDeadlineExceeded;
     r.flags |= kResponsePartial;
   }
-  if (dark) {
-    r.flags |= kResponseShardDark | kResponsePartial;
+  if (degrade != 0) {
+    r.flags |= degrade | kResponsePartial;
   }
 }
 

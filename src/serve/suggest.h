@@ -58,12 +58,16 @@ void suggest_execute(const SnapshotView& view, const SuggestParams& params,
                      RequestEngine::Meter& meter);
 
 /// Cluster-scatter row sources: each node's adjacency/degrees come from
-/// its owner shard's view; a dark owner degrades the answer (flagged
-/// kResponseShardDark|kResponsePartial) instead of failing it.
+/// its owner shard's view. `blocked[s]` is 0 when shard s is reachable;
+/// otherwise it carries the response-flag bits the degradation should
+/// surface (kResponseShardDark for a dark shard, kResponseQuorumPartial
+/// for one unreachable over the faulty transport). A blocked owner
+/// degrades the answer — flagged blocked-bits|kResponsePartial — instead
+/// of failing it.
 struct SuggestShardContext {
   const std::uint8_t* owner = nullptr;          // node id -> shard
   const SnapshotView* const* views = nullptr;   // one per shard
-  const std::uint8_t* dark = nullptr;           // per-shard dark flag
+  const std::uint8_t* blocked = nullptr;        // per-shard degrade bits
   std::size_t shard_count = 0;
 };
 

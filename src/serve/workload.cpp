@@ -210,6 +210,9 @@ LoadReport closed_loop_impl(ServerT& server, const SnapshotView& snapshot,
       fnv_u32(checksum, static_cast<std::uint32_t>(r.payload.size()));
       fnv_bytes(checksum, r.payload.data(), r.payload.size());
       report.response_bytes += r.payload.size();
+      if ((r.flags & (kResponseShardDark | kResponseQuorumPartial)) != 0) {
+        ++report.degraded;
+      }
     }
     if (config.measure_latency) {
       latencies.insert(latencies.end(), batch_latency.begin(),

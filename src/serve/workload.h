@@ -72,6 +72,10 @@ struct LoadReport {
   double p95_us = 0.0;
   double p99_us = 0.0;
   std::uint64_t response_bytes = 0;
+  /// Responses flagged degraded (kResponseShardDark or
+  /// kResponseQuorumPartial) — nonzero only on clusters with dark shards
+  /// or a faulty transport.
+  std::uint64_t degraded = 0;
   /// FNV-1a over the concatenated response stream (status + size +
   /// payload, request order) — the cross-thread-count equivalence probe.
   std::uint64_t checksum = 0;

@@ -145,6 +145,45 @@ TEST(RoutingTableIO, RoundtripsAndDetectsCorruption) {
   EXPECT_THROW(load_routing_table(path), std::runtime_error);
 }
 
+// Exhaustive corruption sweep: flip one bit at EVERY byte offset of a
+// saved GPROUTE1 table and assert each load fails closed. Detection is
+// structural, not probabilistic: magic flips fail the magic check,
+// node-count flips fail the size check, and every other flip perturbs
+// the trailing FNV-1a (each fold step is a bijection of the running
+// hash, so a changed byte can never cancel out).
+TEST(RoutingTableIO, EveryByteBitFlipFailsClosed) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "gplus_test_cluster_sweep.routing";
+  save_routing_table(sharded4().routing, path);
+
+  std::vector<char> pristine;
+  {
+    std::ifstream in(path, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(pristine.size(), 32u);
+
+  for (std::size_t offset = 0; offset < pristine.size(); ++offset) {
+    {
+      std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+      char byte = static_cast<char>(pristine[offset] ^ 0x01);
+      f.seekp(static_cast<std::streamoff>(offset));
+      f.write(&byte, 1);
+    }
+    EXPECT_THROW(load_routing_table(path), std::runtime_error)
+        << "bit flip at offset " << offset << " loaded successfully";
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&pristine[offset], 1);
+  }
+
+  // The restored file must load again — the sweep corrupted, not the test.
+  EXPECT_NO_THROW(load_routing_table(path));
+  fs::remove(path);
+}
+
 TEST(ClusterServer, FailoverPicksLowestLiveReplica) {
   std::vector<SnapshotView> storage;
   const auto ptrs = open_shards(sharded4(), storage);

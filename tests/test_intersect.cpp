@@ -198,6 +198,66 @@ TEST(IntersectKernels, AvailabilityImpliesSseWhenAvx2) {
   }
 }
 
+TEST(IntersectKernels, SkewThresholdOverrideSteersAutoDispatch) {
+  using gplus::algo::intersect_skew_threshold;
+  using gplus::algo::set_intersect_skew_threshold;
+  const std::size_t initial = intersect_skew_threshold();
+  EXPECT_GE(initial, 2u);
+
+  set_intersect_skew_threshold(7);
+  EXPECT_EQ(intersect_skew_threshold(), 7u);
+
+  // Dispatch stays result-invariant at any threshold — only speed moves.
+  gplus::stats::Rng rng(11);
+  const auto a = random_sorted(rng, 900, 50'000);
+  const auto b = random_sorted(rng, 30, 50'000);
+  const auto want = reference_intersection(a, b);
+  for (const std::size_t ratio : {2u, 7u, 1'000'000u}) {
+    set_intersect_skew_threshold(ratio);
+    std::vector<NodeId> got;
+    EXPECT_EQ(gplus::algo::intersect(a, b, got), want.size()) << ratio;
+    EXPECT_EQ(got, want) << ratio;
+  }
+
+  set_intersect_skew_threshold(0);  // restore the env/default value
+  EXPECT_EQ(intersect_skew_threshold(), initial);
+}
+
+TEST(IntersectEnv, StrictParsersAcceptValidInput) {
+  using gplus::algo::intersect_kernel_from_env;
+  using gplus::algo::parse_intersect_skew_env;
+  EXPECT_EQ(intersect_kernel_from_env("auto"), IntersectKernel::kAuto);
+  EXPECT_EQ(intersect_kernel_from_env("galloping"),
+            IntersectKernel::kGalloping);
+  EXPECT_EQ(intersect_kernel_from_env("bitset"), IntersectKernel::kBitset);
+  EXPECT_EQ(parse_intersect_skew_env("2"), 2u);
+  EXPECT_EQ(parse_intersect_skew_env("32"), 32u);
+  EXPECT_EQ(parse_intersect_skew_env("1000000"), 1'000'000u);
+}
+
+// Typo'd env overrides fail fast with a one-line diagnostic rather than
+// silently benchmarking the wrong kernel (the old behaviour mapped any
+// unknown GPLUS_INTERSECT name to kAuto).
+TEST(IntersectEnvDeathTest, InvalidEnvValuesFailFast) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  using gplus::algo::intersect_kernel_from_env;
+  using gplus::algo::parse_intersect_skew_env;
+  const auto died = ::testing::ExitedWithCode(2);
+  EXPECT_EXIT(intersect_kernel_from_env("gallopping"), died,
+              "invalid GPLUS_INTERSECT");
+  EXPECT_EXIT(intersect_kernel_from_env("AVX2"), died,
+              "invalid GPLUS_INTERSECT");
+  EXPECT_EXIT(intersect_kernel_from_env(""), died, "invalid GPLUS_INTERSECT");
+  EXPECT_EXIT(parse_intersect_skew_env("1"), died,
+              "invalid GPLUS_INTERSECT_SKEW");
+  EXPECT_EXIT(parse_intersect_skew_env("1000001"), died,
+              "invalid GPLUS_INTERSECT_SKEW");
+  EXPECT_EXIT(parse_intersect_skew_env("32x"), died,
+              "invalid GPLUS_INTERSECT_SKEW");
+  EXPECT_EXIT(parse_intersect_skew_env("-8"), died,
+              "invalid GPLUS_INTERSECT_SKEW");
+}
+
 TEST(IntersectKernels, MergeIntersectCountGeneric) {
   using gplus::algo::merge_intersect_count;
   const std::vector<std::string> a{"ann", "bob", "eve"};

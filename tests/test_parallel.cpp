@@ -204,5 +204,27 @@ TEST_F(ParallelTest, ConcurrentBfsCallsDoNotExplodeThreadCount) {
   }
 }
 
+TEST(ParallelEnv, StrictParserAcceptsSaneLaneCounts) {
+  EXPECT_EQ(parse_thread_count_env("1"), 1u);
+  EXPECT_EQ(parse_thread_count_env("8"), 8u);
+  EXPECT_EQ(parse_thread_count_env("4096"), 4096u);
+}
+
+// A typo'd GPLUS_THREADS must fail fast with a one-line diagnostic, not
+// silently fall back to hardware concurrency: the determinism contract is
+// per lane count, so running at an unintended one invalidates a repro.
+TEST(ParallelEnvDeathTest, InvalidLaneCountsFailFast) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto died = ::testing::ExitedWithCode(2);
+  EXPECT_EXIT(parse_thread_count_env("0"), died, "invalid GPLUS_THREADS");
+  EXPECT_EXIT(parse_thread_count_env("-4"), died, "invalid GPLUS_THREADS");
+  EXPECT_EXIT(parse_thread_count_env("4097"), died, "invalid GPLUS_THREADS");
+  EXPECT_EXIT(parse_thread_count_env("8cores"), died, "invalid GPLUS_THREADS");
+  EXPECT_EXIT(parse_thread_count_env("fast"), died, "invalid GPLUS_THREADS");
+  EXPECT_EXIT(parse_thread_count_env(""), died, "invalid GPLUS_THREADS");
+  EXPECT_EXIT(parse_thread_count_env("99999999999999999999"), died,
+              "invalid GPLUS_THREADS");
+}
+
 }  // namespace
 }  // namespace gplus::core
