@@ -1,0 +1,29 @@
+#include "evolve/motif_evolution.h"
+
+#include "algo/reciprocity.h"
+#include "stats/expect.h"
+
+namespace gplus::evolve {
+
+std::vector<MotifEvolutionPoint> motif_evolution(
+    const GrowthSimulation& sim, const std::vector<int>& snapshot_days) {
+  std::vector<MotifEvolutionPoint> series;
+  series.reserve(snapshot_days.size());
+  int previous = 0;
+  for (const int day : snapshot_days) {
+    GPLUS_EXPECT(day > previous, "snapshot days must be positive ascending");
+    previous = day;
+    MotifEvolutionPoint point;
+    point.day = day;
+    point.nodes = sim.node_count_at(day);
+    point.edges = sim.edge_count_at(day);
+    const graph::DiGraph g = sim.snapshot(day);
+    point.census = algo::triad_census(g);
+    point.wedge_closure = point.census.wedge_closure();
+    point.reciprocity = algo::global_reciprocity(g);
+    series.push_back(point);
+  }
+  return series;
+}
+
+}  // namespace gplus::evolve

@@ -1,0 +1,35 @@
+// Triad motif evolution curves over growth snapshots.
+//
+// Schiöberg et al. ("Evolution of Directed Triangle Motifs in the
+// Google+ OSN", PAPERS.md) track how the directed triad spectrum shifts
+// as the network grows — reciprocal-heavy classes swell during the
+// invite-only phase, chains and out-stars during open sign-up. This
+// module replays that measurement over the GrowthSimulation timeline:
+// one exact census per requested day, plus the derived closure and
+// reciprocity series the paper's §4 figures aggregate.
+#pragma once
+
+#include <vector>
+
+#include "algo/motifs.h"
+#include "evolve/growth.h"
+
+namespace gplus::evolve {
+
+/// Census of one growth snapshot plus the derived scalar series.
+struct MotifEvolutionPoint {
+  int day = 0;
+  std::size_t nodes = 0;       // users joined by `day`
+  std::uint64_t edges = 0;
+  algo::TriadCensus census;
+  double wedge_closure = 0.0;  // TriadCensus::wedge_closure
+  double reciprocity = 0.0;    // global edge reciprocity
+};
+
+/// Measures the triad census at each requested day (each > 0,
+/// ascending). Deterministic in the simulation's seed at any
+/// GPLUS_THREADS.
+std::vector<MotifEvolutionPoint> motif_evolution(
+    const GrowthSimulation& sim, const std::vector<int>& snapshot_days);
+
+}  // namespace gplus::evolve

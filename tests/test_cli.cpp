@@ -283,6 +283,45 @@ TEST(Cli, ServeBenchErrorPaths) {
   EXPECT_NE(missing.str().find("error"), std::string::npos);
 }
 
+TEST(Cli, MotifsCensusEvolveAndCalibrate) {
+  // Census mode: all 16 class rows plus the derived summary, with the
+  // sampled-estimator column when --samples is set.
+  std::ostringstream census;
+  EXPECT_EQ(run_command({"motifs", "--nodes", "400", "--samples", "2000"},
+                        census),
+            0);
+  for (const char* name : {"003", "021C", "030T", "111D", "210", "300"}) {
+    EXPECT_NE(census.str().find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(census.str().find("Wedge closure"), std::string::npos);
+  EXPECT_NE(census.str().find("Sampled closure"), std::string::npos);
+
+  // The snapshot-backed census path prints the same summary block.
+  std::ostringstream snap;
+  EXPECT_EQ(run_command({"motifs", "--nodes", "400", "--via-snapshot"}, snap),
+            0);
+  EXPECT_NE(snap.str().find("Closed triads"), std::string::npos);
+
+  std::ostringstream evolve;
+  EXPECT_EQ(run_command({"motifs", "--mode", "evolve", "--nodes", "2000",
+                         "--days", "90,180"},
+                        evolve),
+            0);
+  EXPECT_NE(evolve.str().find("Closure"), std::string::npos);
+  EXPECT_NE(evolve.str().find("180"), std::string::npos);
+
+  std::ostringstream calibrate;
+  EXPECT_EQ(run_command({"motifs", "--mode", "calibrate", "--nodes", "400",
+                         "--rounds", "2", "--target-clustering", "0.3"},
+                        calibrate),
+            0);
+  EXPECT_NE(calibrate.str().find("rounds accepted"), std::string::npos);
+
+  std::ostringstream bad;
+  EXPECT_EQ(run_command({"motifs", "--mode", "bogus"}, bad), 2);
+  EXPECT_NE(bad.str().find("unknown mode"), std::string::npos);
+}
+
 TEST(Cli, CommandTableDrivesDispatchAndHelp) {
   // Every table row dispatches and appears in the generated usage text.
   std::ostringstream help;

@@ -4,10 +4,14 @@
 
 #include <tuple>
 
+#include "algo/clustering.h"
+#include "algo/degrees.h"
 #include "algo/reciprocity.h"
+#include "algo/rewire.h"
 #include "algo/scc.h"
 #include "core/dataset.h"
 #include "geo/coords.h"
+#include "synth/stream_gen.h"
 
 namespace gplus {
 namespace {
@@ -81,6 +85,106 @@ INSTANTIATE_TEST_SUITE_P(
       return "seed" + std::to_string(std::get<0>(info.param)) + "_n" +
              std::to_string(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// Streaming-vs-in-RAM generator fidelity (the PR 6 residual): the
+// streaming generator deliberately has no triadic-closure or community
+// mechanism, so it understates clustering. Motif calibration must close
+// most of that gap while preserving the streaming degree sequence, and
+// the closed gap is pinned here as a regression-tested number.
+
+class StreamingCalibration : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 10'000;
+  static constexpr std::uint64_t kSeed = 5;
+
+  static graph::DiGraph materialize_streaming() {
+    synth::PopulationModel population;
+    geo::World world;
+    synth::StreamGenConfig config;
+    config.node_count = kNodes;
+    config.seed = kSeed;
+    const synth::StreamingGraphGen gen(config, population, world);
+    std::vector<graph::Edge> edges;
+    gen.stream_edges([&](graph::NodeId src, graph::NodeId dst) {
+      edges.push_back({src, dst});
+    });
+    // Builders drop duplicates and self-loops; from_edges does the same.
+    return graph::DiGraph::from_edges(static_cast<graph::NodeId>(kNodes),
+                                      edges);
+  }
+
+  static void SetUpTestSuite() {
+    in_ram_ = new core::Dataset(core::make_standard_dataset(kNodes, kSeed));
+    streaming_ = new graph::DiGraph(materialize_streaming());
+  }
+  static void TearDownTestSuite() {
+    delete in_ram_;
+    delete streaming_;
+    in_ram_ = nullptr;
+    streaming_ = nullptr;
+  }
+  static const graph::DiGraph& in_ram() { return in_ram_->graph(); }
+  static const graph::DiGraph& streaming() { return *streaming_; }
+
+ private:
+  static core::Dataset* in_ram_;
+  static graph::DiGraph* streaming_;
+};
+
+core::Dataset* StreamingCalibration::in_ram_ = nullptr;
+graph::DiGraph* StreamingCalibration::streaming_ = nullptr;
+
+TEST_F(StreamingCalibration, StreamingUnderstatesClusteringBeforeCalibration) {
+  const double ram_c = algo::average_clustering_coefficient(in_ram());
+  const double stream_c = algo::average_clustering_coefficient(streaming());
+  // The documented gap this suite exists to measure: without triadic
+  // closure the streaming generator lands well under the in-RAM model.
+  EXPECT_GT(ram_c, 0.10);
+  EXPECT_LT(stream_c, ram_c * 0.5);
+  // Reciprocity, by contrast, survives streaming generation.
+  const double ram_r = algo::global_reciprocity(in_ram());
+  const double stream_r = algo::global_reciprocity(streaming());
+  EXPECT_NEAR(stream_r, ram_r, 0.12);
+}
+
+TEST_F(StreamingCalibration, CalibrationClosesMostOfTheClusteringGap) {
+  const double ram_c = algo::average_clustering_coefficient(in_ram());
+  const double ram_r = algo::global_reciprocity(in_ram());
+
+  algo::RewireObjective objective;
+  objective.target_clustering = ram_c;
+  objective.target_reciprocity = ram_r;
+  algo::CalibrateConfig config;
+  config.seed = 17;
+  config.max_rounds = 16;
+  config.clustering_sample = 0;  // exact at this scale
+  config.swaps_per_round_per_edge = 0.10;
+  const algo::CalibrationResult result =
+      algo::calibrate_to_profile(streaming(), objective, config);
+
+  // Accepted rounds only improve, so the final error never regresses.
+  ASSERT_LE(result.final_error, result.initial_error);
+  ASSERT_GT(result.rounds_accepted, 0u);
+
+  // Calibration preserves the streaming degree sequences exactly.
+  EXPECT_EQ(algo::in_degrees(result.graph), algo::in_degrees(streaming()));
+  EXPECT_EQ(algo::out_degrees(result.graph), algo::out_degrees(streaming()));
+
+  // The pinned regression numbers (exact-measured, deterministic in the
+  // seeds above; currently C goes 0.044 → 0.128 against a 0.226 target):
+  // the clustering gap must shrink by at least 40%, and the
+  // post-calibration relative clustering error must stay under 50%
+  // (it starts above 80%).
+  const double before_gap =
+      std::abs(algo::average_clustering_coefficient(streaming()) - ram_c);
+  const double after_gap =
+      std::abs(result.calibrated.clustering - ram_c);
+  EXPECT_LT(after_gap, before_gap * 0.6);
+  EXPECT_LT(after_gap / ram_c, 0.50);
+  // Reciprocity must not be sacrificed to buy clustering.
+  EXPECT_NEAR(result.calibrated.reciprocity, ram_r, 0.10);
+}
 
 }  // namespace
 }  // namespace gplus

@@ -17,6 +17,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "algo/intersect.h"
+#include "algo/motifs.h"
 #include "core/dataset.h"
 #include "core/parallel.h"
 #include "serve/engine.h"
@@ -207,6 +209,70 @@ TEST_F(SnapshotEquivalence, ScanAndLookupSurfacesAgree) {
       ASSERT_TRUE(compressed.has_out_edge(u, w)) << u << "->" << w;
     }
   }
+}
+
+TEST_F(SnapshotEquivalence, TriadCensusIdenticalAcrossFormatsAndKernels) {
+  // The exact census must not care where the adjacency lives: in-RAM
+  // CSR, flat v2, compressed v3 or the same v3 bytes off mmap — and must
+  // not care which intersection kernel enumerates the triangles.
+  const algo::TriadCensus want = algo::triad_census(dataset().graph());
+  ASSERT_GT(want.closed(), 0u);
+
+  const SnapshotView flat(v2().bytes());
+  EXPECT_EQ(algo::triad_census_of_view(flat), want) << "v2 flat";
+  const SnapshotView compressed(v3().bytes());
+  EXPECT_EQ(algo::triad_census_of_view(compressed), want) << "v3 compressed";
+
+  const auto path = scratch("gplus_equiv_census");
+  save_snapshot(v3(), path);
+  {
+    MappedSnapshot mapped(path);
+    EXPECT_EQ(algo::triad_census_of_view(mapped.view()), want) << "v3 mmap";
+    for (std::size_t k = 0; k < algo::kIntersectKernelCount; ++k) {
+      const auto kernel = static_cast<algo::IntersectKernel>(k);
+      algo::set_default_intersect_kernel(kernel);
+      const algo::TriadCensus got = algo::triad_census_of_view(mapped.view());
+      algo::set_default_intersect_kernel(algo::IntersectKernel::kAuto);
+      EXPECT_EQ(got, want) << "kernel "
+                           << algo::intersect_kernel_name(kernel);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(SnapshotEquivalence, SampledCensusIdenticalAcrossFormats) {
+  // The wedge sampler's probes run through each format's own edge lookup
+  // (binary search on v2, block-skip varint decode on v3): identical
+  // estimates prove the compressed membership path end to end.
+  algo::TriadSampleConfig config;
+  config.samples = 20'000;
+  config.seed = 13;
+  const algo::SampledTriadCensus want =
+      algo::sample_triad_census(dataset().graph(), config);
+  ASSERT_GT(want.total_wedges, 0u);
+
+  const auto check = [&](const SnapshotView& view, const char* label) {
+    const algo::SampledTriadCensus got =
+        algo::sample_triad_census_of_view(view, config);
+    EXPECT_EQ(got.total_wedges, want.total_wedges) << label;
+    EXPECT_EQ(got.closed_fraction, want.closed_fraction) << label;
+    for (std::size_t k = 0; k < algo::kTriadClassCount; ++k) {
+      EXPECT_EQ(got.estimated_counts[k], want.estimated_counts[k])
+          << label << " class " << k;
+    }
+  };
+  const SnapshotView flat(v2().bytes());
+  check(flat, "v2 flat");
+  const SnapshotView compressed(v3().bytes());
+  check(compressed, "v3 compressed");
+
+  const auto path = scratch("gplus_equiv_census_sampled");
+  save_snapshot(v3(), path);
+  {
+    MappedSnapshot mapped(path);
+    check(mapped.view(), "v3 mmap");
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace
